@@ -1,0 +1,83 @@
+// Figure 14: read throughput versus pack size, and the pack-size tuner of
+// §8.3. Sweeps candidate pack sizes on a dataset sized so that small packs
+// spill out of memory while larger packs fit; the optimum should be near the
+// smallest pack size whose compressed data fits in memory.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/tuner.h"
+#include "src/workload/ycsb.h"
+
+namespace minicrypt {
+namespace {
+
+int Main() {
+  // Every node mirrors the table (see fig9 calibration note): at 16 MB raw,
+  // single-row packs (~10.7 MB at rest) overflow the 6 MB/node cache, while
+  // 50-row packs (~4 MB at rest) fit.
+  const double scale = BenchScale();
+  const size_t cache_per_node = static_cast<size_t>(6.0 * scale * 1024 * 1024);
+  const auto row_count = static_cast<uint64_t>(16.0 * scale * 1024 * 1024 / 1100.0);
+  const SymmetricKey key = SymmetricKey::FromSeed("tenant");
+  const auto rows = ConvivaRows(row_count);
+
+  std::vector<uint64_t> read_keys;
+  UniformChooser chooser(row_count, 777);
+  for (int i = 0; i < 20000; ++i) {
+    read_keys.push_back(chooser.Next());
+  }
+
+  MiniCryptOptions options;
+  PackSizeTuner::Config config;
+  config.candidate_pack_rows = {1, 5, 10, 25, 50, 100, 250};
+  config.client_threads = 8;
+  config.run_micros = static_cast<uint64_t>(900'000 * scale);
+  // Mirrored replicas: the effective memory is ONE node's cache.
+  config.memory_budget_bytes = cache_per_node;
+  PackSizeTuner tuner(options, key, config);
+
+  std::printf("# Figure 14: pack size vs maximum read throughput (disk profile)\n");
+  std::printf("# raw=%.1fMB cache/node=%.1fMB\n", 16.0 * scale,
+              static_cast<double>(cache_per_node) / 1048576.0);
+  auto report = tuner.Run(
+      [&] {
+        return std::make_unique<Cluster>(PaperCluster(MediaKind::kDisk, cache_per_node));
+      },
+      rows, read_keys);
+  if (!report.ok()) {
+    std::fprintf(stderr, "tuner failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %-14s %-12s %-12s\n", "pack_rows", "throughput", "ratio", "atrest_MB");
+  for (const auto& p : report->points) {
+    std::printf("%-10zu %-14.0f %-12.2f %-12.1f\n", p.pack_rows, p.throughput_ops_s,
+                p.compression_ratio, static_cast<double>(p.at_rest_bytes) / 1048576.0);
+  }
+  std::printf("\n# tuner picks pack_rows=%zu; fits-in-memory heuristic says %zu\n",
+              report->best_pack_rows, report->heuristic_pack_rows);
+
+  // Shape checks: tiny packs (poor ratio, data spills) lose to mid-size
+  // packs, and the empirical optimum is at or after the heuristic point.
+  double tiny_tp = 0;
+  double best_tp = 0;
+  for (const auto& p : report->points) {
+    if (p.pack_rows == 1) {
+      tiny_tp = p.throughput_ops_s;
+    }
+    best_tp = std::max(best_tp, p.throughput_ops_s);
+  }
+  const bool mid_beats_tiny = best_tp > tiny_tp * 2.0;
+  const bool heuristic_close = report->heuristic_pack_rows != 0 &&
+                               report->best_pack_rows >= report->heuristic_pack_rows / 5;
+  std::printf("# shape-check: optimal-pack-beats-single-row=%s "
+              "optimum-near-fits-in-memory-heuristic=%s\n",
+              mid_beats_tiny ? "PASS" : "FAIL", heuristic_close ? "PASS" : "FAIL");
+  return (mid_beats_tiny && heuristic_close) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace minicrypt
+
+int main() { return minicrypt::Main(); }

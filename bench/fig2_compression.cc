@@ -1,0 +1,128 @@
+// Figure 2 (+ its summary table): compression ratio vs rows-per-pack for six
+// datasets and five codecs. Also prints, per dataset: total rows, average
+// value size, maximum ratio (whole dataset as one blob), and the rows/pack
+// needed to reach >= 75% of that maximum with zlib.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/compress/compressor.h"
+#include "src/workload/datasets.h"
+
+namespace minicrypt {
+namespace {
+
+// Ratio of raw bytes to compressed bytes when the rows are grouped into
+// packs of `rows_per_pack` (0 = the whole dataset in one blob).
+double PackRatio(const std::vector<std::string>& rows, const Compressor& codec,
+                 size_t rows_per_pack) {
+  const size_t group = rows_per_pack == 0 ? rows.size() : rows_per_pack;
+  size_t raw = 0;
+  size_t compressed = 0;
+  std::string pack;
+  for (size_t i = 0; i < rows.size(); i += group) {
+    pack.clear();
+    for (size_t j = i; j < std::min(rows.size(), i + group); ++j) {
+      pack += rows[j];
+      raw += rows[j].size();
+    }
+    auto out = codec.Compress(pack);
+    if (!out.ok()) {
+      std::fprintf(stderr, "compress failed: %s\n", out.status().ToString().c_str());
+      std::abort();
+    }
+    compressed += out->size();
+  }
+  return static_cast<double>(raw) / static_cast<double>(compressed);
+}
+
+int Main() {
+  const auto row_count = static_cast<uint64_t>(600 * BenchScale());
+  const std::vector<size_t> pack_sizes = {1, 2, 5, 10, 20, 50, 100, 200};
+
+  std::printf("# Figure 2: compression ratio vs rows per pack\n");
+  std::printf("# datasets are synthetic stand-ins (see DESIGN.md substitutions)\n");
+  std::printf("%-10s %-11s", "dataset", "codec");
+  for (size_t n : pack_sizes) {
+    std::printf(" n=%-6zu", n);
+  }
+  std::printf(" %-8s\n", "full");
+
+  struct Summary {
+    uint64_t rows;
+    double avg_value_bytes;
+    double max_ratio;          // zlib, whole dataset
+    size_t rows_for_75pct;     // zlib
+  };
+  std::map<std::string, Summary> summaries;
+  bool monotone_trend = true;
+
+  for (std::string_view name : AllDatasetNames()) {
+    auto dataset = MakeDataset(name, 4242);
+    std::vector<std::string> rows;
+    rows.reserve(row_count);
+    size_t raw = 0;
+    for (uint64_t i = 0; i < row_count; ++i) {
+      rows.push_back(dataset->Row(i));
+      raw += rows.back().size();
+    }
+    for (std::string_view codec_name : AllCompressorNames()) {
+      const Compressor* codec = FindCompressor(codec_name);
+      std::printf("%-10s %-11s", std::string(name).c_str(),
+                  std::string(codec_name).c_str());
+      double prev = 0.0;
+      for (size_t n : pack_sizes) {
+        const double ratio = PackRatio(rows, *codec, n);
+        std::printf(" %-8.2f", ratio);
+        if (n >= 5 && ratio + 0.15 < prev) {
+          monotone_trend = false;  // allow tiny noise; big regressions fail
+        }
+        prev = std::max(prev, ratio);
+      }
+      const double full = PackRatio(rows, *codec, 0);
+      std::printf(" %-8.2f\n", full);
+
+      if (codec_name == "zlib") {
+        Summary s;
+        s.rows = row_count;
+        s.avg_value_bytes = static_cast<double>(raw) / static_cast<double>(row_count);
+        s.max_ratio = full;
+        s.rows_for_75pct = 0;
+        for (size_t n : pack_sizes) {
+          if (PackRatio(rows, *codec, n) >= 0.75 * full) {
+            s.rows_for_75pct = n;
+            break;
+          }
+        }
+        summaries[std::string(name)] = s;
+      }
+    }
+  }
+
+  std::printf("\n# Figure 2 summary table (zlib)\n");
+  std::printf("%-10s %-8s %-12s %-10s %-14s\n", "dataset", "rows", "avg_value_B", "max_ratio",
+              "rows_for_75pct");
+  bool small_packs_suffice = true;
+  for (const auto& [name, s] : summaries) {
+    std::printf("%-10s %-8llu %-12.0f %-10.2f %-14zu\n", name.c_str(),
+                static_cast<unsigned long long>(s.rows), s.avg_value_bytes, s.max_ratio,
+                s.rows_for_75pct);
+    if (s.rows_for_75pct == 0 || s.rows_for_75pct > 100) {
+      small_packs_suffice = false;
+    }
+  }
+
+  std::printf(
+      "# shape-check: ratio-rises-then-plateaus=%s  <=100-rows-reach-75%%-of-max=%s\n",
+      monotone_trend ? "PASS" : "FAIL", small_packs_suffice ? "PASS" : "FAIL");
+  return (monotone_trend && small_packs_suffice) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace minicrypt
+
+int main() { return minicrypt::Main(); }

@@ -1,0 +1,133 @@
+// Micro-benchmarks (google-benchmark): codec compress/decompress throughput
+// on a 50-row Conviva-like pack, the crypto primitives, and the pack codec
+// operations. These quantify the client-side CPU costs behind the figures.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/coding.h"
+#include "src/compress/compressor.h"
+#include "src/core/pack.h"
+#include "src/core/pack_crypter.h"
+#include "src/crypto/crypto.h"
+#include "src/workload/datasets.h"
+
+namespace minicrypt {
+namespace {
+
+std::string PackPayload() {
+  auto dataset = MakeDataset("conviva", 3);
+  std::string payload;
+  for (int i = 0; i < 50; ++i) {
+    payload += dataset->Row(static_cast<uint64_t>(i));
+  }
+  return payload;
+}
+
+void BM_Compress(benchmark::State& state, const char* codec_name) {
+  const Compressor* codec = FindCompressor(codec_name);
+  const std::string payload = PackPayload();
+  for (auto _ : state) {
+    auto out = codec->Compress(payload);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * payload.size()));
+}
+
+void BM_Decompress(benchmark::State& state, const char* codec_name) {
+  const Compressor* codec = FindCompressor(codec_name);
+  const std::string payload = PackPayload();
+  const std::string compressed = *codec->Compress(payload);
+  for (auto _ : state) {
+    auto out = codec->Decompress(compressed);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * payload.size()));
+}
+
+BENCHMARK_CAPTURE(BM_Compress, snappylike, "snappylike");
+BENCHMARK_CAPTURE(BM_Compress, lz4like, "lz4like");
+BENCHMARK_CAPTURE(BM_Compress, zlib, "zlib");
+BENCHMARK_CAPTURE(BM_Compress, bzip2like, "bzip2like");
+BENCHMARK_CAPTURE(BM_Compress, lzmalike, "lzmalike");
+BENCHMARK_CAPTURE(BM_Decompress, snappylike, "snappylike");
+BENCHMARK_CAPTURE(BM_Decompress, lz4like, "lz4like");
+BENCHMARK_CAPTURE(BM_Decompress, zlib, "zlib");
+BENCHMARK_CAPTURE(BM_Decompress, bzip2like, "bzip2like");
+BENCHMARK_CAPTURE(BM_Decompress, lzmalike, "lzmalike");
+
+void BM_AesEncrypt(benchmark::State& state) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  const std::string payload = PackPayload();
+  for (auto _ : state) {
+    auto out = AesCbcEncrypt(key, payload);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * payload.size()));
+}
+BENCHMARK(BM_AesEncrypt);
+
+void BM_AesDecrypt(benchmark::State& state) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  const std::string envelope = *AesCbcEncrypt(key, PackPayload());
+  for (auto _ : state) {
+    auto out = AesCbcDecrypt(key, envelope);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * envelope.size()));
+}
+BENCHMARK(BM_AesDecrypt);
+
+void BM_Sha256Hash(benchmark::State& state) {
+  const std::string payload = PackPayload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * payload.size()));
+}
+BENCHMARK(BM_Sha256Hash);
+
+void BM_PackSealOpen(benchmark::State& state) {
+  MiniCryptOptions options;
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  PackCrypter crypter(options, key);
+  auto dataset = MakeDataset("conviva", 3);
+  Pack pack;
+  for (uint64_t i = 0; i < 50; ++i) {
+    pack.Upsert(EncodeKey64(i), dataset->Row(i));
+  }
+  for (auto _ : state) {
+    auto sealed = crypter.Seal(pack);
+    auto opened = crypter.Open(sealed->envelope);
+    benchmark::DoNotOptimize(opened);
+  }
+}
+BENCHMARK(BM_PackSealOpen);
+
+void BM_PackUpsertSplit(benchmark::State& state) {
+  auto dataset = MakeDataset("conviva", 3);
+  Pack pack;
+  for (uint64_t i = 0; i < 75; ++i) {
+    pack.Upsert(EncodeKey64(i * 2), dataset->Row(i));
+  }
+  for (auto _ : state) {
+    Pack copy = pack;
+    copy.Upsert(EncodeKey64(51), "new value");
+    auto halves = copy.SplitDeterministic();
+    benchmark::DoNotOptimize(halves);
+  }
+}
+BENCHMARK(BM_PackUpsertSplit);
+
+void BM_PackIdPrf(benchmark::State& state) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  uint64_t bucket = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, EncodeKey64(bucket++)));
+  }
+}
+BENCHMARK(BM_PackIdPrf);
+
+}  // namespace
+}  // namespace minicrypt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// §8.4 network bandwidth: bytes shipped to the client per query, for point
+// reads and range scans, across the three systems. MiniCrypt's point-read
+// overhead is (pack bytes / compression ratio) per query; for ranges it ships
+// *fewer* bytes than either comparison client because the packs stay
+// compressed on the wire.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/ycsb.h"
+
+namespace minicrypt {
+namespace {
+
+int Main() {
+  const auto row_count = static_cast<uint64_t>(4.0 * BenchScale() * 1024 * 1024 / 1100.0);
+  const SymmetricKey key = SymmetricKey::FromSeed("tenant");
+  const auto rows = ConvivaRows(row_count);
+  const int point_queries = 400;
+  const int range_queries = 25;
+  // Paper-size ranges: short ranges are dominated by the per-partition
+  // boundary pack, see the fig9_range note.
+  const uint64_t range_len = 1000;
+
+  std::printf("# 8.4 network bandwidth: average bytes to client per query\n");
+  std::printf("%-12s %-16s %-16s\n", "system", "point_B/query", "range_B/query");
+
+  double point_bytes[3] = {};
+  double range_bytes[3] = {};
+  const char* systems[3] = {"minicrypt", "baseline", "vanilla"};
+  for (int s = 0; s < 3; ++s) {
+    Cluster cluster(PaperCluster(MediaKind::kSsd, 64 * 1024 * 1024));
+    MiniCryptOptions options;
+    options.pack_rows = 50;
+    auto facade = MakeSystem(systems[s], &cluster, options, key);
+    PreloadAndWarm(*facade, cluster, options, rows);
+
+    UniformChooser chooser(row_count, 99);
+    cluster.ResetPerfCounters();
+    for (int q = 0; q < point_queries; ++q) {
+      (void)facade->Get(chooser.Next());
+    }
+    point_bytes[s] = static_cast<double>(cluster.stats().bytes_to_client.load()) /
+                     point_queries;
+
+    cluster.ResetPerfCounters();
+    for (int q = 0; q < range_queries; ++q) {
+      const uint64_t hi = chooser.Next();
+      const uint64_t lo = hi >= range_len ? hi - range_len + 1 : 0;
+      (void)facade->GetRange(lo, hi);
+    }
+    range_bytes[s] = static_cast<double>(cluster.stats().bytes_to_client.load()) /
+                     range_queries;
+    std::printf("%-12s %-16.0f %-16.0f\n", systems[s], point_bytes[s], range_bytes[s]);
+  }
+
+  // Shape checks: point reads cost MiniCrypt ~pack/ratio per query (more
+  // than the baseline's single compressed row); range scans cost MiniCrypt
+  // the least of the three.
+  const bool point_overhead = point_bytes[0] > point_bytes[1];
+  const bool range_wins = range_bytes[0] < range_bytes[1] && range_bytes[0] < range_bytes[2];
+  std::printf("\n# point overhead vs baseline: %.1fx; range savings vs vanilla: %.1fx\n",
+              point_bytes[0] / point_bytes[1], range_bytes[2] / range_bytes[0]);
+  std::printf("# shape-check: point-pays-pack-overhead=%s range-ships-least-bytes=%s\n",
+              point_overhead ? "PASS" : "FAIL", range_wins ? "PASS" : "FAIL");
+  return (point_overhead && range_wins) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace minicrypt
+
+int main() { return minicrypt::Main(); }

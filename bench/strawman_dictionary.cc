@@ -1,0 +1,112 @@
+// §2.4 strawman numbers: dictionary encoding applied per field of the
+// Conviva-like dataset versus MiniCrypt's packing. The paper reports that
+// dictionary encoding achieved only ~1.6x overall (great on low-cardinality
+// columns, useless on high-cardinality ones) and that the shared table the
+// clients must hold reached ~80% of the compressed data size.
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/compress/compressor.h"
+#include "src/compress/strawman.h"
+
+namespace minicrypt {
+namespace {
+
+// Splits a conviva row into "field=value" tokens.
+std::vector<std::pair<std::string, std::string>> Fields(const std::string& row) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream stream(row);
+  std::string token;
+  while (stream >> token) {
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      out.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+int Main() {
+  const auto row_count = static_cast<uint64_t>(2000 * BenchScale());
+  auto dataset = MakeDataset("conviva", 17);
+
+  // Per-column dictionaries, as a column-store strawman would build.
+  std::map<std::string, DictionaryEncoder> dictionaries;
+  size_t raw_bytes = 0;
+  std::vector<std::vector<std::pair<std::string, std::string>>> parsed_rows;
+  parsed_rows.reserve(row_count);
+  for (uint64_t i = 0; i < row_count; ++i) {
+    const std::string row = dataset->Row(i);
+    raw_bytes += row.size();
+    parsed_rows.push_back(Fields(row));
+    for (const auto& [field, value] : parsed_rows.back()) {
+      dictionaries[field].Intern(value);
+    }
+  }
+
+  size_t encoded_bytes = 0;
+  size_t table_bytes = 0;
+  for (const auto& row : parsed_rows) {
+    for (const auto& [field, value] : row) {
+      encoded_bytes += dictionaries[field].CodeWidth();
+    }
+  }
+  for (const auto& [field, dict] : dictionaries) {
+    table_bytes += dict.TableBytes();
+  }
+
+  const double dict_ratio =
+      static_cast<double>(raw_bytes) / static_cast<double>(encoded_bytes + table_bytes);
+  const double table_fraction =
+      static_cast<double>(table_bytes) / static_cast<double>(encoded_bytes + table_bytes);
+
+  // MiniCrypt packing for comparison (50-row packs, zlib).
+  const Compressor* zlib = FindCompressor("zlib");
+  size_t packed_bytes = 0;
+  std::string pack;
+  for (uint64_t i = 0; i < row_count; i += 50) {
+    pack.clear();
+    for (uint64_t j = i; j < std::min<uint64_t>(row_count, i + 50); ++j) {
+      pack += dataset->Row(j);
+    }
+    packed_bytes += zlib->Compress(pack)->size();
+  }
+  const double pack_ratio = static_cast<double>(raw_bytes) / static_cast<double>(packed_bytes);
+
+  std::printf("# 2.4 strawman: dictionary encoding vs MiniCrypt packing (conviva-like)\n");
+  std::printf("%-28s %-10s\n", "metric", "value");
+  std::printf("%-28s %-10zu\n", "rows", static_cast<size_t>(row_count));
+  std::printf("%-28s %-10.2f\n", "dict_overall_ratio", dict_ratio);
+  std::printf("%-28s %-10.0f%%\n", "dict_table_share", table_fraction * 100.0);
+  std::printf("%-28s %-10.2f\n", "minicrypt_pack_ratio", pack_ratio);
+  std::printf("%-28s %-10zu\n", "distinct_columns", dictionaries.size());
+
+  // Per-column detail: a few columns compress superbly, the id columns not
+  // at all — exactly the paper's point.
+  double best = 0;
+  double worst = 1e9;
+  for (const auto& [field, dict] : dictionaries) {
+    const double cardinality = static_cast<double>(dict.DistinctValues());
+    best = std::max(best, static_cast<double>(row_count) / cardinality);
+    worst = std::min(worst, static_cast<double>(row_count) / cardinality);
+  }
+  std::printf("%-28s %-10.0f\n", "best_column_rows_per_value", best);
+  std::printf("%-28s %-10.2f\n", "worst_column_rows_per_value", worst);
+
+  // Shape checks: dictionary ratio far below packing; table share is large.
+  const bool packing_wins = pack_ratio > dict_ratio * 1.8;
+  const bool table_heavy = table_fraction > 0.4;
+  std::printf("\n# shape-check: packing-beats-dictionary=%s client-table-is-heavy=%s\n",
+              packing_wins ? "PASS" : "FAIL", table_heavy ? "PASS" : "FAIL");
+  return (packing_wins && table_heavy) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace minicrypt
+
+int main() { return minicrypt::Main(); }

@@ -1,0 +1,82 @@
+// Quickstart: bring up a cluster, create a MiniCrypt client with a customer
+// key, and use the four-call API (put / get / get-range / delete). The server
+// side only ever sees encrypted packs.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/generic_client.h"
+#include "src/kvstore/cluster.h"
+
+using minicrypt::Cluster;
+using minicrypt::ClusterOptions;
+using minicrypt::GenericClient;
+using minicrypt::MiniCryptOptions;
+using minicrypt::SymmetricKey;
+
+int main() {
+  // 1. The hosting side: a 3-node store with replication factor 3. In a real
+  //    deployment this is the cloud provider's cluster; here it runs
+  //    in-process.
+  ClusterOptions cluster_options;
+  cluster_options.node_count = 3;
+  cluster_options.replication_factor = 3;
+  cluster_options.rtt_micros = 0;  // no simulated network for the demo
+  Cluster cluster(cluster_options);
+
+  // 2. The customer side: a symmetric key that never leaves the clients.
+  const SymmetricKey key = SymmetricKey::FromSeed("quickstart-demo-secret");
+
+  MiniCryptOptions options;
+  options.table = "users";
+  options.pack_rows = 50;  // ~90% of the achievable compression (paper fig. 2)
+
+  GenericClient client(&cluster, options, key);
+  if (!client.CreateTable().ok()) {
+    std::fprintf(stderr, "create table failed\n");
+    return 1;
+  }
+
+  // 3. Writes. Each put lands inside an encrypted pack shared with ~49
+  //    neighbouring keys; the update-if protocol keeps concurrent writers
+  //    from clobbering each other.
+  for (uint64_t user_id = 1000; user_id < 1100; ++user_id) {
+    const std::string profile =
+        "name=user" + std::to_string(user_id) + ";plan=premium;region=eu-west";
+    if (!client.Put(user_id, profile).ok()) {
+      std::fprintf(stderr, "put %llu failed\n", static_cast<unsigned long long>(user_id));
+      return 1;
+    }
+  }
+
+  // 4. Point read.
+  auto value = client.Get(1042);
+  if (!value.ok()) {
+    std::fprintf(stderr, "get failed: %s\n", value.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("get(1042)  -> %s\n", value->c_str());
+
+  // 5. Range read (common for time-series keys).
+  auto range = client.GetRange(1040, 1049);
+  if (!range.ok()) {
+    std::fprintf(stderr, "range failed\n");
+    return 1;
+  }
+  std::printf("get(1040, 1049) -> %zu rows\n", range->size());
+
+  // 6. Delete.
+  if (!client.Delete(1042).ok()) {
+    std::fprintf(stderr, "delete failed\n");
+    return 1;
+  }
+  std::printf("after delete, get(1042) -> %s\n",
+              client.Get(1042).status().ToString().c_str());
+
+  // 7. What the server actually stores: encrypted envelopes, a fraction of
+  //    the plaintext size.
+  std::printf("server-side footprint: %zu bytes (plaintext was ~%zu)\n",
+              cluster.TableAtRestBytes("users") + 0, size_t{100} * 60);
+  return 0;
+}

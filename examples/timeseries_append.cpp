@@ -1,0 +1,103 @@
+// APPEND-mode example: a sensor fleet streams timestamped readings (the
+// paper's motivating time-series workload, §6). Appends are single encrypted
+// row inserts — nearly as fast as the raw store — while background mergers
+// fold closed epochs into compressed packs and the EM service coordinates
+// epochs, assignments, and failover.
+//
+// Build & run:  ./build/examples/timeseries_append
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "src/core/append/append_client.h"
+#include "src/core/append/em_service.h"
+#include "src/kvstore/cluster.h"
+#include "src/workload/datasets.h"
+
+using minicrypt::AppendClient;
+using minicrypt::Cluster;
+using minicrypt::ClusterOptions;
+using minicrypt::EmService;
+using minicrypt::MakeDataset;
+using minicrypt::MiniCryptOptions;
+using minicrypt::SymmetricKey;
+
+int main() {
+  ClusterOptions cluster_options;
+  cluster_options.node_count = 3;
+  cluster_options.replication_factor = 3;
+  cluster_options.rtt_micros = 0;
+  Cluster cluster(cluster_options);
+
+  const SymmetricKey key = SymmetricKey::FromSeed("sensor-fleet-secret");
+
+  MiniCryptOptions options;
+  options.table = "sensor_readings";
+  options.pack_rows = 50;
+  options.epoch_micros = 500'000;   // short epochs so the demo merges quickly
+  options.t_delta_micros = 50'000;  // bound on out-of-order arrival
+  options.t_drift_micros = 50'000;
+  options.merge_period_micros = 100'000;
+  options.heartbeat_micros = 100'000;
+  if (!options.Validate().ok()) {
+    std::fprintf(stderr, "bad options\n");
+    return 1;
+  }
+
+  // The EM service runs server-side but is only a client of the store: it
+  // advances the global epoch and assigns merge work.
+  EmService em(&cluster, options, "em-replica-0");
+  if (!em.Bootstrap().ok() || !em.Tick().ok()) {
+    std::fprintf(stderr, "EM bootstrap failed\n");
+    return 1;
+  }
+  em.Start(/*period_micros=*/100'000);
+
+  // One ingesting client with live heartbeat + merger threads.
+  AppendClient ingest(&cluster, options, key, "ingest-0");
+  if (!ingest.Register().ok()) {
+    std::fprintf(stderr, "client registration failed\n");
+    return 1;
+  }
+  ingest.Start();
+
+  // Stream readings with microsecond-timestamp-like keys for ~2.5 seconds.
+  auto gas = MakeDataset("gas", 7);
+  uint64_t key_counter = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::milliseconds(2500);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int burst = 0; burst < 50; ++burst) {
+      if (!ingest.Put(key_counter, gas->Row(key_counter)).ok()) {
+        std::fprintf(stderr, "append failed\n");
+        return 1;
+      }
+      ++key_counter;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Let the pipeline drain one more epoch, then look at what happened.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+  em.Stop();
+  ingest.Stop();
+
+  std::printf("appended %llu readings\n", static_cast<unsigned long long>(key_counter));
+  std::printf("merged into packs: %llu keys across %llu packs\n",
+              static_cast<unsigned long long>(ingest.stats().keys_merged.load()),
+              static_cast<unsigned long long>(ingest.stats().packs_written.load()));
+  std::printf("epochs merged=%llu deleted=%llu\n",
+              static_cast<unsigned long long>(ingest.stats().epochs_merged.load()),
+              static_cast<unsigned long long>(ingest.stats().epochs_deleted.load()));
+
+  // Reads see every key regardless of which side of the pipeline holds it.
+  int found = 0;
+  for (uint64_t k = 0; k < key_counter; k += 97) {
+    if (ingest.Get(k).ok()) {
+      ++found;
+    }
+  }
+  std::printf("spot-checked %d keys across packs + raw epochs: all readable=%s\n", found,
+              found == static_cast<int>((key_counter + 96) / 97) ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Clock abstraction. Production code uses SystemClock; tests that exercise the
+// APPEND-mode epoch machinery use SimulatedClock so epochs can be advanced
+// without real waits.
+
+#ifndef MINICRYPT_SRC_COMMON_CLOCK_H_
+#define MINICRYPT_SRC_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace minicrypt {
+
+// Monotonic time source, microsecond resolution.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Microseconds since an arbitrary epoch (monotonic).
+  virtual uint64_t NowMicros() const = 0;
+
+  // Blocks (or virtually advances) for the given duration.
+  virtual void SleepMicros(uint64_t micros) = 0;
+};
+
+class SystemClock : public Clock {
+ public:
+  // Shared process-wide instance.
+  static SystemClock* Get() {
+    static SystemClock clock;
+    return &clock;
+  }
+
+  uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     std::chrono::steady_clock::now().time_since_epoch())
+                                     .count());
+  }
+
+  void SleepMicros(uint64_t micros) override {
+    if (micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(micros));
+    }
+  }
+};
+
+// Manually advanced clock for deterministic tests. SleepMicros advances the
+// clock rather than blocking, so epoch rollovers can be driven synchronously.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override { return now_.load(std::memory_order_acquire); }
+
+  void SleepMicros(uint64_t micros) override { Advance(micros); }
+
+  void Advance(uint64_t micros) { now_.fetch_add(micros, std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,123 @@
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+Result<uint64_t> GetVarint64(std::string_view* input) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (input->empty()) {
+      return Status::Corruption("truncated varint");
+    }
+    auto byte = static_cast<unsigned char>(input->front());
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    } else {
+      result |= static_cast<uint64_t>(byte) << shift;
+      return result;
+    }
+  }
+  return Status::Corruption("varint too long");
+}
+
+size_t VarintLength(uint64_t v) {
+  size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>(v >> (8 * i));
+  }
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>(v >> (8 * i));
+  }
+  dst->append(buf, 8);
+}
+
+Result<uint32_t> GetFixed32(std::string_view* input) {
+  if (input->size() < 4) {
+    return Status::Corruption("truncated fixed32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>((*input)[i])) << (8 * i);
+  }
+  input->remove_prefix(4);
+  return v;
+}
+
+Result<uint64_t> GetFixed64(std::string_view* input) {
+  if (input->size() < 8) {
+    return Status::Corruption("truncated fixed64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>((*input)[i])) << (8 * i);
+  }
+  input->remove_prefix(8);
+  return v;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint64(dst, s.size());
+  dst->append(s);
+}
+
+Result<std::string_view> GetLengthPrefixed(std::string_view* input) {
+  MC_ASSIGN_OR_RETURN(uint64_t len, GetVarint64(input));
+  if (input->size() < len) {
+    return Status::Corruption("truncated length-prefixed string");
+  }
+  std::string_view out = input->substr(0, len);
+  input->remove_prefix(len);
+  return out;
+}
+
+std::string EncodeKey64(uint64_t v) {
+  std::string out;
+  AppendKey64(&out, v);
+  return out;
+}
+
+void AppendKey64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>(v >> (8 * (7 - i)));
+  }
+  dst->append(buf, 8);
+}
+
+Result<uint64_t> DecodeKey64(std::string_view s) {
+  if (s.size() != 8) {
+    return Status::Corruption("key is not 8 bytes");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(s[i]);
+  }
+  return v;
+}
+
+}  // namespace minicrypt

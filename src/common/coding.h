@@ -1,0 +1,61 @@
+// Binary coding helpers: varints, fixed-width little-endian integers, and
+// order-preserving big-endian key encodings. Used by the pack codec, the
+// SSTable format, and the commit log.
+
+#ifndef MINICRYPT_SRC_COMMON_CODING_H_
+#define MINICRYPT_SRC_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace minicrypt {
+
+// --- Varint (LEB128, unsigned) ---------------------------------------------
+
+// Appends a varint-encoded `v` to `dst` (1..10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+// Parses a varint from the front of `*input`, advancing it past the encoding.
+// Returns Corruption when the input is truncated or over-long.
+Result<uint64_t> GetVarint64(std::string_view* input);
+
+// Number of bytes PutVarint64 would append for `v`.
+size_t VarintLength(uint64_t v);
+
+// --- Fixed-width little-endian ----------------------------------------------
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+Result<uint32_t> GetFixed32(std::string_view* input);
+Result<uint64_t> GetFixed64(std::string_view* input);
+
+// --- Length-prefixed strings -------------------------------------------------
+
+// Appends varint(length) followed by the bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+
+// Parses a length-prefixed string, advancing `*input`.
+Result<std::string_view> GetLengthPrefixed(std::string_view* input);
+
+// --- Order-preserving key encoding -------------------------------------------
+//
+// MiniCrypt stores keys as byte strings ordered lexicographically. Unsigned
+// 64-bit integer keys are encoded big-endian so that numeric order equals byte
+// order — this is what lets "SELECT ... WHERE packID <= key ORDER BY packID
+// DESC LIMIT 1" locate the right pack.
+
+// 8-byte big-endian encoding of `v` (lexicographic order == numeric order).
+std::string EncodeKey64(uint64_t v);
+
+// Inverse of EncodeKey64; Corruption if `s` is not exactly 8 bytes.
+Result<uint64_t> DecodeKey64(std::string_view s);
+
+// Appends the big-endian encoding to `dst` (for composite keys).
+void AppendKey64(std::string* dst, uint64_t v);
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_CODING_H_

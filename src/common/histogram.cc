@@ -1,0 +1,87 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace minicrypt {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t v) {
+  if (v < 4) {
+    return static_cast<int>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  // Two bits below the MSB select the sub-bucket.
+  const int sub = static_cast<int>((v >> (msb - 2)) & 0x3);
+  const int b = msb * 4 + sub;
+  return std::min(b, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(int b) {
+  if (b < 4) {
+    return static_cast<uint64_t>(b);
+  }
+  const int msb = b / 4;
+  const int sub = b % 4;
+  return (1ULL << msb) | (static_cast<uint64_t>(sub) << (msb - 2));
+}
+
+void Histogram::Add(uint64_t v) {
+  buckets_[static_cast<size_t>(BucketFor(v))]++;
+  if (count_ == 0 || v < min_) {
+    min_ = v;
+  }
+  max_ = std::max(max_, v);
+  sum_ += v;
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[static_cast<size_t>(b)];
+    if (seen > target) {
+      return static_cast<double>(BucketLowerBound(b));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "count=%llu mean=%.1fus p50=%.0fus p99=%.0fus max=%lluus",
+                static_cast<unsigned long long>(count_), Mean(), Percentile(0.50),
+                Percentile(0.99), static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,47 @@
+// Thread-compatible latency histogram with exponential buckets, used by the
+// benchmark harnesses to report mean / p50 / p99 latencies.
+
+#ifndef MINICRYPT_SRC_COMMON_HISTOGRAM_H_
+#define MINICRYPT_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace minicrypt {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value_micros);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double Mean() const;
+  uint64_t Min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t Max() const { return max_; }
+
+  // Approximate quantile (q in [0,1]) via bucket interpolation.
+  double Percentile(double q) const;
+
+  // One-line summary: "count=... mean=...us p50=... p99=... max=...".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kNumBuckets = 64 * 4;  // 4 sub-buckets per power of two
+
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketLowerBound(int b);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_HISTOGRAM_H_

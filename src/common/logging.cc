@@ -1,0 +1,63 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace minicrypt {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_init_once;
+std::mutex g_io_mu;
+
+void InitFromEnv() {
+  const char* env = std::getenv("MINICRYPT_LOG_LEVEL");
+  if (env == nullptr) {
+    return;
+  }
+  if (std::strcmp(env, "debug") == 0) {
+    g_level = LogLevel::kDebug;
+  } else if (std::strcmp(env, "info") == 0) {
+    g_level = LogLevel::kInfo;
+  } else if (std::strcmp(env, "warn") == 0) {
+    g_level = LogLevel::kWarn;
+  } else if (std::strcmp(env, "error") == 0) {
+    g_level = LogLevel::kError;
+  }
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel GetLogLevel() {
+  std::call_once(g_init_once, InitFromEnv);
+  return g_level.load();
+}
+
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg) {
+  const char* base = std::strrchr(file, '/');
+  base = base != nullptr ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, msg.c_str());
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,48 @@
+// Minimal leveled logging. Off by default (warnings and errors only); set
+// MINICRYPT_LOG_LEVEL=debug|info|warn|error or call SetLogLevel().
+
+#ifndef MINICRYPT_SRC_COMMON_LOGGING_H_
+#define MINICRYPT_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace minicrypt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: writes one formatted line to stderr (thread-safe).
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define MC_LOG(level)                                          \
+  if (::minicrypt::LogLevel::level < ::minicrypt::GetLogLevel()) \
+    ;                                                          \
+  else                                                         \
+    ::minicrypt::LogMessage(::minicrypt::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define MC_LOG_DEBUG MC_LOG(kDebug)
+#define MC_LOG_INFO MC_LOG(kInfo)
+#define MC_LOG_WARN MC_LOG(kWarn)
+#define MC_LOG_ERROR MC_LOG(kError)
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_LOGGING_H_

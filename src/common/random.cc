@@ -1,0 +1,119 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace minicrypt {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(&sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+uint64_t Rng::UniformRange(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo + 1); }
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::Bernoulli(double p) { return NextDouble() < p; }
+
+std::string Rng::Bytes(size_t n) {
+  std::string out;
+  out.reserve(n);
+  while (out.size() + 8 <= n) {
+    uint64_t v = Next();
+    out.append(reinterpret_cast<char*>(&v), 8);
+  }
+  uint64_t v = Next();
+  out.append(reinterpret_cast<char*>(&v), n - out.size());
+  return out;
+}
+
+std::string Rng::AlphaString(size_t n) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(26)));
+  }
+  return out;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  auto v = static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+std::vector<uint64_t> ShuffledIndices(uint64_t n, uint64_t seed) {
+  std::vector<uint64_t> idx(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    idx[i] = i;
+  }
+  Rng rng(seed);
+  for (uint64_t i = n; i > 1; --i) {
+    std::swap(idx[i - 1], idx[rng.Uniform(i)]);
+  }
+  return idx;
+}
+
+}  // namespace minicrypt

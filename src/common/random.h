@@ -1,0 +1,72 @@
+// Deterministic PRNG and distribution helpers used by workload generators and
+// benchmarks. Everything is seedable so dataset generation is reproducible.
+
+#ifndef MINICRYPT_SRC_COMMON_RANDOM_H_
+#define MINICRYPT_SRC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace minicrypt {
+
+// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Uniform random bytes.
+  std::string Bytes(size_t n);
+
+  // Random lowercase-alpha string.
+  std::string AlphaString(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipfian generator over [0, n) following the YCSB formulation (Gray et al.).
+// theta in (0, 1); higher theta = more skew. YCSB default is 0.99.
+//
+// The paper's Figure 10 describes skew with "Zipfian parameter 0.2, with 0
+// being pure Zipfian and 1 being uniformly random" — that maps to
+// theta = 0.99 * (1 - parameter); see Fig10 bench for the mapping.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+// Fisher-Yates shuffle of [0, n) indices, deterministic from seed.
+std::vector<uint64_t> ShuffledIndices(uint64_t n, uint64_t seed);
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_RANDOM_H_

@@ -1,0 +1,147 @@
+// Status / Result error-handling primitives used across the MiniCrypt codebase.
+//
+// The library does not use exceptions for control flow; fallible operations return
+// Status (no payload) or Result<T> (payload or error). Both are cheap to move and
+// carry a code plus a human-readable message.
+
+#ifndef MINICRYPT_SRC_COMMON_STATUS_H_
+#define MINICRYPT_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace minicrypt {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,        // key / pack / epoch does not exist
+  kAlreadyExists = 2,   // insert-if-not-exists lost the race
+  kConditionFailed = 3, // update-if predicate evaluated false
+  kCorruption = 4,      // decode / decrypt / decompress failure
+  kInvalidArgument = 5,
+  kAborted = 6,         // retryable contention (caller should retry)
+  kUnavailable = 7,     // node down / timeout
+  kInternal = 8,
+  kOutOfRange = 9,
+};
+
+// Human-readable name of a status code ("NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error value. Ok statuses allocate nothing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ConditionFailed(std::string m = "condition failed") {
+    return Status(StatusCode::kConditionFailed, std::move(m));
+  }
+  static Status Corruption(std::string m) { return Status(StatusCode::kCorruption, std::move(m)); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Aborted(std::string m = "aborted") {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Unavailable(std::string m = "unavailable") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+  static Status OutOfRange(std::string m = "out of range") {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsConditionFailed() const { return code_ == StatusCode::kConditionFailed; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "Ok" or "NotFound: the message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a T or a non-ok Status. Asserts on wrong-side access.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from Ok status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(v_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagate a non-ok Status from an expression that yields Status.
+#define MC_RETURN_IF_ERROR(expr)      \
+  do {                                \
+    ::minicrypt::Status _s = (expr);  \
+    if (!_s.ok()) {                   \
+      return _s;                      \
+    }                                 \
+  } while (0)
+
+// Evaluate an expression yielding Result<T>; on error return its Status,
+// otherwise bind the value to `lhs`.
+#define MC_ASSIGN_OR_RETURN(lhs, expr)     \
+  auto MC_CONCAT_(res_, __LINE__) = (expr);  \
+  if (!MC_CONCAT_(res_, __LINE__).ok()) {    \
+    return MC_CONCAT_(res_, __LINE__).status(); \
+  }                                          \
+  lhs = std::move(MC_CONCAT_(res_, __LINE__)).value()
+
+#define MC_CONCAT_INNER_(a, b) a##b
+#define MC_CONCAT_(a, b) MC_CONCAT_INNER_(a, b)
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_STATUS_H_

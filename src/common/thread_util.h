@@ -1,0 +1,105 @@
+// Small threading helpers shared by the cluster simulation and the benchmark
+// driver: a counting semaphore with timeout (models device queue depth), a
+// latch-style start barrier, and a periodic background task runner.
+
+#ifndef MINICRYPT_SRC_COMMON_THREAD_UTIL_H_
+#define MINICRYPT_SRC_COMMON_THREAD_UTIL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace minicrypt {
+
+// Counting semaphore. Used to bound outstanding requests at a simulated
+// storage device (disk queue depth 1, SSD queue depth ~32).
+class Semaphore {
+ public:
+  explicit Semaphore(int initial) : count_(initial) {}
+
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ > 0; });
+    --count_;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++count_;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_;
+};
+
+// RAII semaphore hold.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore& sem) : sem_(sem) { sem_.Acquire(); }
+  ~SemaphoreGuard() { sem_.Release(); }
+
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+
+ private:
+  Semaphore& sem_;
+};
+
+// One-shot start barrier: worker threads Wait(), the coordinator Release()s
+// them all at once so throughput measurement starts simultaneously.
+class StartGate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// Runs `fn` every `period_micros` on a dedicated thread until stopped.
+// Used for the EM service tick, client heartbeat, and background mergers.
+class PeriodicTask {
+ public:
+  PeriodicTask(std::function<void()> fn, uint64_t period_micros);
+  ~PeriodicTask();
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Stop();
+
+ private:
+  void Loop();
+
+  std::function<void()> fn_;
+  uint64_t period_micros_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_THREAD_UTIL_H_

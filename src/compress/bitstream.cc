@@ -1,0 +1,49 @@
+#include "src/compress/bitstream.h"
+
+namespace minicrypt {
+
+void BitWriter::Write(uint64_t bits, int nbits) {
+  acc_ = (acc_ << nbits) | (bits & ((nbits == 64 ? 0 : (1ULL << nbits)) - 1));
+  acc_bits_ += nbits;
+  while (acc_bits_ >= 8) {
+    acc_bits_ -= 8;
+    out_->push_back(static_cast<char>((acc_ >> acc_bits_) & 0xff));
+  }
+}
+
+void BitWriter::Finish() {
+  if (acc_bits_ > 0) {
+    out_->push_back(static_cast<char>((acc_ << (8 - acc_bits_)) & 0xff));
+    acc_bits_ = 0;
+    acc_ = 0;
+  }
+}
+
+Result<uint64_t> BitReader::Read(int nbits) {
+  while (acc_bits_ < nbits) {
+    if (in_.empty()) {
+      return Status::Corruption("bitstream underrun");
+    }
+    acc_ = (acc_ << 8) | static_cast<unsigned char>(in_.front());
+    in_.remove_prefix(1);
+    acc_bits_ += 8;
+  }
+  acc_bits_ -= nbits;
+  const uint64_t mask = nbits == 64 ? ~0ULL : ((1ULL << nbits) - 1);
+  return (acc_ >> acc_bits_) & mask;
+}
+
+int BitReader::ReadBit() {
+  if (acc_bits_ == 0) {
+    if (in_.empty()) {
+      return -1;
+    }
+    acc_ = static_cast<unsigned char>(in_.front());
+    in_.remove_prefix(1);
+    acc_bits_ = 8;
+  }
+  --acc_bits_;
+  return static_cast<int>((acc_ >> acc_bits_) & 1);
+}
+
+}  // namespace minicrypt

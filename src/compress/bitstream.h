@@ -1,0 +1,49 @@
+// MSB-first bit writer/reader used by the Huffman stage of Bzip2Like and the
+// range-coded LzmaLike codec's header.
+
+#ifndef MINICRYPT_SRC_COMPRESS_BITSTREAM_H_
+#define MINICRYPT_SRC_COMPRESS_BITSTREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace minicrypt {
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  // Writes the low `nbits` bits of `bits`, MSB first. nbits <= 57.
+  void Write(uint64_t bits, int nbits);
+
+  // Pads the final partial byte with zeros and flushes it.
+  void Finish();
+
+ private:
+  std::string* out_;
+  uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::string_view in) : in_(in) {}
+
+  // Reads `nbits` bits MSB-first. nbits <= 57. Corruption on underrun.
+  Result<uint64_t> Read(int nbits);
+
+  // Reads a single bit; -1 on underrun (cheap inner-loop variant).
+  int ReadBit();
+
+ private:
+  std::string_view in_;
+  uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMPRESS_BITSTREAM_H_

@@ -1,0 +1,259 @@
+#include "src/compress/bwt.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace minicrypt {
+
+namespace {
+
+// Suffix array of `s` + virtual sentinel (smaller than every byte) using
+// prefix doubling with radix/counting sorts: O(n log n).
+// Returns SA over indices [0, n] where index n is the sentinel suffix
+// (always first in the returned array).
+std::vector<uint32_t> BuildSuffixArray(std::string_view s) {
+  const size_t n = s.size() + 1;  // includes sentinel position
+  std::vector<uint32_t> sa(n);
+  std::vector<uint32_t> rank(n);
+  std::vector<uint32_t> tmp(n);
+  std::vector<uint32_t> cnt(std::max<size_t>(n, 257), 0);
+
+  // Initial ranks: sentinel = 0, byte b = b + 1.
+  for (size_t i = 0; i < n; ++i) {
+    rank[i] = i + 1 == n ? 0 : static_cast<uint32_t>(static_cast<unsigned char>(s[i])) + 1;
+  }
+  // Counting sort by initial rank.
+  std::fill(cnt.begin(), cnt.begin() + 257, 0);
+  for (size_t i = 0; i < n; ++i) {
+    cnt[rank[i]]++;
+  }
+  for (size_t i = 1; i < 257; ++i) {
+    cnt[i] += cnt[i - 1];
+  }
+  for (size_t i = n; i-- > 0;) {
+    sa[--cnt[rank[i]]] = static_cast<uint32_t>(i);
+  }
+
+  std::vector<uint32_t> new_rank(n);
+  for (size_t k = 1;; k <<= 1) {
+    // Sort by (rank[i], rank[i+k]) using two stable passes.
+    // Pass 1: suffixes whose i+k wraps sort first on the second key; produce
+    // the order of "second key" by shifting the current SA left by k.
+    size_t p = 0;
+    for (size_t i = n - k; i < n; ++i) {
+      tmp[p++] = static_cast<uint32_t>(i);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (sa[i] >= k) {
+        tmp[p++] = sa[i] - static_cast<uint32_t>(k);
+      }
+    }
+    // Pass 2: stable counting sort by first key.
+    std::fill(cnt.begin(), cnt.begin() + n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      cnt[rank[i]]++;
+    }
+    for (size_t i = 1; i < n; ++i) {
+      cnt[i] += cnt[i - 1];
+    }
+    for (size_t i = n; i-- > 0;) {
+      sa[--cnt[rank[tmp[i]]]] = tmp[i];
+    }
+    // Re-rank.
+    new_rank[sa[0]] = 0;
+    uint32_t r = 0;
+    for (size_t i = 1; i < n; ++i) {
+      const uint32_t a = sa[i - 1];
+      const uint32_t b = sa[i];
+      const uint32_t a2 = a + k < n ? rank[a + k] + 1 : 0;
+      const uint32_t b2 = b + k < n ? rank[b + k] + 1 : 0;
+      if (rank[a] != rank[b] || a2 != b2) {
+        ++r;
+      }
+      new_rank[b] = r;
+    }
+    rank.swap(new_rank);
+    if (r + 1 == n) {
+      break;  // all ranks distinct
+    }
+  }
+  return sa;
+}
+
+}  // namespace
+
+BwtResult BwtForward(std::string_view input) {
+  BwtResult out;
+  if (input.empty()) {
+    out.primary_index = 0;
+    return out;
+  }
+  const std::vector<uint32_t> sa = BuildSuffixArray(input);
+  const size_t rows = sa.size();  // n + 1
+  out.transformed.reserve(input.size());
+  out.primary_index = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (sa[i] == 0) {
+      // This row's BWT char is the sentinel; record and omit it.
+      out.primary_index = static_cast<uint32_t>(i);
+    } else {
+      out.transformed.push_back(input[sa[i] - 1]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> BwtInverse(std::string_view transformed, uint32_t primary_index) {
+  const size_t n = transformed.size();
+  if (n == 0) {
+    if (primary_index != 0) {
+      return Status::Corruption("bwt: bad primary index for empty block");
+    }
+    return std::string();
+  }
+  const size_t rows = n + 1;
+  if (primary_index >= rows) {
+    return Status::Corruption("bwt: primary index out of range");
+  }
+  // L' over alphabet {0 = sentinel, b+1 = byte b}, sentinel at primary_index.
+  std::vector<uint16_t> lcol(rows);
+  for (size_t i = 0, j = 0; i < rows; ++i) {
+    if (i == primary_index) {
+      lcol[i] = 0;
+    } else {
+      lcol[i] = static_cast<uint16_t>(static_cast<unsigned char>(transformed[j++])) + 1;
+    }
+  }
+  // LF mapping: lf[i] = C[lcol[i]] + (occurrences of lcol[i] in lcol[0..i)).
+  uint32_t counts[257] = {};
+  for (size_t i = 0; i < rows; ++i) {
+    counts[lcol[i]]++;
+  }
+  uint32_t c_cum[257];
+  uint32_t acc = 0;
+  for (int c = 0; c < 257; ++c) {
+    c_cum[c] = acc;
+    acc += counts[c];
+  }
+  std::vector<uint32_t> lf(rows);
+  uint32_t seen[257] = {};
+  for (size_t i = 0; i < rows; ++i) {
+    lf[i] = c_cum[lcol[i]] + seen[lcol[i]]++;
+  }
+  // Walk backwards from row 0 (the sentinel-suffix row): its L char is the
+  // last byte of the original string.
+  std::string out(n, '\0');
+  uint32_t row = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const uint16_t c = lcol[row];
+    if (c == 0) {
+      return Status::Corruption("bwt: sentinel encountered mid-walk");
+    }
+    out[n - 1 - k] = static_cast<char>(c - 1);
+    row = lf[row];
+  }
+  return out;
+}
+
+std::string MtfForward(std::string_view input) {
+  unsigned char order[256];
+  for (int i = 0; i < 256; ++i) {
+    order[i] = static_cast<unsigned char>(i);
+  }
+  std::string out;
+  out.reserve(input.size());
+  for (char ch : input) {
+    const auto byte = static_cast<unsigned char>(ch);
+    int rank = 0;
+    while (order[rank] != byte) {
+      ++rank;
+    }
+    out.push_back(static_cast<char>(rank));
+    // Move to front.
+    for (int i = rank; i > 0; --i) {
+      order[i] = order[i - 1];
+    }
+    order[0] = byte;
+  }
+  return out;
+}
+
+std::string MtfInverse(std::string_view ranks) {
+  unsigned char order[256];
+  for (int i = 0; i < 256; ++i) {
+    order[i] = static_cast<unsigned char>(i);
+  }
+  std::string out;
+  out.reserve(ranks.size());
+  for (char ch : ranks) {
+    const auto rank = static_cast<unsigned char>(ch);
+    const unsigned char byte = order[rank];
+    out.push_back(static_cast<char>(byte));
+    for (int i = rank; i > 0; --i) {
+      order[i] = order[i - 1];
+    }
+    order[0] = byte;
+  }
+  return out;
+}
+
+std::vector<uint16_t> ZrleForward(std::string_view mtf_ranks) {
+  // Alphabet: 0 (RUNA) and 1 (RUNB) encode runs of rank-0; rank r >= 1 is
+  // emitted as symbol r + 1. Run length L >= 1 is written in bijective
+  // base-2 digits (RUNA = digit 1, RUNB = digit 2), least significant first.
+  std::vector<uint16_t> out;
+  out.reserve(mtf_ranks.size());
+  size_t run = 0;
+  auto flush_run = [&] {
+    size_t r = run;
+    while (r > 0) {
+      --r;
+      out.push_back(static_cast<uint16_t>(r & 1));  // RUNA=0 digit1, RUNB=1 digit2
+      r >>= 1;
+    }
+    run = 0;
+  };
+  for (char ch : mtf_ranks) {
+    const auto rank = static_cast<unsigned char>(ch);
+    if (rank == 0) {
+      ++run;
+    } else {
+      flush_run();
+      out.push_back(static_cast<uint16_t>(rank + 1));
+    }
+  }
+  flush_run();
+  return out;
+}
+
+Result<std::string> ZrleInverse(const std::vector<uint16_t>& symbols) {
+  std::string out;
+  out.reserve(symbols.size());
+  size_t i = 0;
+  while (i < symbols.size()) {
+    if (symbols[i] <= 1) {
+      // Bijective base-2 run of zeros, least significant digit first.
+      size_t run = 0;
+      size_t place = 1;
+      while (i < symbols.size() && symbols[i] <= 1) {
+        run += place * (static_cast<size_t>(symbols[i]) + 1);
+        place <<= 1;
+        ++i;
+      }
+      if (run > (1u << 30)) {
+        return Status::Corruption("zrle: absurd run length");
+      }
+      out.append(run, '\0');
+    } else {
+      const unsigned rank = symbols[i] - 1;
+      if (rank > 255) {
+        return Status::Corruption("zrle: symbol out of range");
+      }
+      out.push_back(static_cast<char>(rank));
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace minicrypt

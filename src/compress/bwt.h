@@ -1,0 +1,47 @@
+// Burrows-Wheeler transform and move-to-front stages of the Bzip2Like codec.
+//
+// The forward transform uses the suffix array of (input + sentinel) built with
+// prefix-doubling (O(n log^2 n)) — fine for the <= 256 KiB blocks Bzip2Like
+// feeds it. The inverse uses the standard LF-mapping walk.
+
+#ifndef MINICRYPT_SRC_COMPRESS_BWT_H_
+#define MINICRYPT_SRC_COMPRESS_BWT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace minicrypt {
+
+struct BwtResult {
+  std::string transformed;   // same length as input
+  uint32_t primary_index;    // row of the original string, needed to invert
+};
+
+// Forward BWT. Input may be any bytes (a virtual sentinel smaller than every
+// byte is used internally, it is not emitted).
+BwtResult BwtForward(std::string_view input);
+
+// Inverse BWT; Corruption if primary_index is out of range.
+Result<std::string> BwtInverse(std::string_view transformed, uint32_t primary_index);
+
+// Move-to-front transform (in place conceptually; returns the rank stream).
+std::string MtfForward(std::string_view input);
+std::string MtfInverse(std::string_view ranks);
+
+// Zero-run-length encoding applied after MTF (bzip2's RUNA/RUNB trick,
+// simplified): emits a symbol stream over a 258-symbol alphabet —
+//   0..255   -> literal byte value (ranks shifted by +1, see .cc)
+//   256, 257 -> binary run-length digits for runs of rank-0 symbols
+// Returned as uint16 symbols for the Huffman stage.
+std::vector<uint16_t> ZrleForward(std::string_view mtf_ranks);
+Result<std::string> ZrleInverse(const std::vector<uint16_t>& symbols);
+
+inline constexpr unsigned kZrleAlphabet = 258;
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMPRESS_BWT_H_

@@ -1,0 +1,133 @@
+#include "src/compress/bzip2_like.h"
+
+#include <vector>
+
+#include "src/common/coding.h"
+#include "src/compress/bwt.h"
+#include "src/compress/huffman.h"
+
+namespace minicrypt {
+
+namespace {
+
+// Per-block wire format:
+//   varint raw_len
+//   fixed32 primary_index
+//   length table: 258 x 4-bit-packed code lengths? — we keep it simple and
+//   store each length in one byte (258 bytes), then varint symbol count and
+//   the Huffman-coded symbol stream (byte-aligned at block end).
+void CompressBlock(std::string_view block, std::string* out) {
+  PutVarint64(out, block.size());
+  const BwtResult bwt = BwtForward(block);
+  PutFixed32(out, bwt.primary_index);
+  const std::string mtf = MtfForward(bwt.transformed);
+  const std::vector<uint16_t> symbols = ZrleForward(mtf);
+
+  std::vector<uint64_t> freqs(kZrleAlphabet, 0);
+  for (uint16_t s : symbols) {
+    freqs[s]++;
+  }
+  const std::vector<uint8_t> lengths = BuildHuffmanLengths(freqs);
+  out->append(reinterpret_cast<const char*>(lengths.data()), lengths.size());
+  PutVarint64(out, symbols.size());
+  HuffmanEncoder enc(lengths);
+  BitWriter writer(out);
+  for (uint16_t s : symbols) {
+    enc.Encode(&writer, s);
+  }
+  writer.Finish();
+}
+
+Result<std::string> DecompressBlock(std::string_view* in) {
+  MC_ASSIGN_OR_RETURN(uint64_t raw_len, GetVarint64(in));
+  if (raw_len > (1ULL << 31)) {
+    return Status::Corruption("bzip2like: oversized block");
+  }
+  MC_ASSIGN_OR_RETURN(uint32_t primary, GetFixed32(in));
+  if (in->size() < kZrleAlphabet) {
+    return Status::Corruption("bzip2like: truncated length table");
+  }
+  std::vector<uint8_t> lengths(kZrleAlphabet);
+  for (size_t i = 0; i < kZrleAlphabet; ++i) {
+    lengths[i] = static_cast<uint8_t>((*in)[i]);
+  }
+  in->remove_prefix(kZrleAlphabet);
+  MC_ASSIGN_OR_RETURN(uint64_t symbol_count, GetVarint64(in));
+  if (symbol_count > (1ULL << 31)) {
+    return Status::Corruption("bzip2like: absurd symbol count");
+  }
+  MC_ASSIGN_OR_RETURN(HuffmanDecoder dec, HuffmanDecoder::Make(lengths));
+
+  // The Huffman payload is byte-aligned and its byte length is not stored;
+  // decode symbol_count symbols, then compute consumed bytes from the bit
+  // count. To do that we decode from a reader over the remaining input and
+  // track how much it consumed via symbol-by-symbol decode.
+  //
+  // BitReader consumes from a view; we give it the whole remainder and then
+  // re-derive the consumed prefix length from the number of bits read. Since
+  // BitReader does not expose position, we conservatively re-scan: decode
+  // while counting bits via a counting wrapper.
+  std::vector<uint16_t> symbols;
+  symbols.reserve(symbol_count);
+  // Count bits by decoding with a local reader and measuring leftover.
+  size_t bits_used = 0;
+  {
+    BitReader reader(*in);
+    for (uint64_t i = 0; i < symbol_count; ++i) {
+      // Decode() reads bit-by-bit; we cannot observe its count directly, so
+      // recompute: decode symbol, then add its code length.
+      MC_ASSIGN_OR_RETURN(unsigned sym, dec.Decode(&reader));
+      symbols.push_back(static_cast<uint16_t>(sym));
+      bits_used += lengths[sym];
+    }
+  }
+  const size_t bytes_used = (bits_used + 7) / 8;
+  if (in->size() < bytes_used) {
+    return Status::Corruption("bzip2like: truncated payload");
+  }
+  in->remove_prefix(bytes_used);
+
+  MC_ASSIGN_OR_RETURN(std::string mtf, ZrleInverse(symbols));
+  const std::string transformed = MtfInverse(mtf);
+  if (transformed.size() != raw_len) {
+    return Status::Corruption("bzip2like: block size mismatch");
+  }
+  return BwtInverse(transformed, primary);
+}
+
+}  // namespace
+
+Result<std::string> Bzip2LikeCompressor::Compress(std::string_view input) const {
+  std::string out;
+  PutVarint64(&out, input.size());
+  size_t pos = 0;
+  while (pos < input.size()) {
+    const size_t len = std::min(block_size_, input.size() - pos);
+    CompressBlock(input.substr(pos, len), &out);
+    pos += len;
+  }
+  return out;
+}
+
+Result<std::string> Bzip2LikeCompressor::Decompress(std::string_view input) const {
+  std::string_view in = input;
+  MC_ASSIGN_OR_RETURN(uint64_t total, GetVarint64(&in));
+  if (total > (1ULL << 32)) {
+    return Status::Corruption("bzip2like: oversized frame");
+  }
+  std::string out;
+  out.reserve(total);
+  while (out.size() < total) {
+    MC_ASSIGN_OR_RETURN(std::string block, DecompressBlock(&in));
+    if (block.empty()) {
+      return Status::Corruption("bzip2like: empty block before declared end");
+    }
+    out += block;
+  }
+  if (out.size() != total) {
+    return Status::Corruption("bzip2like: frame size mismatch");
+  }
+  return out;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,28 @@
+// Bzip2Like: a from-scratch block-sorting codec in the bzip2 family:
+// BWT -> move-to-front -> zero-run-length -> canonical Huffman.
+//
+// Occupies the "slow, highest ratio" position of the codec survey (the paper
+// notes bz2/lzma trade speed for ratio, §3). Blocks are 256 KiB.
+
+#ifndef MINICRYPT_SRC_COMPRESS_BZIP2_LIKE_H_
+#define MINICRYPT_SRC_COMPRESS_BZIP2_LIKE_H_
+
+#include "src/compress/compressor.h"
+
+namespace minicrypt {
+
+class Bzip2LikeCompressor : public Compressor {
+ public:
+  explicit Bzip2LikeCompressor(size_t block_size = 256 * 1024) : block_size_(block_size) {}
+
+  std::string_view Name() const override { return "bzip2like"; }
+  Result<std::string> Compress(std::string_view input) const override;
+  Result<std::string> Decompress(std::string_view input) const override;
+
+ private:
+  size_t block_size_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMPRESS_BZIP2_LIKE_H_

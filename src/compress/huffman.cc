@@ -1,0 +1,165 @@
+#include "src/compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace minicrypt {
+
+namespace {
+
+// Standard two-queue Huffman tree build producing depths; depths beyond the
+// limit are repaired by the Kraft-fixup pass below.
+struct HuffNode {
+  uint64_t freq;
+  int left = -1;
+  int right = -1;
+  int symbol = -1;  // leaf only
+};
+
+void AssignDepths(const std::vector<HuffNode>& nodes, int root, int depth,
+                  std::vector<uint8_t>* lengths) {
+  const HuffNode& nd = nodes[static_cast<size_t>(root)];
+  if (nd.symbol >= 0) {
+    (*lengths)[static_cast<size_t>(nd.symbol)] =
+        static_cast<uint8_t>(std::max(depth, 1));
+    return;
+  }
+  AssignDepths(nodes, nd.left, depth + 1, lengths);
+  AssignDepths(nodes, nd.right, depth + 1, lengths);
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildHuffmanLengths(const std::vector<uint64_t>& freqs) {
+  const size_t n = freqs.size();
+  std::vector<uint8_t> lengths(n, 0);
+
+  std::vector<HuffNode> nodes;
+  using QItem = std::pair<uint64_t, int>;  // (freq, node index)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) {
+      nodes.push_back({freqs[i], -1, -1, static_cast<int>(i)});
+      pq.emplace(freqs[i], static_cast<int>(nodes.size() - 1));
+    }
+  }
+  if (nodes.empty()) {
+    return lengths;
+  }
+  if (nodes.size() == 1) {
+    lengths[static_cast<size_t>(nodes[0].symbol)] = 1;
+    return lengths;
+  }
+  while (pq.size() > 1) {
+    auto [fa, a] = pq.top();
+    pq.pop();
+    auto [fb, b] = pq.top();
+    pq.pop();
+    nodes.push_back({fa + fb, a, b, -1});
+    pq.emplace(fa + fb, static_cast<int>(nodes.size() - 1));
+  }
+  AssignDepths(nodes, pq.top().second, 0, &lengths);
+
+  // Depth-limit fixup: clamp overlong codes and restore the Kraft equality by
+  // demoting the deepest codes until sum(2^-len) <= 1.
+  bool clamped = false;
+  for (auto& len : lengths) {
+    if (len > kHuffmanMaxBits) {
+      len = kHuffmanMaxBits;
+      clamped = true;
+    }
+  }
+  if (clamped) {
+    auto kraft = [&] {
+      uint64_t k = 0;  // scaled by 2^kHuffmanMaxBits
+      for (uint8_t len : lengths) {
+        if (len > 0) {
+          k += 1ULL << (kHuffmanMaxBits - len);
+        }
+      }
+      return k;
+    };
+    // While oversubscribed, lengthen the shortest-frequency / deepest codes.
+    while (kraft() > (1ULL << kHuffmanMaxBits)) {
+      // Find a symbol with len < max and the smallest frequency to demote.
+      size_t best = lengths.size();
+      for (size_t i = 0; i < lengths.size(); ++i) {
+        if (lengths[i] > 0 && lengths[i] < kHuffmanMaxBits &&
+            (best == lengths.size() || freqs[i] < freqs[best])) {
+          best = i;
+        }
+      }
+      lengths[best]++;
+    }
+  }
+  return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(const std::vector<uint8_t>& lengths)
+    : codes_(lengths.size(), 0), lengths_(lengths) {
+  // Canonical code assignment: symbols sorted by (length, symbol index).
+  uint32_t code = 0;
+  for (int len = 1; len <= kHuffmanMaxBits; ++len) {
+    for (size_t s = 0; s < lengths.size(); ++s) {
+      if (lengths[s] == len) {
+        codes_[s] = static_cast<uint16_t>(code++);
+      }
+    }
+    code <<= 1;
+  }
+}
+
+void HuffmanEncoder::Encode(BitWriter* w, unsigned symbol) const {
+  w->Write(codes_[symbol], lengths_[symbol]);
+}
+
+Result<HuffmanDecoder> HuffmanDecoder::Make(const std::vector<uint8_t>& lengths) {
+  HuffmanDecoder d;
+  uint64_t kraft = 0;
+  for (uint8_t len : lengths) {
+    if (len > kHuffmanMaxBits) {
+      return Status::Corruption("huffman: length exceeds limit");
+    }
+    if (len > 0) {
+      d.count_[len]++;
+      kraft += 1ULL << (kHuffmanMaxBits - len);
+    }
+  }
+  if (kraft > (1ULL << kHuffmanMaxBits)) {
+    return Status::Corruption("huffman: oversubscribed code");
+  }
+  d.symbols_.reserve(lengths.size());
+  for (int len = 1; len <= kHuffmanMaxBits; ++len) {
+    for (size_t s = 0; s < lengths.size(); ++s) {
+      if (lengths[s] == len) {
+        d.symbols_.push_back(static_cast<uint16_t>(s));
+      }
+    }
+  }
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (int len = 1; len <= kHuffmanMaxBits; ++len) {
+    d.first_code_[len] = code;
+    d.first_index_[len] = index;
+    code = (code + d.count_[len]) << 1;
+    index += d.count_[len];
+  }
+  return d;
+}
+
+Result<unsigned> HuffmanDecoder::Decode(BitReader* r) const {
+  uint32_t code = 0;
+  for (int len = 1; len <= kHuffmanMaxBits; ++len) {
+    const int bit = r->ReadBit();
+    if (bit < 0) {
+      return Status::Corruption("huffman: bitstream underrun");
+    }
+    code = (code << 1) | static_cast<uint32_t>(bit);
+    if (count_[len] > 0 && code < first_code_[len] + count_[len] && code >= first_code_[len]) {
+      return symbols_[first_index_[len] + (code - first_code_[len])];
+    }
+  }
+  return Status::Corruption("huffman: invalid code");
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,56 @@
+// Canonical Huffman coder over a small alphabet (<= 512 symbols), used as the
+// entropy stage of Bzip2Like. Code lengths are depth-limited to 15 bits and
+// serialized as a length table; codes are canonical so only lengths travel.
+
+#ifndef MINICRYPT_SRC_COMPRESS_HUFFMAN_H_
+#define MINICRYPT_SRC_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compress/bitstream.h"
+
+namespace minicrypt {
+
+inline constexpr int kHuffmanMaxBits = 15;
+
+// Computes depth-limited code lengths for the given symbol frequencies.
+// Symbols with zero frequency get length 0 (no code). Lengths obey Kraft.
+std::vector<uint8_t> BuildHuffmanLengths(const std::vector<uint64_t>& freqs);
+
+// Encoder: canonical codes derived from lengths.
+class HuffmanEncoder {
+ public:
+  // `lengths[i]` is the code length for symbol i (0 = unused).
+  explicit HuffmanEncoder(const std::vector<uint8_t>& lengths);
+
+  void Encode(BitWriter* w, unsigned symbol) const;
+
+ private:
+  std::vector<uint16_t> codes_;
+  std::vector<uint8_t> lengths_;
+};
+
+// Decoder: table-driven canonical decode.
+class HuffmanDecoder {
+ public:
+  // Returns Corruption if the lengths are not a valid (sub-)Kraft code.
+  static Result<HuffmanDecoder> Make(const std::vector<uint8_t>& lengths);
+
+  // Decodes one symbol; Corruption on underrun or invalid code.
+  Result<unsigned> Decode(BitReader* r) const;
+
+ private:
+  HuffmanDecoder() = default;
+
+  // first_code_[len], first_index_[len]: canonical decode tables.
+  uint32_t first_code_[kHuffmanMaxBits + 2] = {};
+  uint32_t first_index_[kHuffmanMaxBits + 2] = {};
+  uint32_t count_[kHuffmanMaxBits + 2] = {};
+  std::vector<uint16_t> symbols_;  // symbols sorted by (length, symbol)
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMPRESS_HUFFMAN_H_

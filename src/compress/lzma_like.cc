@@ -1,0 +1,369 @@
+#include "src/compress/lzma_like.h"
+
+#include <zlib.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 258;
+constexpr size_t kWindowBits = 20;  // 1 MiB
+constexpr size_t kMaxDistance = 1u << kWindowBits;
+constexpr int kHashBits = 17;
+constexpr size_t kHashSize = 1u << kHashBits;
+constexpr int kChainDepth = 48;
+constexpr uint16_t kProbInit = 1024;  // probabilities are 11-bit (0..2048)
+constexpr int kProbMoveBits = 5;
+constexpr int kNumLiteralContexts = 16;  // order-1 on the previous byte's high nibble
+
+uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint32_t Hash4(uint32_t v) { return (v * 2654435761u) >> (32 - kHashBits); }
+
+// --- Binary range coder (LZMA-style carry-propagating encoder) --------------
+
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(std::string* out) : out_(out) {}
+
+  void EncodeBit(uint16_t* prob, int bit) {
+    const uint32_t bound = (range_ >> 11) * *prob;
+    if (bit == 0) {
+      range_ = bound;
+      *prob = static_cast<uint16_t>(*prob + ((2048 - *prob) >> kProbMoveBits));
+    } else {
+      low_ += bound;
+      range_ -= bound;
+      *prob = static_cast<uint16_t>(*prob - (*prob >> kProbMoveBits));
+    }
+    Normalize();
+  }
+
+  // Bits with no model (probability 1/2), MSB first.
+  void EncodeDirect(uint32_t value, int nbits) {
+    for (int i = nbits - 1; i >= 0; --i) {
+      range_ >>= 1;
+      if ((value >> i) & 1) {
+        low_ += range_;
+      }
+      Normalize();
+    }
+  }
+
+  void Flush() {
+    for (int i = 0; i < 5; ++i) {
+      ShiftLow();
+    }
+  }
+
+ private:
+  void Normalize() {
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      ShiftLow();
+    }
+  }
+
+  void ShiftLow() {
+    if (static_cast<uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      uint8_t carry_byte = cache_;
+      do {
+        out_->push_back(static_cast<char>(carry_byte + static_cast<uint8_t>(low_ >> 32)));
+        carry_byte = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = static_cast<uint32_t>(low_) << 8;
+  }
+
+  std::string* out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+};
+
+class RangeDecoder {
+ public:
+  // The first emitted byte is always 0 (encoder cache priming); skip it.
+  explicit RangeDecoder(std::string_view in) : in_(in) {
+    NextByte();  // discard priming byte
+    for (int i = 0; i < 4; ++i) {
+      code_ = (code_ << 8) | NextByte();
+    }
+  }
+
+  int DecodeBit(uint16_t* prob) {
+    const uint32_t bound = (range_ >> 11) * *prob;
+    int bit;
+    if (code_ < bound) {
+      range_ = bound;
+      *prob = static_cast<uint16_t>(*prob + ((2048 - *prob) >> kProbMoveBits));
+      bit = 0;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      *prob = static_cast<uint16_t>(*prob - (*prob >> kProbMoveBits));
+      bit = 1;
+    }
+    Normalize();
+    return bit;
+  }
+
+  uint32_t DecodeDirect(int nbits) {
+    uint32_t value = 0;
+    for (int i = 0; i < nbits; ++i) {
+      range_ >>= 1;
+      uint32_t bit = 0;
+      if (code_ >= range_) {
+        code_ -= range_;
+        bit = 1;
+      }
+      value = (value << 1) | bit;
+      Normalize();
+    }
+    return value;
+  }
+
+  bool underrun() const { return underrun_; }
+
+ private:
+  void Normalize() {
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | NextByte();
+    }
+  }
+
+  uint8_t NextByte() {
+    if (in_.empty()) {
+      underrun_ = true;
+      return 0;
+    }
+    const auto b = static_cast<uint8_t>(in_.front());
+    in_.remove_prefix(1);
+    return b;
+  }
+
+  std::string_view in_;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+  bool underrun_ = false;
+};
+
+// Bit-tree model over `Bits` bits (MSB first), 2^Bits leaves.
+template <int Bits>
+struct BitTree {
+  uint16_t probs[1u << Bits];
+
+  BitTree() {
+    for (auto& p : probs) {
+      p = kProbInit;
+    }
+  }
+
+  void Encode(RangeEncoder* rc, uint32_t value) {
+    uint32_t node = 1;
+    for (int i = Bits - 1; i >= 0; --i) {
+      const int bit = static_cast<int>((value >> i) & 1);
+      rc->EncodeBit(&probs[node], bit);
+      node = (node << 1) | static_cast<uint32_t>(bit);
+    }
+  }
+
+  uint32_t Decode(RangeDecoder* rc) {
+    uint32_t node = 1;
+    for (int i = 0; i < Bits; ++i) {
+      node = (node << 1) | static_cast<uint32_t>(rc->DecodeBit(&probs[node]));
+    }
+    return node - (1u << Bits);
+  }
+};
+
+// Probability model shared by encoder and decoder (must evolve identically).
+struct Model {
+  uint16_t is_match = kProbInit;
+  BitTree<8> literal[kNumLiteralContexts];
+  BitTree<8> length;        // match length - kMinMatch (0..254)
+  BitTree<5> dist_slot;     // number of significant bits of (distance - 1)
+};
+
+int LiteralContext(uint8_t prev_byte) { return prev_byte >> 4; }
+
+// Distance coding: slot = bit_length(distance - 1); slot 0 => distance == 1;
+// otherwise emit (slot - 1) direct low bits.
+int DistanceSlot(uint32_t distance_minus_1) {
+  int bits = 0;
+  while ((1u << bits) <= distance_minus_1 && bits < 31) {
+    ++bits;
+  }
+  return bits;  // 0 when distance_minus_1 == 0
+}
+
+}  // namespace
+
+Result<std::string> LzmaLikeCompressor::Compress(std::string_view input) const {
+  std::string out;
+  PutVarint64(&out, input.size());
+  // Range-coded streams truncated near the tail can decode "successfully" to
+  // garbage; a checksum of the plaintext makes corruption detectable.
+  PutFixed32(&out, static_cast<uint32_t>(crc32(
+                       0L, reinterpret_cast<const Bytef*>(input.data()),
+                       static_cast<uInt>(input.size()))));
+  if (input.empty()) {
+    return out;
+  }
+
+  std::vector<int64_t> head(kHashSize, -1);
+  std::vector<int64_t> prev(std::min(input.size(), kMaxDistance), -1);
+  const char* base = input.data();
+  const size_t n = input.size();
+  const size_t match_limit = n >= kMinMatch ? n - kMinMatch + 1 : 0;
+
+  Model model;
+  RangeEncoder rc(&out);
+  uint8_t prev_byte = 0;
+
+  auto insert_pos = [&](size_t p) {
+    if (p + kMinMatch <= n) {
+      const uint32_t h = Hash4(Load32(base + p));
+      prev[p % prev.size()] = head[h];
+      head[h] = static_cast<int64_t>(p);
+    }
+  };
+
+  size_t pos = 0;
+  while (pos < n) {
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    if (pos < match_limit) {
+      const uint32_t h = Hash4(Load32(base + pos));
+      int64_t cand = head[h];
+      int depth = kChainDepth;
+      const size_t max_len = std::min(kMaxMatch, n - pos);
+      while (cand >= 0 && depth-- > 0) {
+        const size_t dist = pos - static_cast<size_t>(cand);
+        if (dist > kMaxDistance || dist > pos) {
+          break;
+        }
+        // Quick reject on the byte past the current best.
+        if (best_len == 0 ||
+            base[cand + static_cast<int64_t>(best_len)] == base[pos + best_len]) {
+          size_t len = 0;
+          while (len < max_len && base[cand + static_cast<int64_t>(len)] == base[pos + len]) {
+            ++len;
+          }
+          if (len >= kMinMatch && len > best_len) {
+            best_len = len;
+            best_dist = dist;
+            if (len == max_len) {
+              break;
+            }
+          }
+        }
+        const int64_t next = prev[static_cast<size_t>(cand) % prev.size()];
+        if (next >= cand) {
+          break;  // stale chain entry from window wrap
+        }
+        cand = next;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      rc.EncodeBit(&model.is_match, 1);
+      model.length.Encode(&rc, static_cast<uint32_t>(best_len - kMinMatch));
+      const uint32_t dm1 = static_cast<uint32_t>(best_dist - 1);
+      const int slot = DistanceSlot(dm1);
+      model.dist_slot.Encode(&rc, static_cast<uint32_t>(slot));
+      if (slot > 1) {
+        rc.EncodeDirect(dm1 & ((1u << (slot - 1)) - 1), slot - 1);
+      }
+      for (size_t i = 0; i < best_len; ++i) {
+        insert_pos(pos + i);
+      }
+      pos += best_len;
+      prev_byte = static_cast<uint8_t>(base[pos - 1]);
+    } else {
+      rc.EncodeBit(&model.is_match, 0);
+      const auto byte = static_cast<uint8_t>(base[pos]);
+      model.literal[LiteralContext(prev_byte)].Encode(&rc, byte);
+      insert_pos(pos);
+      prev_byte = byte;
+      ++pos;
+    }
+  }
+  rc.Flush();
+  return out;
+}
+
+Result<std::string> LzmaLikeCompressor::Decompress(std::string_view input) const {
+  std::string_view in = input;
+  MC_ASSIGN_OR_RETURN(uint64_t raw_size, GetVarint64(&in));
+  if (raw_size > (1ULL << 32)) {
+    return Status::Corruption("lzmalike: oversized frame");
+  }
+  MC_ASSIGN_OR_RETURN(uint32_t expected_crc, GetFixed32(&in));
+  std::string out;
+  out.reserve(raw_size);
+  if (raw_size == 0) {
+    if (expected_crc != 0) {
+      return Status::Corruption("lzmalike: bad checksum on empty frame");
+    }
+    return out;
+  }
+
+  Model model;
+  RangeDecoder rc(in);
+  uint8_t prev_byte = 0;
+
+  while (out.size() < raw_size) {
+    if (rc.underrun()) {
+      return Status::Corruption("lzmalike: truncated stream");
+    }
+    if (rc.DecodeBit(&model.is_match) == 0) {
+      const auto byte = static_cast<uint8_t>(model.literal[LiteralContext(prev_byte)].Decode(&rc));
+      out.push_back(static_cast<char>(byte));
+      prev_byte = byte;
+    } else {
+      const size_t len = model.length.Decode(&rc) + kMinMatch;
+      const int slot = static_cast<int>(model.dist_slot.Decode(&rc));
+      uint32_t dm1 = 0;
+      if (slot == 1) {
+        dm1 = 1;
+      } else if (slot > 1) {
+        dm1 = (1u << (slot - 1)) | rc.DecodeDirect(slot - 1);
+      }
+      const size_t dist = static_cast<size_t>(dm1) + 1;
+      if (dist > out.size()) {
+        return Status::Corruption("lzmalike: bad distance");
+      }
+      if (out.size() + len > raw_size) {
+        return Status::Corruption("lzmalike: match overruns declared size");
+      }
+      const size_t src = out.size() - dist;
+      for (size_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);
+      }
+      prev_byte = static_cast<uint8_t>(out.back());
+    }
+  }
+  const auto actual_crc = static_cast<uint32_t>(crc32(
+      0L, reinterpret_cast<const Bytef*>(out.data()), static_cast<uInt>(out.size())));
+  if (actual_crc != expected_crc) {
+    return Status::Corruption("lzmalike: checksum mismatch");
+  }
+  return out;
+}
+
+}  // namespace minicrypt

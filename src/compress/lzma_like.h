@@ -1,0 +1,25 @@
+// LzmaLike: a from-scratch LZ77 + adaptive-binary-range-coder codec in the
+// LZMA family: hash-chain match finder over a 1 MiB window, and an arithmetic
+// (range) coder with adaptive 11-bit bit models for literals, lengths, and
+// distance slots.
+//
+// Occupies the "slowest, high ratio, big window" position of the codec survey
+// (paper §3 cites lzma's ratio/speed trade-off).
+
+#ifndef MINICRYPT_SRC_COMPRESS_LZMA_LIKE_H_
+#define MINICRYPT_SRC_COMPRESS_LZMA_LIKE_H_
+
+#include "src/compress/compressor.h"
+
+namespace minicrypt {
+
+class LzmaLikeCompressor : public Compressor {
+ public:
+  std::string_view Name() const override { return "lzmalike"; }
+  Result<std::string> Compress(std::string_view input) const override;
+  Result<std::string> Decompress(std::string_view input) const override;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMPRESS_LZMA_LIKE_H_

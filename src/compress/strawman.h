@@ -1,0 +1,65 @@
+// Strawman compression schemes from paper §2.4. These exist to reproduce the
+// paper's discussion of why query-preserving compression leaks information or
+// compresses poorly; MiniCrypt itself never uses them.
+
+#ifndef MINICRYPT_SRC_COMPRESS_STRAWMAN_H_
+#define MINICRYPT_SRC_COMPRESS_STRAWMAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compress/compressor.h"
+
+namespace minicrypt {
+
+// Byte-level run-length encoding (the paper's RLE strawman operates on column
+// values; this byte-level variant exposes the same leakage property: run
+// lengths are visible in the output).
+class RleCompressor : public Compressor {
+ public:
+  std::string_view Name() const override { return "rle"; }
+  Result<std::string> Compress(std::string_view input) const override;
+  Result<std::string> Decompress(std::string_view input) const override;
+};
+
+// Dictionary encoding over whole column values (paper §2.4's second strawman):
+// a shared table maps each distinct value to a fixed-width code. The paper's
+// criticisms are measurable here:
+//  - ratio is poor when values are mostly distinct,
+//  - the table itself can approach the size of the compressed data (Conviva:
+//    ~80%),
+//  - the table must be synchronized between clients.
+class DictionaryEncoder {
+ public:
+  DictionaryEncoder() = default;
+
+  // Adds a value to the dictionary (idempotent) and returns its code.
+  uint32_t Intern(std::string_view value);
+
+  // Encodes a value; the value must have been interned.
+  Result<std::string> Encode(std::string_view value) const;
+
+  // Decodes a fixed-width code back to the value.
+  Result<std::string> Decode(std::string_view code) const;
+
+  // Serialized size of the shared table clients must hold (paper's "80% of
+  // the compressed data" observation).
+  size_t TableBytes() const;
+
+  size_t DistinctValues() const { return by_value_.size(); }
+
+  // Bytes per code (fixed-width, grows with table size).
+  size_t CodeWidth() const;
+
+ private:
+  std::map<std::string, uint32_t, std::less<>> by_value_;
+  std::vector<std::string_view> by_code_;  // views into by_value_ keys
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMPRESS_STRAWMAN_H_

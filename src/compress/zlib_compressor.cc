@@ -1,0 +1,45 @@
+#include "src/compress/zlib_compressor.h"
+
+#include <zlib.h>
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+ZlibCompressor::ZlibCompressor(int level, std::string_view name) : level_(level), name_(name) {}
+
+Result<std::string> ZlibCompressor::Compress(std::string_view input) const {
+  std::string out;
+  PutVarint64(&out, input.size());
+  uLongf bound = compressBound(static_cast<uLong>(input.size()));
+  const size_t header = out.size();
+  out.resize(header + bound);
+  int rc = compress2(reinterpret_cast<Bytef*>(out.data() + header), &bound,
+                     reinterpret_cast<const Bytef*>(input.data()),
+                     static_cast<uLong>(input.size()), level_);
+  if (rc != Z_OK) {
+    return Status::Internal("zlib compress2 failed rc=" + std::to_string(rc));
+  }
+  out.resize(header + bound);
+  return out;
+}
+
+Result<std::string> ZlibCompressor::Decompress(std::string_view input) const {
+  std::string_view rest = input;
+  MC_ASSIGN_OR_RETURN(uint64_t raw_size, GetVarint64(&rest));
+  // Reject absurd declared sizes before allocating (corrupted frame defence).
+  if (raw_size > (1ULL << 32)) {
+    return Status::Corruption("zlib frame declares oversized payload");
+  }
+  std::string out(raw_size, '\0');
+  uLongf out_len = static_cast<uLongf>(raw_size);
+  int rc = uncompress(reinterpret_cast<Bytef*>(out.data()), &out_len,
+                      reinterpret_cast<const Bytef*>(rest.data()),
+                      static_cast<uLong>(rest.size()));
+  if (rc != Z_OK || out_len != raw_size) {
+    return Status::Corruption("zlib uncompress failed rc=" + std::to_string(rc));
+  }
+  return out;
+}
+
+}  // namespace minicrypt

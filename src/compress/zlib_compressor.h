@@ -1,0 +1,26 @@
+// zlib-backed codec (the codec MiniCrypt ships as its default, paper §3).
+
+#ifndef MINICRYPT_SRC_COMPRESS_ZLIB_COMPRESSOR_H_
+#define MINICRYPT_SRC_COMPRESS_ZLIB_COMPRESSOR_H_
+
+#include "src/compress/compressor.h"
+
+namespace minicrypt {
+
+class ZlibCompressor : public Compressor {
+ public:
+  // level in [1, 9]; 6 is the zlib default used for the "zlib" registry entry.
+  explicit ZlibCompressor(int level = 6, std::string_view name = "zlib");
+
+  std::string_view Name() const override { return name_; }
+  Result<std::string> Compress(std::string_view input) const override;
+  Result<std::string> Decompress(std::string_view input) const override;
+
+ private:
+  int level_;
+  std::string name_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMPRESS_ZLIB_COMPRESSOR_H_

@@ -1,0 +1,71 @@
+#include "src/core/access_proxy.h"
+
+#include <algorithm>
+
+namespace minicrypt {
+
+AccessProxy::AccessProxy(Cluster* cluster, const MiniCryptOptions& options,
+                         const SymmetricKey& key)
+    : client_(cluster, options, key) {}
+
+void AccessProxy::AddGrant(std::string_view principal, Grant grant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  grants_[std::string(principal)].push_back(grant);
+}
+
+void AccessProxy::RevokePrincipal(std::string_view principal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  grants_.erase(std::string(principal));
+}
+
+bool AccessProxy::Allowed(std::string_view principal, uint64_t key,
+                          Permission permission) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = grants_.find(principal);
+  if (it == grants_.end()) {
+    return false;
+  }
+  for (const Grant& grant : it->second) {
+    if (key >= grant.low && key <= grant.high &&
+        (grant.permissions & static_cast<uint8_t>(permission)) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::string> AccessProxy::Get(std::string_view principal, uint64_t key) {
+  if (!Allowed(principal, key, Permission::kRead)) {
+    return Status::InvalidArgument("principal lacks read grant for key");
+  }
+  return client_.Get(key);
+}
+
+Status AccessProxy::Put(std::string_view principal, uint64_t key, std::string_view value) {
+  if (!Allowed(principal, key, Permission::kWrite)) {
+    return Status::InvalidArgument("principal lacks write grant for key");
+  }
+  return client_.Put(key, value);
+}
+
+Status AccessProxy::Delete(std::string_view principal, uint64_t key) {
+  if (!Allowed(principal, key, Permission::kDelete)) {
+    return Status::InvalidArgument("principal lacks delete grant for key");
+  }
+  return client_.Delete(key);
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> AccessProxy::GetRange(
+    std::string_view principal, uint64_t low, uint64_t high) {
+  MC_ASSIGN_OR_RETURN(auto rows, client_.GetRange(low, high));
+  // Filter to the principal's readable keys — packs may contain neighbours
+  // the principal is not entitled to see.
+  rows.erase(std::remove_if(rows.begin(), rows.end(),
+                            [&](const auto& kv) {
+                              return !Allowed(principal, kv.first, Permission::kRead);
+                            }),
+             rows.end());
+  return rows;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,76 @@
+// Client-side access-control proxy (paper §2.1): "the customer can add a
+// proxy between the clients and the server and the proxy acts as a MiniCrypt
+// client: the proxy restricts access to queries and query results".
+//
+// The proxy holds the tenant key; downstream application principals do not.
+// Each principal is granted key ranges and a permission mask; the proxy
+// executes permitted operations through its own GenericClient and filters
+// range results to the principal's grants. This is complementary to
+// MiniCrypt (the paper's words) — the server remains untrusted either way.
+
+#ifndef MINICRYPT_SRC_CORE_ACCESS_PROXY_H_
+#define MINICRYPT_SRC_CORE_ACCESS_PROXY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/generic_client.h"
+
+namespace minicrypt {
+
+enum class Permission : uint8_t {
+  kRead = 1 << 0,
+  kWrite = 1 << 1,
+  kDelete = 1 << 2,
+};
+
+inline uint8_t operator|(Permission a, Permission b) {
+  return static_cast<uint8_t>(static_cast<uint8_t>(a) | static_cast<uint8_t>(b));
+}
+
+struct Grant {
+  uint64_t low = 0;           // inclusive key range
+  uint64_t high = 0;
+  uint8_t permissions = 0;    // Permission bits
+};
+
+class AccessProxy {
+ public:
+  // The proxy owns the only client holding the key.
+  AccessProxy(Cluster* cluster, const MiniCryptOptions& options, const SymmetricKey& key);
+
+  // Registers/extends a principal's grants. Grants are additive.
+  void AddGrant(std::string_view principal, Grant grant);
+  void RevokePrincipal(std::string_view principal);
+
+  // --- Mediated API: same surface as GenericClient, plus a principal -------
+
+  Result<std::string> Get(std::string_view principal, uint64_t key);
+  Status Put(std::string_view principal, uint64_t key, std::string_view value);
+  Status Delete(std::string_view principal, uint64_t key);
+
+  // Range results are filtered to the union of the principal's readable
+  // ranges, so a principal never sees keys outside its grants even when they
+  // share packs with granted keys.
+  Result<std::vector<std::pair<uint64_t, std::string>>> GetRange(std::string_view principal,
+                                                                 uint64_t low, uint64_t high);
+
+  GenericClient& client() { return client_; }
+
+ private:
+  // True when `principal` holds `permission` on `key`.
+  bool Allowed(std::string_view principal, uint64_t key, Permission permission) const;
+
+  GenericClient client_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Grant>, std::less<>> grants_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_ACCESS_PROXY_H_

@@ -1,0 +1,76 @@
+// The epoch-management (EM) service of APPEND mode (paper §6.1.1, §6.2).
+//
+// The EM is just another client of the underlying store: it keeps the global
+// epoch, watches client heartbeats, assigns unmerged epochs to live clients,
+// and records each closed epoch's minimum key in the stats table. Several EM
+// replicas may run; they elect a master through an update-if on the EM master
+// row, so a partitioned or crashed master is replaced safely — multiple
+// simultaneous masters are harmless because every mutation they make is an
+// update-if CAS.
+
+#ifndef MINICRYPT_SRC_CORE_APPEND_EM_SERVICE_H_
+#define MINICRYPT_SRC_CORE_APPEND_EM_SERVICE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/thread_util.h"
+#include "src/core/append/epoch.h"
+#include "src/core/options.h"
+#include "src/kvstore/cluster.h"
+
+namespace minicrypt {
+
+class EmService {
+ public:
+  // `replica_id` must be unique among EM replicas.
+  EmService(Cluster* cluster, const MiniCryptOptions& options, std::string replica_id,
+            Clock* clock = SystemClock::Get());
+  ~EmService();
+
+  // Creates the meta table and seeds g_epoch = 1 (idempotent across replicas).
+  Status Bootstrap();
+
+  // One pass of the EM loop: master election / heartbeat, epoch advancement,
+  // min-key recording, merger assignment. Exposed for deterministic tests;
+  // Start() runs it periodically.
+  Status Tick();
+
+  void Start(uint64_t period_micros);
+  void Stop();
+
+  // Current global epoch (one read).
+  Result<uint64_t> ReadGlobalEpoch();
+
+  // True when this replica currently believes it is master.
+  bool IsMaster() const { return is_master_; }
+
+  const std::string& replica_id() const { return replica_id_; }
+
+  // Name of the metadata table ("<data-table>.meta").
+  static std::string MetaTable(const MiniCryptOptions& options);
+
+ private:
+  Status MaintainMastership(uint64_t now);
+  Status AdvanceEpochIfDue(uint64_t now);
+  Status RecordMinKeys(uint64_t g_epoch);
+  Status AssignEpochs(uint64_t g_epoch, uint64_t now);
+
+  Result<std::vector<std::string>> LiveClients(uint64_t now);
+
+  Cluster* cluster_;
+  MiniCryptOptions options_;
+  std::string meta_table_;
+  std::string replica_id_;
+  Clock* clock_;
+  bool is_master_ = false;
+  std::unique_ptr<PeriodicTask> task_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_APPEND_EM_SERVICE_H_

@@ -1,0 +1,59 @@
+#include "src/core/append/epoch.h"
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+std::string_view EpochStatusName(EpochStatus status) {
+  switch (status) {
+    case EpochStatus::kNotMerged:
+      return "NOT_MERGED";
+    case EpochStatus::kMerged:
+      return "MERGED";
+    case EpochStatus::kDeleted:
+      return "DELETED";
+  }
+  return "UNKNOWN";
+}
+
+std::string EpochPartition(uint64_t epoch) { return "e" + std::to_string(epoch); }
+
+Row MakeStatsRow(EpochStatus status, std::string_view client,
+                 std::optional<uint64_t> min_key) {
+  Row row;
+  row.cells[std::string(kStatusColumn)] =
+      Cell{std::string(1, static_cast<char>(status)), 0, false};
+  if (!client.empty()) {
+    row.cells[std::string(kClientColumn)] = Cell{std::string(client), 0, false};
+  }
+  if (min_key.has_value()) {
+    row.cells[std::string(kMinKeyColumn)] = Cell{EncodeKey64(*min_key), 0, false};
+  }
+  return row;
+}
+
+Result<EpochStats> ParseStatsRow(std::string_view clustering, const Row& row) {
+  EpochStats out;
+  MC_ASSIGN_OR_RETURN(out.epoch, DecodeKey64(clustering));
+  auto st = row.cells.find(kStatusColumn);
+  if (st == row.cells.end() || st->second.value.empty()) {
+    return Status::Corruption("stats row missing status");
+  }
+  const auto raw = static_cast<uint8_t>(st->second.value[0]);
+  if (raw > static_cast<uint8_t>(EpochStatus::kDeleted)) {
+    return Status::Corruption("stats row has invalid status byte");
+  }
+  out.status = static_cast<EpochStatus>(raw);
+  auto cl = row.cells.find(kClientColumn);
+  if (cl != row.cells.end()) {
+    out.client = cl->second.value;
+  }
+  auto mk = row.cells.find(kMinKeyColumn);
+  if (mk != row.cells.end()) {
+    MC_ASSIGN_OR_RETURN(uint64_t key, DecodeKey64(mk->second.value));
+    out.min_key = key;
+  }
+  return out;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,73 @@
+// Epoch bookkeeping shared by the APPEND-mode client and the EM service
+// (paper §6): partition naming, the stats/clients/EM table schemas, and the
+// epoch-status enum.
+
+#ifndef MINICRYPT_SRC_CORE_APPEND_EPOCH_H_
+#define MINICRYPT_SRC_CORE_APPEND_EPOCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/kvstore/row.h"
+
+namespace minicrypt {
+
+// Epoch 0 holds merged packs; raw appends go to epochs >= 1 (paper §6.1).
+inline constexpr uint64_t kMergedEpoch = 0;
+
+enum class EpochStatus : uint8_t {
+  kNotMerged = 0,
+  kMerged = 1,
+  kDeleted = 2,
+};
+
+std::string_view EpochStatusName(EpochStatus status);
+
+// Partition that stores an epoch's rows ("e<epoch>") within a data table.
+std::string EpochPartition(uint64_t epoch);
+
+// --- EM service schema (all ordinary rows in the underlying store, §6.1.1) ---
+
+// stats table: one row per epoch.
+//   partition "stats", clustering EncodeKey64(epoch)
+//   cells: "st" status byte, "cl" assigned client id, "mk" min key (8 bytes,
+//   present once the EM has observed the closed epoch's first row).
+inline constexpr std::string_view kStatsPartition = "stats";
+inline constexpr std::string_view kStatusColumn = "st";
+inline constexpr std::string_view kClientColumn = "cl";
+inline constexpr std::string_view kMinKeyColumn = "mk";
+
+// clients table: one row per live client.
+//   partition "clients", clustering = client id; cell "hb" = heartbeat micros.
+inline constexpr std::string_view kClientsPartition = "clients";
+inline constexpr std::string_view kHeartbeatColumn = "hb";
+
+// EM control rows: partition "em".
+//   clustering "master": cells "id" (replica id), "hb" (heartbeat micros).
+//   clustering "gepoch": cells "e" (EncodeKey64 epoch), "ts" (advance micros).
+inline constexpr std::string_view kEmPartition = "em";
+inline constexpr std::string_view kMasterRow = "master";
+inline constexpr std::string_view kGEpochRow = "gepoch";
+inline constexpr std::string_view kEmIdColumn = "id";
+inline constexpr std::string_view kEpochColumn = "e";
+inline constexpr std::string_view kAdvanceTsColumn = "ts";
+
+// Decoded view of one stats row.
+struct EpochStats {
+  uint64_t epoch = 0;
+  EpochStatus status = EpochStatus::kNotMerged;
+  std::string client;                 // assigned merger, may be empty
+  std::optional<uint64_t> min_key;    // recorded once closed and non-empty
+};
+
+// Builds/parses stats rows.
+Row MakeStatsRow(EpochStatus status, std::string_view client,
+                 std::optional<uint64_t> min_key);
+Result<EpochStats> ParseStatsRow(std::string_view clustering, const Row& row);
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_APPEND_EPOCH_H_

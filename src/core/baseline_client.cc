@@ -1,0 +1,131 @@
+#include "src/core/baseline_client.h"
+
+#include <algorithm>
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+namespace {
+
+constexpr std::string_view kValueColumn = "v";
+
+Row ValueRow(std::string value) {
+  Row row;
+  row.cells[std::string(kValueColumn)] = Cell{std::move(value), 0, false};
+  return row;
+}
+
+Result<std::string_view> ExtractValue(const Row& row) {
+  auto it = row.cells.find(kValueColumn);
+  if (it == row.cells.end()) {
+    return Status::Corruption("row missing value cell");
+  }
+  return std::string_view(it->second.value);
+}
+
+}  // namespace
+
+EncryptedBaselineClient::EncryptedBaselineClient(Cluster* cluster,
+                                                 const MiniCryptOptions& options,
+                                                 const SymmetricKey& key)
+    : cluster_(cluster), options_(options), crypter_(options, key) {}
+
+Status EncryptedBaselineClient::CreateTable() {
+  // Encrypted rows do not compress at rest; skip server compression.
+  return cluster_->CreateTable(options_.table, /*server_compression=*/false);
+}
+
+Result<std::string> EncryptedBaselineClient::Get(uint64_t key) {
+  const std::string encoded = EncodeKey64(key);
+  const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
+  MC_ASSIGN_OR_RETURN(Row row, cluster_->Read(options_.table, partition, encoded));
+  MC_ASSIGN_OR_RETURN(std::string_view envelope, ExtractValue(row));
+  return crypter_.OpenValue(envelope);
+}
+
+Status EncryptedBaselineClient::Put(uint64_t key, std::string_view value) {
+  const std::string encoded = EncodeKey64(key);
+  const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
+  MC_ASSIGN_OR_RETURN(std::string envelope, crypter_.SealValue(value));
+  // Blind write — the baseline needs no read-modify-write (paper §8.2).
+  return cluster_->Write(options_.table, partition, encoded, ValueRow(std::move(envelope)));
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> EncryptedBaselineClient::GetRange(
+    uint64_t low, uint64_t high) {
+  const std::string klo = EncodeKey64(low);
+  const std::string khi = EncodeKey64(high);
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (int p = 0; p < options_.hash_partitions; ++p) {
+    MC_ASSIGN_OR_RETURN(auto rows,
+                        cluster_->ReadRange(options_.table, PartitionLabel(p), klo, khi));
+    for (auto& [clustering, row] : rows) {
+      MC_ASSIGN_OR_RETURN(std::string_view envelope, ExtractValue(row));
+      MC_ASSIGN_OR_RETURN(std::string value, crypter_.OpenValue(envelope));
+      MC_ASSIGN_OR_RETURN(uint64_t key, DecodeKey64(clustering));
+      out.emplace_back(key, std::move(value));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+Status EncryptedBaselineClient::BulkLoad(
+    const std::vector<std::pair<uint64_t, std::string>>& rows) {
+  for (const auto& [key, value] : rows) {
+    MC_RETURN_IF_ERROR(Put(key, value));
+  }
+  return Status::Ok();
+}
+
+VanillaClient::VanillaClient(Cluster* cluster, const MiniCryptOptions& options)
+    : cluster_(cluster), options_(options) {}
+
+Status VanillaClient::CreateTable() {
+  // Plaintext values: the server compresses blocks at rest, like Cassandra.
+  return cluster_->CreateTable(options_.table, /*server_compression=*/true);
+}
+
+Result<std::string> VanillaClient::Get(uint64_t key) {
+  const std::string encoded = EncodeKey64(key);
+  const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
+  MC_ASSIGN_OR_RETURN(Row row, cluster_->Read(options_.table, partition, encoded));
+  MC_ASSIGN_OR_RETURN(std::string_view value, ExtractValue(row));
+  return std::string(value);
+}
+
+Status VanillaClient::Put(uint64_t key, std::string_view value) {
+  const std::string encoded = EncodeKey64(key);
+  const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
+  return cluster_->Write(options_.table, partition, encoded, ValueRow(std::string(value)));
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> VanillaClient::GetRange(uint64_t low,
+                                                                              uint64_t high) {
+  const std::string klo = EncodeKey64(low);
+  const std::string khi = EncodeKey64(high);
+  std::vector<std::pair<uint64_t, std::string>> out;
+  for (int p = 0; p < options_.hash_partitions; ++p) {
+    MC_ASSIGN_OR_RETURN(auto rows,
+                        cluster_->ReadRange(options_.table, PartitionLabel(p), klo, khi));
+    for (auto& [clustering, row] : rows) {
+      MC_ASSIGN_OR_RETURN(std::string_view value, ExtractValue(row));
+      MC_ASSIGN_OR_RETURN(uint64_t key, DecodeKey64(clustering));
+      out.emplace_back(key, std::string(value));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+Status VanillaClient::BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& rows) {
+  for (const auto& [key, value] : rows) {
+    MC_RETURN_IF_ERROR(Put(key, value));
+  }
+  return Status::Ok();
+}
+
+}  // namespace minicrypt

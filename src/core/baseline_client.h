@@ -1,0 +1,76 @@
+// The two comparison clients of the paper's evaluation (§8):
+//
+//  - EncryptedBaselineClient: "a typical encrypted system that gives
+//    confidentiality by encrypting each row individually", with the same
+//    per-row compression advantage the paper grants it (single-row zlib,
+//    ratio ~1.6 on Conviva-like data). Blind writes; no packs.
+//
+//  - VanillaClient: plaintext values, no client-side crypto. Its table runs
+//    with server-side at-rest compression (as Cassandra does), so it fits
+//    more than raw in memory but must ship uncompressed bytes to clients.
+
+#ifndef MINICRYPT_SRC_CORE_BASELINE_CLIENT_H_
+#define MINICRYPT_SRC_CORE_BASELINE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/key_codec.h"
+#include "src/core/options.h"
+#include "src/core/pack_crypter.h"
+#include "src/crypto/crypto.h"
+#include "src/kvstore/cluster.h"
+
+namespace minicrypt {
+
+// Shared read/write/scan surface so the bench driver can swap systems.
+class KvFacade {
+ public:
+  virtual ~KvFacade() = default;
+  virtual Status CreateTable() = 0;
+  virtual Result<std::string> Get(uint64_t key) = 0;
+  virtual Status Put(uint64_t key, std::string_view value) = 0;
+  virtual Result<std::vector<std::pair<uint64_t, std::string>>> GetRange(uint64_t low,
+                                                                         uint64_t high) = 0;
+  virtual Status BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& rows) = 0;
+};
+
+class EncryptedBaselineClient : public KvFacade {
+ public:
+  EncryptedBaselineClient(Cluster* cluster, const MiniCryptOptions& options,
+                          const SymmetricKey& key);
+
+  Status CreateTable() override;
+  Result<std::string> Get(uint64_t key) override;
+  Status Put(uint64_t key, std::string_view value) override;
+  Result<std::vector<std::pair<uint64_t, std::string>>> GetRange(uint64_t low,
+                                                                 uint64_t high) override;
+  Status BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& rows) override;
+
+ private:
+  Cluster* cluster_;
+  MiniCryptOptions options_;
+  PackCrypter crypter_;
+};
+
+class VanillaClient : public KvFacade {
+ public:
+  VanillaClient(Cluster* cluster, const MiniCryptOptions& options);
+
+  Status CreateTable() override;
+  Result<std::string> Get(uint64_t key) override;
+  Status Put(uint64_t key, std::string_view value) override;
+  Result<std::vector<std::pair<uint64_t, std::string>>> GetRange(uint64_t low,
+                                                                 uint64_t high) override;
+  Status BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& rows) override;
+
+ private:
+  Cluster* cluster_;
+  MiniCryptOptions options_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_BASELINE_CLIENT_H_

@@ -1,0 +1,360 @@
+#include "src/core/generic_client.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+namespace {
+
+constexpr std::string_view kValueColumn = "v";
+constexpr std::string_view kHashColumn = "h";
+
+Row PackRow(const SealedPack& sealed) {
+  Row row;
+  row.cells[std::string(kValueColumn)] = Cell{sealed.envelope, 0, false};
+  row.cells[std::string(kHashColumn)] = Cell{sealed.hash, 0, false};
+  return row;
+}
+
+Result<std::pair<std::string_view, std::string_view>> ExtractPackCells(const Row& row) {
+  auto v = row.cells.find(kValueColumn);
+  auto h = row.cells.find(kHashColumn);
+  if (v == row.cells.end() || h == row.cells.end()) {
+    return Status::Corruption("pack row missing value/hash cells");
+  }
+  return std::make_pair(std::string_view(v->second.value), std::string_view(h->second.value));
+}
+
+}  // namespace
+
+GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
+                             const SymmetricKey& key)
+    : cluster_(cluster), options_(options), crypter_(options, key) {
+  if (options_.encrypt_pack_ids) {
+    packid_cipher_.emplace(options_, key);
+  }
+  if (options_.ope_pack_ids) {
+    ope_.emplace(key.Derive("packid-ope:" + options_.table));
+  }
+}
+
+std::string GenericClient::StoredKeyFor(std::string_view encoded_key) const {
+  if (!ope_.has_value()) {
+    return std::string(encoded_key);
+  }
+  auto key = DecodeKey64(encoded_key);
+  if (!key.ok()) {
+    return std::string(encoded_key);
+  }
+  return ope_->Encrypt(*key);
+}
+
+Status GenericClient::CreateTable() {
+  // Client-encrypted tables gain nothing from server-side compression.
+  return cluster_->CreateTable(options_.table, /*server_compression=*/false);
+}
+
+std::string GenericClient::StoredPackId(std::string_view partition, const Pack& pack,
+                                        std::string_view fallback_id) const {
+  if (packid_cipher_.has_value()) {
+    // Static-bucket mode: the stored ID is the PRF of the bucket that the
+    // pack's keys belong to.
+    auto min_key = pack.MinKey();
+    const std::string_view id_source = min_key.has_value() ? *min_key : fallback_id;
+    auto key = DecodeKey64(id_source);
+    if (key.ok()) {
+      return packid_cipher_->EncryptBucket(packid_cipher_->BucketFor(*key));
+    }
+  }
+  auto min_key = pack.MinKey();
+  return StoredKeyFor(min_key.has_value() ? *min_key : fallback_id);
+}
+
+Result<GenericClient::FetchedPack> GenericClient::FetchPackFor(std::string_view partition,
+                                                               std::string_view encoded_key) {
+  std::string stored_id;
+  Row row;
+  if (packid_cipher_.has_value()) {
+    // Direct lookup of the static bucket's PRF image (no order available).
+    auto key = DecodeKey64(encoded_key);
+    if (!key.ok()) {
+      return key.status();
+    }
+    stored_id = packid_cipher_->EncryptBucket(packid_cipher_->BucketFor(*key));
+    MC_ASSIGN_OR_RETURN(row, cluster_->Read(options_.table, partition, stored_id));
+  } else {
+    // Paper Figure 3: SELECT ... WHERE packID <= key ORDER BY packID DESC
+    // LIMIT 1, served by the substrate's floor query. In OPE mode the floor
+    // runs on the (order-preserving) images, which is the whole point.
+    MC_ASSIGN_OR_RETURN(auto found, cluster_->ReadFloor(options_.table, partition,
+                                                        StoredKeyFor(encoded_key)));
+    stored_id = found.first;
+    row = std::move(found.second);
+  }
+  MC_ASSIGN_OR_RETURN(auto cells, ExtractPackCells(row));
+  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells.first));
+  FetchedPack out;
+  out.pack_id = std::move(stored_id);
+  out.pack = std::move(pack);
+  out.hash = std::string(cells.second);
+  return out;
+}
+
+Result<std::string> GenericClient::Get(uint64_t key) {
+  stats_.gets.fetch_add(1, std::memory_order_relaxed);
+  const std::string encoded = EncodeKey64(key);
+  const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
+  MC_ASSIGN_OR_RETURN(FetchedPack fetched, FetchPackFor(partition, encoded));
+  auto value = fetched.pack.Find(encoded);
+  if (!value.has_value()) {
+    return Status::NotFound("key not present in its pack");
+  }
+  return std::string(*value);
+}
+
+Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(uint64_t low,
+                                                                              uint64_t high) {
+  stats_.range_queries.fetch_add(1, std::memory_order_relaxed);
+  if (packid_cipher_.has_value()) {
+    return Status::InvalidArgument("range queries unsupported with encrypted packIDs");
+  }
+  if (low > high) {
+    return Status::InvalidArgument("low > high");
+  }
+  const std::string klo = EncodeKey64(low);
+  const std::string khi = EncodeKey64(high);
+  // Server-side bounds live in stored-packID space (identity, or OPE images).
+  const std::string slo = StoredKeyFor(klo);
+  const std::string shi = StoredKeyFor(khi);
+
+  std::vector<std::pair<uint64_t, std::string>> out;
+  // Paper §7: a range query is issued against every hash partition, because
+  // contiguous keys are spread across them.
+  for (int p = 0; p < options_.hash_partitions; ++p) {
+    const std::string partition = PartitionLabel(p);
+    MC_ASSIGN_OR_RETURN(auto rows, cluster_->ReadRange(options_.table, partition, slo, shi));
+
+    std::vector<Pack> packs;
+    packs.reserve(rows.size() + 1);
+    bool need_floor = true;  // paper Figure 4, line 5
+    for (auto& [id, row] : rows) {
+      if (id == slo) {
+        need_floor = false;
+      }
+      auto cells = ExtractPackCells(row);
+      if (!cells.ok()) {
+        return cells.status();
+      }
+      MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells->first));
+      packs.push_back(std::move(pack));
+    }
+    if (need_floor) {
+      auto fetched = FetchPackFor(partition, klo);
+      if (fetched.ok()) {
+        // Skip if it duplicates a pack already in the result set.
+        const bool duplicate =
+            !rows.empty() && fetched->pack_id >= slo && fetched->pack_id <= shi;
+        if (!duplicate) {
+          packs.push_back(std::move(fetched->pack));
+        }
+      } else if (!fetched.status().IsNotFound()) {
+        return fetched.status();
+      }
+    }
+    for (const Pack& pack : packs) {
+      for (const auto& entry : pack.entries()) {
+        if (entry.key >= klo && entry.key <= khi) {
+          auto key = DecodeKey64(entry.key);
+          if (!key.ok()) {
+            return key.status();
+          }
+          out.emplace_back(*key, entry.value);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+Status GenericClient::InsertNewPack(std::string_view partition, std::string_view pack_id,
+                                    const Pack& pack) {
+  MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(pack));
+  return cluster_->WriteIf(options_.table, partition, pack_id, PackRow(sealed),
+                           LwtCondition::NotExists());
+}
+
+Status GenericClient::SplitPack(std::string_view partition, const FetchedPack& fetched) {
+  stats_.splits.fetch_add(1, std::memory_order_relaxed);
+  MC_ASSIGN_OR_RETURN(auto halves, fetched.pack.SplitDeterministic());
+  const Pack& left = halves.first;
+  const Pack& right = halves.second;
+
+  // Figure 6 step 3: INSERT right IF NOT EXISTS. Losing the race is fine —
+  // the winner inserted bytes identical to ours (deterministic split).
+  auto right_id = right.MinKey();
+  if (!right_id.has_value()) {
+    return Status::Internal("split produced empty right pack");
+  }
+  Status s = InsertNewPack(partition, StoredKeyFor(*right_id), right);
+  if (!s.ok() && !s.IsConditionFailed() && !s.IsAlreadyExists()) {
+    return s;
+  }
+
+  if (split_fail_point_ == SplitFailPoint::kAfterRightInsert) {
+    // Simulated client crash between steps 3 and 5 of Figure 6: the right
+    // half now exists twice (new pack + stale copy in the original). The
+    // paper argues this is safe; tests exercise it.
+    return Status::Aborted("injected split failure");
+  }
+
+  // Figure 6 step 5: UPDATE left IF hash = h. A failure means someone else
+  // completed the split (or updated the pack) first; the caller re-reads.
+  MC_ASSIGN_OR_RETURN(SealedPack sealed_left, crypter_.Seal(left));
+  s = cluster_->WriteIf(options_.table, partition, fetched.pack_id, PackRow(sealed_left),
+                        LwtCondition::CellEquals(std::string(kHashColumn), fetched.hash));
+  if (!s.ok() && !s.IsConditionFailed()) {
+    return s;
+  }
+  return Status::Ok();
+}
+
+Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& mutate,
+                                bool insert_if_new, bool* retry) {
+  *retry = false;
+  const std::string encoded = EncodeKey64(key);
+  const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
+
+  auto fetched = FetchPackFor(partition, encoded);
+  if (!fetched.ok()) {
+    if (!fetched.status().IsNotFound()) {
+      return fetched.status();
+    }
+    if (!insert_if_new) {
+      return Status::Ok();  // deleting a key that has no pack: nothing to do
+    }
+    // No pack at or below the key in this partition: create a fresh pack
+    // whose ID is the key itself.
+    Pack fresh;
+    mutate(&fresh);
+    if (fresh.empty()) {
+      return Status::Ok();
+    }
+    const std::string stored_id = StoredPackId(partition, fresh, encoded);
+    Status s = InsertNewPack(partition, stored_id, fresh);
+    if (s.IsConditionFailed() || s.IsAlreadyExists()) {
+      *retry = true;  // another client created it first; re-read and merge in
+      return Status::Ok();
+    }
+    return s;
+  }
+
+  // Paper Figure 5 line 4: split first when the pack is oversized, then
+  // retry the original operation.
+  if (!packid_cipher_.has_value() && fetched->pack.size() > options_.EffectiveMaxKeys()) {
+    MC_RETURN_IF_ERROR(SplitPack(partition, *fetched));
+    *retry = true;
+    return Status::Ok();
+  }
+
+  Pack updated = fetched->pack;
+  mutate(&updated);
+  MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(updated));
+  if (options_.blind_pack_writes) {
+    // Figure 10 ablation: read-modify-blind-write (no update-if, no safety).
+    return cluster_->Write(options_.table, partition, fetched->pack_id, PackRow(sealed));
+  }
+  const Status s =
+      cluster_->WriteIf(options_.table, partition, fetched->pack_id, PackRow(sealed),
+                        LwtCondition::CellEquals(std::string(kHashColumn), fetched->hash));
+  if (s.IsConditionFailed()) {
+    *retry = true;  // concurrent writer touched the pack; re-read (Figure 5)
+    return Status::Ok();
+  }
+  return s;
+}
+
+Status GenericClient::Put(uint64_t key, std::string_view value) {
+  stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  const std::string encoded = EncodeKey64(key);
+  const std::string val(value);
+  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
+    bool retry = false;
+    MC_RETURN_IF_ERROR(TryMutate(
+        key, [&](Pack* pack) { pack->Upsert(encoded, val); }, /*insert_if_new=*/true, &retry));
+    if (!retry) {
+      return Status::Ok();
+    }
+    stats_.put_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Aborted("put exceeded retry budget under contention");
+}
+
+Status GenericClient::Delete(uint64_t key) {
+  stats_.deletes.fetch_add(1, std::memory_order_relaxed);
+  const std::string encoded = EncodeKey64(key);
+  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
+    bool retry = false;
+    MC_RETURN_IF_ERROR(TryMutate(
+        key, [&](Pack* pack) { pack->Erase(encoded); }, /*insert_if_new=*/false, &retry));
+    if (!retry) {
+      return Status::Ok();
+    }
+    stats_.put_retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::Aborted("delete exceeded retry budget under contention");
+}
+
+Status GenericClient::BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& rows) {
+  // Group rows per hash partition, sort, and cut into packs of pack_rows
+  // (or static buckets when packIDs are encrypted). Blind writes: bulk load
+  // assumes no concurrent writers, as any initial import does.
+  std::map<std::string, std::vector<Pack::Entry>> by_partition;
+  for (const auto& [key, value] : rows) {
+    const std::string encoded = EncodeKey64(key);
+    by_partition[PartitionForKey(encoded, options_.hash_partitions)].push_back(
+        Pack::Entry{encoded, value});
+  }
+  for (auto& [partition, entries] : by_partition) {
+    std::sort(entries.begin(), entries.end(),
+              [](const Pack::Entry& a, const Pack::Entry& b) { return a.key < b.key; });
+    size_t i = 0;
+    while (i < entries.size()) {
+      std::vector<Pack::Entry> chunk;
+      if (packid_cipher_.has_value()) {
+        auto first = DecodeKey64(entries[i].key);
+        if (!first.ok()) {
+          return first.status();
+        }
+        const uint64_t bucket = packid_cipher_->BucketFor(*first);
+        while (i < entries.size()) {
+          auto k = DecodeKey64(entries[i].key);
+          if (!k.ok()) {
+            return k.status();
+          }
+          if (packid_cipher_->BucketFor(*k) != bucket) {
+            break;
+          }
+          chunk.push_back(std::move(entries[i++]));
+        }
+      } else {
+        const size_t take = std::min(options_.pack_rows, entries.size() - i);
+        for (size_t j = 0; j < take; ++j) {
+          chunk.push_back(std::move(entries[i++]));
+        }
+      }
+      MC_ASSIGN_OR_RETURN(Pack pack, Pack::FromSorted(std::move(chunk)));
+      MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(pack));
+      const std::string stored_id = StoredPackId(partition, pack, pack.entries().front().key);
+      MC_RETURN_IF_ERROR(
+          cluster_->Write(options_.table, partition, stored_id, PackRow(sealed)));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace minicrypt

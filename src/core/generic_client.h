@@ -1,0 +1,123 @@
+// GENERIC-mode MiniCrypt client (paper §4-§5): gets via the floor query on
+// packIDs, range gets, puts/deletes through the read-modify-write-if loop,
+// and the deterministic split protocol.
+//
+// Every client holds the customer's symmetric key; the server (the Cluster)
+// only ever sees sealed envelopes and their hashes.
+
+#ifndef MINICRYPT_SRC_CORE_GENERIC_CLIENT_H_
+#define MINICRYPT_SRC_CORE_GENERIC_CLIENT_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/key_codec.h"
+#include "src/core/options.h"
+#include "src/core/pack.h"
+#include "src/core/pack_crypter.h"
+#include "src/crypto/crypto.h"
+#include "src/crypto/ope.h"
+#include "src/kvstore/cluster.h"
+
+namespace minicrypt {
+
+// Per-client counters, exposed for tests and benches.
+struct GenericClientStats {
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> puts{0};
+  std::atomic<uint64_t> deletes{0};
+  std::atomic<uint64_t> put_retries{0};
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> range_queries{0};
+};
+
+class GenericClient {
+ public:
+  // `cluster` outlives the client. All clients of one customer must share the
+  // same key and options.
+  GenericClient(Cluster* cluster, const MiniCryptOptions& options, const SymmetricKey& key);
+
+  // Creates the backing table (idempotent; first client calls this).
+  Status CreateTable();
+
+  // --- Paper §2.3 API -----------------------------------------------------------
+
+  // get(key): fetch pack by floor query, decrypt, scan (Figure 3).
+  Result<std::string> Get(uint64_t key);
+
+  // get(low, high): range query over packIDs (Figure 4). Inclusive bounds.
+  Result<std::vector<std::pair<uint64_t, std::string>>> GetRange(uint64_t low, uint64_t high);
+
+  // put(key, val): read-modify-write-if loop with split-on-oversize
+  // (Figures 5 and 6).
+  Status Put(uint64_t key, std::string_view value);
+
+  // delete(key): like put, but removes the key; packs are never removed and
+  // their IDs never change (paper §5.3).
+  Status Delete(uint64_t key);
+
+  // --- Bulk load -----------------------------------------------------------------
+
+  // Packs a sorted stream of rows per partition and inserts whole packs;
+  // used to preload benches (and by APPEND-mode mergers via the same codec
+  // path). Rows need not be globally sorted.
+  Status BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& rows);
+
+  // --- Introspection ---------------------------------------------------------------
+
+  const GenericClientStats& stats() const { return stats_; }
+  const MiniCryptOptions& options() const { return options_; }
+
+  // Test hooks: fail-points that abort a split at a chosen step, modelling a
+  // client crash (paper §5.2's failure analysis).
+  enum class SplitFailPoint { kNone, kAfterRightInsert };
+  void set_split_fail_point(SplitFailPoint p) { split_fail_point_ = p; }
+
+ private:
+  friend class PackSizeTuner;
+
+  struct FetchedPack {
+    std::string pack_id;  // stored clustering key (may be PRF output)
+    Pack pack;
+    std::string hash;     // envelope hash (update-if token)
+  };
+
+  // Fetches the pack that should contain `encoded_key` within `partition`.
+  // NotFound when the partition holds no pack at or below the key.
+  Result<FetchedPack> FetchPackFor(std::string_view partition, std::string_view encoded_key);
+
+  // One write attempt; sets *retry when the caller should loop.
+  Status TryMutate(uint64_t key, const std::function<void(Pack*)>& mutate, bool insert_if_new,
+                   bool* retry);
+
+  // Runs the split protocol of Figure 6 on a fetched pack.
+  Status SplitPack(std::string_view partition, const FetchedPack& fetched);
+
+  // Seals and writes a brand-new pack under its own ID (INSERT IF NOT EXISTS).
+  Status InsertNewPack(std::string_view partition, std::string_view pack_id, const Pack& pack);
+
+  std::string StoredPackId(std::string_view partition, const Pack& pack,
+                           std::string_view fallback_id) const;
+
+  // Maps an order-preserving-encoded plaintext key into the packID space the
+  // server indexes: identity normally, the OPE image in ope_pack_ids mode.
+  std::string StoredKeyFor(std::string_view encoded_key) const;
+
+  Cluster* cluster_;
+  MiniCryptOptions options_;
+  PackCrypter crypter_;
+  std::optional<PackIdCipher> packid_cipher_;
+  std::optional<OpeCipher> ope_;
+  GenericClientStats stats_;
+  SplitFailPoint split_fail_point_ = SplitFailPoint::kNone;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_GENERIC_CLIENT_H_

@@ -1,0 +1,27 @@
+#include "src/core/key_codec.h"
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+std::string PartitionForKey(std::string_view encoded_key, int hash_partitions) {
+  const std::string digest = Sha256(encoded_key);
+  // Interpret the first 8 digest bytes as an integer for the modulus.
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(digest[static_cast<size_t>(i)]);
+  }
+  return PartitionLabel(static_cast<int>(v % static_cast<uint64_t>(hash_partitions)));
+}
+
+std::string PartitionLabel(int partition) { return "p" + std::to_string(partition); }
+
+PackIdCipher::PackIdCipher(const MiniCryptOptions& options, const SymmetricKey& key)
+    : prf_key_(key.Derive("packid:" + options.table)),
+      bucket_width_(options.packid_bucket_width) {}
+
+std::string PackIdCipher::EncryptBucket(uint64_t bucket) const {
+  return HmacSha256(prf_key_, EncodeKey64(bucket));
+}
+
+}  // namespace minicrypt

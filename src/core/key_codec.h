@@ -1,0 +1,47 @@
+// Key handling: order-preserving encodings, hash-partition assignment
+// (paper §7: part_key = SHA256(key) mod N), and the deterministic packID
+// cipher for sensitive keys (paper §2.5).
+
+#ifndef MINICRYPT_SRC_CORE_KEY_CODEC_H_
+#define MINICRYPT_SRC_CORE_KEY_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/core/options.h"
+#include "src/crypto/crypto.h"
+
+namespace minicrypt {
+
+// Partition label ("p0".."p{N-1}") for a key, via SHA-256(key) mod N.
+std::string PartitionForKey(std::string_view encoded_key, int hash_partitions);
+
+// Partition label for an explicit partition id (range queries fan out over
+// all of them).
+std::string PartitionLabel(int partition);
+
+// Deterministic packID encryption (paper §2.5): an HMAC-SHA256 PRF keyed per
+// table. Because keys in a key-value store are unique, determinism is as good
+// as randomized encryption here, but order is destroyed — so lookup must use
+// static buckets and range queries/APPEND mode are unsupported in this mode.
+class PackIdCipher {
+ public:
+  PackIdCipher(const MiniCryptOptions& options, const SymmetricKey& key);
+
+  // PRF image of a bucket id; used as the stored packID.
+  std::string EncryptBucket(uint64_t bucket) const;
+
+  // Bucket id that covers `key` under the static-bucket layout.
+  uint64_t BucketFor(uint64_t key) const { return key / bucket_width_; }
+
+  uint64_t bucket_width() const { return bucket_width_; }
+
+ private:
+  SymmetricKey prf_key_;
+  uint64_t bucket_width_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_KEY_CODEC_H_

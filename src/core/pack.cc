@@ -1,0 +1,107 @@
+#include "src/core/pack.h"
+
+#include <algorithm>
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+Result<Pack> Pack::FromSorted(std::vector<Entry> entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i - 1].key >= entries[i].key) {
+      return Status::InvalidArgument("pack entries not sorted/unique");
+    }
+  }
+  Pack p;
+  p.entries_ = std::move(entries);
+  return p;
+}
+
+std::string Pack::Serialize() const {
+  std::string out;
+  PutVarint64(&out, entries_.size());
+  for (const auto& e : entries_) {
+    PutLengthPrefixed(&out, e.key);
+    PutLengthPrefixed(&out, e.value);
+  }
+  return out;
+}
+
+Result<Pack> Pack::Deserialize(std::string_view bytes) {
+  std::string_view in = bytes;
+  MC_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(&in));
+  if (n > (1u << 24)) {
+    return Status::Corruption("pack declares absurd entry count");
+  }
+  Pack p;
+  p.entries_.reserve(n);
+  std::string_view prev;
+  for (uint64_t i = 0; i < n; ++i) {
+    MC_ASSIGN_OR_RETURN(std::string_view key, GetLengthPrefixed(&in));
+    MC_ASSIGN_OR_RETURN(std::string_view value, GetLengthPrefixed(&in));
+    if (i > 0 && prev >= key) {
+      return Status::Corruption("pack entries out of order");
+    }
+    prev = key;
+    p.entries_.push_back(Entry{std::string(key), std::string(value)});
+  }
+  if (!in.empty()) {
+    return Status::Corruption("trailing bytes after pack entries");
+  }
+  return p;
+}
+
+size_t Pack::LowerBound(std::string_view key) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const Entry& e, std::string_view k) { return e.key < k; });
+  return static_cast<size_t>(it - entries_.begin());
+}
+
+std::optional<std::string_view> Pack::Find(std::string_view key) const {
+  const size_t i = LowerBound(key);
+  if (i < entries_.size() && entries_[i].key == key) {
+    return std::string_view(entries_[i].value);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> Pack::MinKey() const {
+  if (entries_.empty()) {
+    return std::nullopt;
+  }
+  return std::string_view(entries_.front().key);
+}
+
+bool Pack::Upsert(std::string_view key, std::string_view value) {
+  const size_t i = LowerBound(key);
+  if (i < entries_.size() && entries_[i].key == key) {
+    entries_[i].value = std::string(value);
+    return false;
+  }
+  entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(i),
+                  Entry{std::string(key), std::string(value)});
+  return true;
+}
+
+bool Pack::Erase(std::string_view key) {
+  const size_t i = LowerBound(key);
+  if (i < entries_.size() && entries_[i].key == key) {
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+    return true;
+  }
+  return false;
+}
+
+Result<std::pair<Pack, Pack>> Pack::SplitDeterministic() const {
+  if (entries_.size() < 2) {
+    return Status::InvalidArgument("cannot split a pack with fewer than 2 keys");
+  }
+  const size_t left_count = (entries_.size() + 1) / 2;  // ceil(n/2)
+  Pack left;
+  Pack right;
+  left.entries_.assign(entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(left_count));
+  right.entries_.assign(entries_.begin() + static_cast<ptrdiff_t>(left_count), entries_.end());
+  return std::make_pair(std::move(left), std::move(right));
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,73 @@
+// The pack: a sorted run of key-value pairs that is compressed and encrypted
+// as one unit (paper §2.5). The pack is entirely a client-side concept — the
+// server only ever sees its sealed envelope.
+
+#ifndef MINICRYPT_SRC_CORE_PACK_H_
+#define MINICRYPT_SRC_CORE_PACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace minicrypt {
+
+class Pack {
+ public:
+  struct Entry {
+    std::string key;    // order-preserving encoded key bytes
+    std::string value;
+  };
+
+  Pack() = default;
+
+  // Builds a pack from entries that must already be sorted by key, unique.
+  static Result<Pack> FromSorted(std::vector<Entry> entries);
+
+  // --- Serialization ----------------------------------------------------------
+
+  // [n varint] then n x (key len-prefixed, value len-prefixed), sorted.
+  std::string Serialize() const;
+  static Result<Pack> Deserialize(std::string_view bytes);
+
+  // --- Queries ----------------------------------------------------------------
+
+  // Value for an exact key.
+  std::optional<std::string_view> Find(std::string_view key) const;
+
+  // Smallest key (the packID, paper §2.5). Empty pack -> nullopt.
+  std::optional<std::string_view> MinKey() const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // --- Mutations --------------------------------------------------------------
+
+  // Inserts or overwrites; keeps order. Returns true when the key was new.
+  bool Upsert(std::string_view key, std::string_view value);
+
+  // Removes a key; returns true when it was present. The packID does not
+  // change even when the smallest key is removed (paper §5.3).
+  bool Erase(std::string_view key);
+
+  // Splits deterministically: the first ceil(n/2) keys stay in the returned
+  // left pack, the rest form the right pack (paper §5.2 requires that every
+  // client splitting the same pack produces identical halves). This pack is
+  // left unchanged. n must be >= 2.
+  Result<std::pair<Pack, Pack>> SplitDeterministic() const;
+
+ private:
+  // Index of the first entry with entry.key >= key.
+  size_t LowerBound(std::string_view key) const;
+
+  std::vector<Entry> entries_;  // sorted by key, unique
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_PACK_H_

@@ -1,0 +1,37 @@
+#include "src/core/pack_crypter.h"
+
+namespace minicrypt {
+
+PackCrypter::PackCrypter(const MiniCryptOptions& options, const SymmetricKey& key)
+    : codec_(FindCompressor(options.codec)),
+      padding_(options.padding),
+      pack_key_(key.Derive("pack:" + options.table)) {}
+
+Result<SealedPack> PackCrypter::Seal(const Pack& pack) const {
+  MC_ASSIGN_OR_RETURN(std::string compressed, codec_->Compress(pack.Serialize()));
+  const std::string padded = padding_.Pad(compressed);
+  MC_ASSIGN_OR_RETURN(std::string envelope, AesCbcEncrypt(pack_key_, padded));
+  SealedPack out;
+  out.hash = Sha256(envelope);
+  out.envelope = std::move(envelope);
+  return out;
+}
+
+Result<Pack> PackCrypter::Open(std::string_view envelope) const {
+  MC_ASSIGN_OR_RETURN(std::string padded, AesCbcDecrypt(pack_key_, envelope));
+  MC_ASSIGN_OR_RETURN(std::string compressed, PaddingTiers::Unpad(padded));
+  MC_ASSIGN_OR_RETURN(std::string raw, codec_->Decompress(compressed));
+  return Pack::Deserialize(raw);
+}
+
+Result<std::string> PackCrypter::SealValue(std::string_view value) const {
+  MC_ASSIGN_OR_RETURN(std::string compressed, codec_->Compress(value));
+  return AesCbcEncrypt(pack_key_, compressed);
+}
+
+Result<std::string> PackCrypter::OpenValue(std::string_view envelope) const {
+  MC_ASSIGN_OR_RETURN(std::string compressed, AesCbcDecrypt(pack_key_, envelope));
+  return codec_->Decompress(compressed);
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,49 @@
+// Seals packs for the server and opens them again on the client:
+//   serialize -> compress -> pad to tier -> AES-256-CBC encrypt,
+// and the SHA-256 hash of the envelope is the token used by update-if
+// (paper Figure 5). The server only ever stores (packID, envelope, hash).
+
+#ifndef MINICRYPT_SRC_CORE_PACK_CRYPTER_H_
+#define MINICRYPT_SRC_CORE_PACK_CRYPTER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/compress/compressor.h"
+#include "src/core/options.h"
+#include "src/core/pack.h"
+#include "src/crypto/crypto.h"
+
+namespace minicrypt {
+
+struct SealedPack {
+  std::string envelope;  // IV || ciphertext
+  std::string hash;      // SHA-256(envelope)
+};
+
+class PackCrypter {
+ public:
+  // `key` is the customer's shared symmetric key; a pack subkey is derived
+  // from it so packs and packIDs use independent keys.
+  PackCrypter(const MiniCryptOptions& options, const SymmetricKey& key);
+
+  Result<SealedPack> Seal(const Pack& pack) const;
+  Result<Pack> Open(std::string_view envelope) const;
+
+  // Seals a single row value (APPEND-mode puts and the encrypted baseline
+  // client compress+encrypt one row at a time).
+  Result<std::string> SealValue(std::string_view value) const;
+  Result<std::string> OpenValue(std::string_view envelope) const;
+
+  const Compressor* codec() const { return codec_; }
+
+ private:
+  const Compressor* codec_;
+  PaddingTiers padding_;
+  SymmetricKey pack_key_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_PACK_CRYPTER_H_

@@ -1,0 +1,94 @@
+#include "src/core/tuner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/thread_util.h"
+#include "src/core/generic_client.h"
+
+namespace minicrypt {
+
+PackSizeTuner::PackSizeTuner(MiniCryptOptions base_options, SymmetricKey key, Config config)
+    : base_options_(std::move(base_options)), key_(std::move(key)), config_(std::move(config)) {}
+
+Result<TunerReport> PackSizeTuner::Run(
+    const std::function<std::unique_ptr<Cluster>()>& make_cluster,
+    const std::vector<std::pair<uint64_t, std::string>>& rows,
+    const std::vector<uint64_t>& read_keys) {
+  if (rows.empty() || read_keys.empty()) {
+    return Status::InvalidArgument("tuner needs a dataset and a read workload");
+  }
+  size_t raw_bytes = 0;
+  for (const auto& [key, value] : rows) {
+    raw_bytes += value.size() + 8;
+  }
+
+  TunerReport report;
+  double best_tp = -1.0;
+  for (size_t n : config_.candidate_pack_rows) {
+    std::unique_ptr<Cluster> cluster = make_cluster();
+    MiniCryptOptions opts = base_options_;
+    opts.pack_rows = n;
+    MC_RETURN_IF_ERROR(opts.Validate());
+    GenericClient loader(cluster.get(), opts, key_);
+    MC_RETURN_IF_ERROR(loader.CreateTable());
+    MC_RETURN_IF_ERROR(loader.BulkLoad(rows));
+    MC_RETURN_IF_ERROR(cluster->FlushAll());
+    // Measure warm, as the paper does (its runs warm up for 5-10 minutes).
+    cluster->WarmCaches(opts.table);
+
+    const size_t at_rest = cluster->TableAtRestBytes(opts.table);
+    const double ratio =
+        at_rest == 0 ? 1.0 : static_cast<double>(raw_bytes) / static_cast<double>(at_rest);
+
+    // Measure saturated read throughput over the candidate window.
+    std::atomic<uint64_t> ops{0};
+    std::atomic<bool> stop{false};
+    StartGate gate;
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(config_.client_threads));
+    for (int t = 0; t < config_.client_threads; ++t) {
+      threads.emplace_back([&, t] {
+        GenericClient client(cluster.get(), opts, key_);
+        gate.Wait();
+        size_t i = static_cast<size_t>(t);
+        while (!stop.load(std::memory_order_relaxed)) {
+          (void)client.Get(read_keys[i % read_keys.size()]);
+          i += static_cast<size_t>(config_.client_threads);
+          ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    gate.Open();
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.run_micros));
+    stop = true;
+    for (auto& th : threads) {
+      th.join();
+    }
+    const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                            .count();
+
+    TunerPoint point;
+    point.pack_rows = n;
+    point.throughput_ops_s = static_cast<double>(ops.load()) / secs;
+    point.compression_ratio = ratio;
+    point.at_rest_bytes = at_rest;
+    report.points.push_back(point);
+    if (point.throughput_ops_s > best_tp) {
+      best_tp = point.throughput_ops_s;
+      report.best_pack_rows = n;
+    }
+
+    // Heuristic (§8.3): argmin_n { data/ratio(n) < memory }.
+    const size_t budget = config_.memory_budget_bytes != 0
+                              ? config_.memory_budget_bytes
+                              : cluster->options().block_cache_bytes;
+    if (report.heuristic_pack_rows == 0 && at_rest < budget) {
+      report.heuristic_pack_rows = n;
+    }
+  }
+  return report;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,65 @@
+// Empirical pack-size selection (paper §8.3): MiniCrypt provides a tool that
+// takes a representative dataset and workload, measures throughput at a set
+// of candidate pack sizes, and picks the argmax. The paper also reports a
+// closed-form heuristic observed to match the empirical optimum — the
+// smallest pack size whose compressed dataset fits in memory — which this
+// tuner can evaluate too.
+
+#ifndef MINICRYPT_SRC_CORE_TUNER_H_
+#define MINICRYPT_SRC_CORE_TUNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/core/options.h"
+#include "src/crypto/crypto.h"
+#include "src/kvstore/cluster.h"
+
+namespace minicrypt {
+
+struct TunerPoint {
+  size_t pack_rows = 0;
+  double throughput_ops_s = 0.0;
+  double compression_ratio = 0.0;
+  size_t at_rest_bytes = 0;
+};
+
+struct TunerReport {
+  std::vector<TunerPoint> points;
+  size_t best_pack_rows = 0;           // empirical argmax
+  size_t heuristic_pack_rows = 0;      // smallest n with ratio(n)*data < memory
+};
+
+class PackSizeTuner {
+ public:
+  // `make_cluster` builds a fresh cluster for each candidate (so cache state
+  // does not leak between runs); `rows` is the representative dataset;
+  // `read_keys` the representative read workload (keys drawn by the caller's
+  // distribution); `run_micros` the measurement window per candidate.
+  struct Config {
+    std::vector<size_t> candidate_pack_rows = {1, 5, 10, 25, 50, 100, 200, 400};
+    uint64_t run_micros = 1'000'000;
+    int client_threads = 4;
+    size_t memory_budget_bytes = 0;  // for the heuristic; 0 = cluster cache size
+  };
+
+  PackSizeTuner(MiniCryptOptions base_options, SymmetricKey key, Config config);
+
+  Result<TunerReport> Run(
+      const std::function<std::unique_ptr<Cluster>()>& make_cluster,
+      const std::vector<std::pair<uint64_t, std::string>>& rows,
+      const std::vector<uint64_t>& read_keys);
+
+ private:
+  MiniCryptOptions base_options_;
+  SymmetricKey key_;
+  Config config_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CORE_TUNER_H_

@@ -1,0 +1,106 @@
+#include "src/crypto/ope.h"
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+namespace {
+
+// Total ciphertext range: [0, 2^96).
+constexpr int kRangeBits = 96;
+
+std::string EncodeImage(unsigned __int128 v) {
+  std::string out(kOpeCiphertextBytes, '\0');
+  for (size_t i = 0; i < kOpeCiphertextBytes; ++i) {
+    out[kOpeCiphertextBytes - 1 - i] = static_cast<char>(static_cast<uint8_t>(v));
+    v >>= 8;
+  }
+  return out;
+}
+
+Result<unsigned __int128> DecodeImage(std::string_view s) {
+  if (s.size() != kOpeCiphertextBytes) {
+    return Status::Corruption("OPE ciphertext must be 12 bytes");
+  }
+  unsigned __int128 v = 0;
+  for (char c : s) {
+    v = (v << 8) | static_cast<uint8_t>(c);
+  }
+  return v;
+}
+
+}  // namespace
+
+OpeCipher::OpeCipher(const SymmetricKey& key) : key_(key.Derive("ope-v1")) {}
+
+OpeCipher::U128 OpeCipher::NodeRandom(uint64_t dlo, uint64_t dhi, U128 bound) const {
+  std::string node;
+  AppendKey64(&node, dlo);
+  AppendKey64(&node, dhi);
+  const std::string mac = HmacSha256(key_, node);
+  U128 v = 0;
+  for (int i = 0; i < 16; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(mac[static_cast<size_t>(i)]);
+  }
+  // Modulo bias is negligible at 128 bits of input entropy.
+  return bound == 0 ? 0 : v % bound;
+}
+
+std::string OpeCipher::Encrypt(uint64_t plaintext) const {
+  uint64_t dlo = 0;
+  uint64_t dhi = ~0ULL;
+  U128 rlo = 0;
+  U128 rhi = (static_cast<U128>(1) << kRangeBits) - 1;
+
+  while (dlo < dhi) {
+    const uint64_t dmid = dlo + (dhi - dlo) / 2;
+    const U128 left_count = static_cast<U128>(dmid - dlo) + 1;
+    const U128 right_count = static_cast<U128>(dhi - dmid);
+    // rmid is the last range point assigned to the left half. It must leave
+    // at least left_count points on the left and right_count on the right:
+    //   rmid in [rlo + left_count - 1, rhi - right_count].
+    const U128 cut_lo = rlo + left_count - 1;
+    const U128 cut_hi = rhi - right_count;
+    const U128 rmid = cut_lo + NodeRandom(dlo, dhi, cut_hi - cut_lo + 1);
+    if (plaintext <= dmid) {
+      dhi = dmid;
+      rhi = rmid;
+    } else {
+      dlo = dmid + 1;
+      rlo = rmid + 1;
+    }
+  }
+  return EncodeImage(rlo);
+}
+
+Result<uint64_t> OpeCipher::Decrypt(std::string_view ciphertext) const {
+  MC_ASSIGN_OR_RETURN(U128 image, DecodeImage(ciphertext));
+  uint64_t dlo = 0;
+  uint64_t dhi = ~0ULL;
+  U128 rlo = 0;
+  U128 rhi = (static_cast<U128>(1) << kRangeBits) - 1;
+  if (image > rhi) {
+    return Status::Corruption("OPE ciphertext out of range");
+  }
+  while (dlo < dhi) {
+    const uint64_t dmid = dlo + (dhi - dlo) / 2;
+    const U128 left_count = static_cast<U128>(dmid - dlo) + 1;
+    const U128 right_count = static_cast<U128>(dhi - dmid);
+    const U128 cut_lo = rlo + left_count - 1;
+    const U128 cut_hi = rhi - right_count;
+    const U128 rmid = cut_lo + NodeRandom(dlo, dhi, cut_hi - cut_lo + 1);
+    if (image <= rmid) {
+      dhi = dmid;
+      rhi = rmid;
+    } else {
+      dlo = dmid + 1;
+      rlo = rmid + 1;
+    }
+  }
+  if (image != rlo) {
+    return Status::Corruption("not an OPE image under this key");
+  }
+  return dlo;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,52 @@
+// Order-preserving encryption of 64-bit keys (paper §2.5: "order-preserving
+// encryption (OPE) schemes enable efficient range queries on encrypted data
+// in exchange for revealing the order of packIDs to the server").
+//
+// Construction: keyed lazy binary partitioning. The plaintext domain [0, 2^64)
+// is mapped into a 96-bit ciphertext range by recursively halving the domain
+// and splitting the range at a pseudorandom cut derived (via HMAC) from the
+// key and the domain interval — so every client with the key computes the
+// same monotone injection, without shared state. This is the classic
+// binary-search OPE; like all OPE it deliberately leaks order (and some
+// distance information), which is exactly the trade-off the paper describes.
+//
+// Cost: one HMAC per domain-halving level (≤ 64 per encryption).
+
+#ifndef MINICRYPT_SRC_CRYPTO_OPE_H_
+#define MINICRYPT_SRC_CRYPTO_OPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/crypto/crypto.h"
+
+namespace minicrypt {
+
+inline constexpr size_t kOpeCiphertextBytes = 12;  // 96-bit images
+
+class OpeCipher {
+ public:
+  // `key` should be a purpose-derived subkey (see SymmetricKey::Derive).
+  explicit OpeCipher(const SymmetricKey& key);
+
+  // Monotone injection: a < b  =>  Encrypt(a) < Encrypt(b) (bytewise, the
+  // image is big-endian). Deterministic per key.
+  std::string Encrypt(uint64_t plaintext) const;
+
+  // Inverse (binary search down the same partition tree). Corruption when
+  // `ciphertext` is not an image under this key.
+  Result<uint64_t> Decrypt(std::string_view ciphertext) const;
+
+ private:
+  using U128 = unsigned __int128;
+
+  // Pseudorandom range cut for the node covering domain [dlo, dhi].
+  U128 NodeRandom(uint64_t dlo, uint64_t dhi, U128 bound) const;
+
+  SymmetricKey key_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CRYPTO_OPE_H_

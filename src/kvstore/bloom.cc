@@ -1,0 +1,72 @@
+#include "src/kvstore/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace minicrypt {
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  const size_t bits = std::max<size_t>(64, expected_keys * static_cast<size_t>(bits_per_key));
+  bits_.assign((bits + 7) / 8, 0);
+  // k = ln(2) * bits_per_key, clamped to a sane range.
+  num_hashes_ = std::clamp(static_cast<int>(std::lround(0.693 * bits_per_key)), 1, 12);
+}
+
+BloomFilter BloomFilter::Deserialize(std::string_view data) {
+  BloomFilter f;
+  if (data.empty()) {
+    f.bits_.assign(8, 0);
+    f.num_hashes_ = 1;
+    return f;
+  }
+  f.num_hashes_ = std::clamp(static_cast<int>(static_cast<unsigned char>(data[0])), 1, 12);
+  data.remove_prefix(1);
+  f.bits_.assign(data.begin(), data.end());
+  if (f.bits_.empty()) {
+    f.bits_.assign(8, 0);
+  }
+  return f;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.reserve(1 + bits_.size());
+  out.push_back(static_cast<char>(num_hashes_));
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  return out;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  // Double hashing: g_i = h1 + i * h2.
+  const uint64_t h1 = Fnv1a64(key);
+  const uint64_t h2 = (h1 >> 33) | (h1 << 31);
+  const size_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const uint64_t h1 = Fnv1a64(key);
+  const uint64_t h2 = (h1 >> 33) | (h1 << 31);
+  const size_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_hashes_; ++i) {
+    const uint64_t bit = (h1 + static_cast<uint64_t>(i) * h2) % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,41 @@
+// Bloom filter over encoded row keys; one per SSTable. Lets the read path
+// skip tables that cannot contain a key without touching media.
+
+#ifndef MINICRYPT_SRC_KVSTORE_BLOOM_H_
+#define MINICRYPT_SRC_KVSTORE_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minicrypt {
+
+class BloomFilter {
+ public:
+  // Sized for `expected_keys` at `bits_per_key` (10 bits/key ≈ 1% FP rate).
+  BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  // Reconstructs a filter from its serialized form.
+  static BloomFilter Deserialize(std::string_view data);
+
+  void Add(std::string_view key);
+  bool MayContain(std::string_view key) const;
+
+  std::string Serialize() const;
+
+  size_t bit_count() const { return bits_.size() * 8; }
+
+ private:
+  BloomFilter() = default;
+
+  std::vector<uint8_t> bits_;
+  int num_hashes_ = 1;
+};
+
+// 64-bit FNV-1a, also used by the consistent-hash ring.
+uint64_t Fnv1a64(std::string_view data);
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_BLOOM_H_

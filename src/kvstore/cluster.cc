@@ -1,0 +1,458 @@
+#include "src/kvstore/cluster.h"
+
+#include <cmath>
+
+#include "src/kvstore/bloom.h"
+#include "src/kvstore/node.h"
+
+namespace minicrypt {
+
+ClusterOptions ClusterOptions::ForTest() {
+  ClusterOptions o;
+  o.node_count = 1;
+  o.replication_factor = 1;
+  o.rtt_micros = 0;
+  o.replica_hop_micros = 0;
+  o.lwt_extra_round_trips = 0;
+  o.media = std::nullopt;
+  o.block_cache_bytes = 8 * 1024 * 1024;
+  o.engine.memtable_flush_bytes = 256 * 1024;
+  return o;
+}
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options), ring_(options.vnodes),
+      paxos_locks_(std::make_unique<std::mutex[]>(kPaxosShards)),
+      node_down_(static_cast<size_t>(options.node_count), false),
+      hints_(static_cast<size_t>(options.node_count)) {
+  for (int i = 0; i < options_.node_count; ++i) {
+    std::unique_ptr<Media> media;
+    if (options_.media.has_value()) {
+      MediaProfile profile = *options_.media;
+      profile.latency_scale *= options_.latency_scale;
+      media = std::make_unique<SimulatedMedia>(profile, options_.clock);
+    } else {
+      media = std::make_unique<NullMedia>();
+    }
+    nodes_.push_back(std::make_unique<Node>(i, options_.block_cache_bytes, std::move(media),
+                                            options_.engine));
+    ring_.AddNode(i);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Status Cluster::CreateTable(std::string_view name, bool server_compression) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  tables_.emplace(std::string(name), server_compression);
+  return Status::Ok();
+}
+
+Status Cluster::DropTable(std::string_view name) {
+  std::lock_guard<std::mutex> lock(tables_mu_);
+  tables_.erase(std::string(name));
+  for (auto& node : nodes_) {
+    node->DropTable(name);
+  }
+  return Status::Ok();
+}
+
+void Cluster::ChargeRtt(int round_trips) {
+  const auto micros = static_cast<uint64_t>(std::llround(
+      static_cast<double>(options_.rtt_micros) * round_trips * options_.latency_scale));
+  if (micros > 0) {
+    options_.clock->SleepMicros(micros);
+  }
+}
+
+void Cluster::ChargeTransfer(size_t bytes) {
+  if (options_.network_bytes_per_micro <= 0) {
+    return;
+  }
+  const auto micros = static_cast<uint64_t>(std::llround(
+      static_cast<double>(bytes) / options_.network_bytes_per_micro * options_.latency_scale));
+  if (micros > 0) {
+    // The link is a shared resource: holding the slot while the transfer
+    // "runs" gives the cluster a finite aggregate bandwidth.
+    SemaphoreGuard slot(network_link_);
+    options_.clock->SleepMicros(micros);
+  }
+}
+
+Result<std::vector<Node*>> Cluster::ReplicasFor(std::string_view table,
+                                                std::string_view partition,
+                                                std::vector<StorageEngine*>* engines) {
+  bool server_compression = false;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return Status::InvalidArgument("no such table: " + std::string(table));
+    }
+    server_compression = it->second;
+  }
+  const std::vector<int> ids = ring_.Replicas(partition, options_.replication_factor);
+  std::vector<Node*> out;
+  out.reserve(ids.size());
+  for (int id : ids) {
+    Node* node = nodes_[static_cast<size_t>(id)].get();
+    out.push_back(node);
+    if (engines != nullptr) {
+      engines->push_back(node->EngineFor(table, server_compression));
+    }
+  }
+  if (out.empty()) {
+    return Status::Unavailable("no replicas available");
+  }
+  return out;
+}
+
+Status Cluster::Write(std::string_view table, std::string_view partition,
+                      std::string_view clustering, const Row& update) {
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StorageEngine*> engines;
+  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
+  (void)replicas;
+
+  // Stamp cells with a cluster-unique monotonic timestamp.
+  Row stamped = update;
+  const uint64_t ts = NextTimestamp();
+  size_t bytes = 0;
+  for (auto& [name, cell] : stamped.cells) {
+    cell.timestamp = ts;
+    bytes += name.size() + cell.value.size();
+  }
+  stats_.bytes_from_client.fetch_add(bytes, std::memory_order_relaxed);
+
+  ChargeRtt(1);
+  ChargeTransfer(bytes);
+  return ApplyToReplicas(table, replicas, engines, partition, clustering, stamped);
+}
+
+Status Cluster::WriteIf(std::string_view table, std::string_view partition,
+                        std::string_view clustering, const Row& update,
+                        const LwtCondition& condition, Row* current) {
+  stats_.lwt_attempts.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StorageEngine*> engines;
+  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
+  (void)replicas;
+
+  // LWT costs the base round trip plus the Paxos rounds (paper §8.2: the
+  // lightweight transaction "introduces further stress").
+  ChargeRtt(1 + options_.lwt_extra_round_trips);
+
+  // Serialize on the row's Paxos lock; evaluate against the newest state at
+  // the first replica and apply to all on success.
+  const uint64_t shard =
+      Fnv1a64(EncodeRowKey(partition, clustering) + std::string(table)) % kPaxosShards;
+  std::lock_guard<std::mutex> paxos(paxos_locks_[shard]);
+
+  std::optional<Row> existing = engines.front()->Get(partition, clustering);
+  bool pass = false;
+  switch (condition.kind) {
+    case LwtCondition::Kind::kNotExists:
+      pass = !existing.has_value();
+      break;
+    case LwtCondition::Kind::kRowExists:
+      pass = existing.has_value();
+      break;
+    case LwtCondition::Kind::kCellEquals: {
+      if (existing.has_value()) {
+        auto it = existing->cells.find(condition.column);
+        pass = it != existing->cells.end() && it->second.value == condition.value;
+      }
+      break;
+    }
+  }
+  if (!pass) {
+    stats_.lwt_failures.fetch_add(1, std::memory_order_relaxed);
+    if (current != nullptr) {
+      *current = existing.has_value() ? *existing : Row{};
+    }
+    return Status::ConditionFailed();
+  }
+
+  Row stamped = update;
+  const uint64_t ts = NextTimestamp();
+  size_t bytes = 0;
+  for (auto& [name, cell] : stamped.cells) {
+    cell.timestamp = ts;
+    bytes += name.size() + cell.value.size();
+  }
+  stats_.bytes_from_client.fetch_add(bytes, std::memory_order_relaxed);
+  ChargeTransfer(bytes);
+  return ApplyToReplicas(table, replicas, engines, partition, clustering, stamped);
+}
+
+StorageEngine* Cluster::PickReadReplica(const std::vector<Node*>& replicas,
+                                        const std::vector<StorageEngine*>& engines) {
+  const uint64_t n = read_rr_.fetch_add(1, std::memory_order_relaxed);
+  // Prefer the round-robin choice; fall forward past down replicas.
+  std::lock_guard<std::mutex> lock(down_mu_);
+  for (size_t step = 0; step < engines.size(); ++step) {
+    const size_t i = (n + step) % engines.size();
+    const auto node_id = static_cast<size_t>(replicas[i]->id());
+    if (node_id >= node_down_.size() || !node_down_[node_id]) {
+      return engines[i];
+    }
+  }
+  return engines[n % engines.size()];  // everything down: fail like a timeout would
+}
+
+void Cluster::SetNodeDown(int node, bool down) {
+  std::lock_guard<std::mutex> lock(down_mu_);
+  if (node < 0 || static_cast<size_t>(node) >= node_down_.size()) {
+    return;
+  }
+  const bool was_down = node_down_[static_cast<size_t>(node)];
+  node_down_[static_cast<size_t>(node)] = down;
+  if (was_down && !down) {
+    ReplayHintsLocked(node);
+  }
+}
+
+bool Cluster::IsNodeDown(int node) const {
+  std::lock_guard<std::mutex> lock(down_mu_);
+  return node >= 0 && static_cast<size_t>(node) < node_down_.size() &&
+         node_down_[static_cast<size_t>(node)];
+}
+
+size_t Cluster::PendingHints(int node) const {
+  std::lock_guard<std::mutex> lock(down_mu_);
+  if (node < 0 || static_cast<size_t>(node) >= hints_.size()) {
+    return 0;
+  }
+  return hints_[static_cast<size_t>(node)].size();
+}
+
+void Cluster::ReplayHintsLocked(int node) {
+  std::vector<Hint> pending;
+  pending.swap(hints_[static_cast<size_t>(node)]);
+  Node* target = nodes_[static_cast<size_t>(node)].get();
+  for (Hint& hint : pending) {
+    StorageEngine* engine = target->FindEngine(hint.table);
+    if (engine == nullptr) {
+      bool server_compression = false;
+      {
+        std::lock_guard<std::mutex> lock(tables_mu_);
+        auto it = tables_.find(hint.table);
+        if (it == tables_.end()) {
+          continue;  // table dropped while the node was down
+        }
+        server_compression = it->second;
+      }
+      engine = target->EngineFor(hint.table, server_compression);
+    }
+    (void)engine->Apply(hint.partition, hint.clustering, hint.update);
+  }
+}
+
+Status Cluster::ApplyToReplicas(std::string_view table, const std::vector<Node*>& replicas,
+                                const std::vector<StorageEngine*>& engines,
+                                std::string_view partition, std::string_view clustering,
+                                const Row& stamped) {
+  std::lock_guard<std::mutex> lock(down_mu_);
+  for (size_t i = 0; i < engines.size(); ++i) {
+    const auto node_id = static_cast<size_t>(replicas[i]->id());
+    if (node_id < node_down_.size() && node_down_[node_id]) {
+      // Hinted handoff: queue the timestamped mutation for replay.
+      hints_[node_id].push_back(Hint{std::string(table), std::string(partition),
+                                     std::string(clustering), stamped});
+      continue;
+    }
+    MC_RETURN_IF_ERROR(engines[i]->Apply(partition, clustering, stamped));
+  }
+  return Status::Ok();
+}
+
+Result<Row> Cluster::Read(std::string_view table, std::string_view partition,
+                          std::string_view clustering) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StorageEngine*> engines;
+  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
+  (void)replicas;
+  ChargeRtt(1);
+
+  Row merged;
+  bool found = false;
+  if (options_.consistency == Consistency::kQuorum) {
+    const size_t ask = engines.size() / 2 + 1;
+    for (size_t i = 0; i < ask; ++i) {
+      auto row = engines[i]->Get(partition, clustering);
+      if (i > 0) {
+        ChargeRtt(1);  // extra replica hop under QUORUM
+      }
+      if (row.has_value()) {
+        merged.MergeNewer(*row);
+        found = true;
+      }
+    }
+  } else {
+    auto row = PickReadReplica(replicas, engines)->Get(partition, clustering);
+    if (row.has_value()) {
+      merged = std::move(*row);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::NotFound();
+  }
+  size_t bytes = 0;
+  for (const auto& [name, cell] : merged.cells) {
+    bytes += cell.value.size();
+  }
+  stats_.bytes_to_client.fetch_add(bytes, std::memory_order_relaxed);
+  ChargeTransfer(bytes);
+  return merged;
+}
+
+Result<std::pair<std::string, Row>> Cluster::ReadFloor(std::string_view table,
+                                                       std::string_view partition,
+                                                       std::string_view clustering) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StorageEngine*> engines;
+  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
+  (void)replicas;
+  ChargeRtt(1);
+
+  auto result = PickReadReplica(replicas, engines)->Floor(partition, clustering);
+  if (!result.has_value()) {
+    return Status::NotFound();
+  }
+  size_t bytes = 0;
+  for (const auto& [name, cell] : result->second.cells) {
+    bytes += cell.value.size();
+  }
+  stats_.bytes_to_client.fetch_add(bytes, std::memory_order_relaxed);
+  ChargeTransfer(bytes);
+  return std::make_pair(result->first, std::move(result->second));
+}
+
+Result<std::vector<std::pair<std::string, Row>>> Cluster::ReadRange(std::string_view table,
+                                                                    std::string_view partition,
+                                                                    std::string_view lo,
+                                                                    std::string_view hi,
+                                                                    size_t limit) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StorageEngine*> engines;
+  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
+  (void)replicas;
+  ChargeRtt(1);
+
+  std::vector<std::pair<std::string, Row>> out;
+  MC_RETURN_IF_ERROR(PickReadReplica(replicas, engines)->Scan(
+      partition, lo, hi, limit, [&](std::string_view clustering, const Row& row) {
+        out.emplace_back(std::string(clustering), row);
+        return true;
+      }));
+  size_t bytes = 0;
+  for (const auto& [clustering, row] : out) {
+    for (const auto& [name, cell] : row.cells) {
+      bytes += cell.value.size();
+    }
+  }
+  stats_.bytes_to_client.fetch_add(bytes, std::memory_order_relaxed);
+  ChargeTransfer(bytes);
+  return out;
+}
+
+Status Cluster::DeletePartition(std::string_view table, std::string_view partition) {
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StorageEngine*> engines;
+  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
+  (void)replicas;
+  ChargeRtt(1);
+  const uint64_t ts = NextTimestamp();
+  for (StorageEngine* engine : engines) {
+    MC_RETURN_IF_ERROR(engine->ApplyPartitionTombstone(partition, ts));
+  }
+  return Status::Ok();
+}
+
+Status Cluster::DeleteRow(std::string_view table, std::string_view partition,
+                          std::string_view clustering, const std::vector<std::string>& columns) {
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  std::vector<StorageEngine*> engines;
+  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
+  (void)replicas;
+  ChargeRtt(1);
+  Row tombstones;
+  const uint64_t ts = NextTimestamp();
+  for (const auto& column : columns) {
+    tombstones.cells[column] = Cell{"", ts, true};
+  }
+  return ApplyToReplicas(table, replicas, engines, partition, clustering, tombstones);
+}
+
+size_t Cluster::TableAtRestBytes(std::string_view table) {
+  size_t bytes = 0;
+  StorageEngine* engine = nodes_.front()->FindEngine(table);
+  if (engine != nullptr) {
+    bytes = engine->AtRestBytes() + engine->MemtableBytes();
+  }
+  return bytes;
+}
+
+BlockCacheStats Cluster::CacheStats() const {
+  BlockCacheStats out;
+  for (const auto& node : nodes_) {
+    const BlockCacheStats s = const_cast<Node*>(node.get())->cache()->Stats();
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.bytes_used += s.bytes_used;
+  }
+  return out;
+}
+
+const MediaStats* Cluster::NodeMediaStats(int node) const {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return nullptr;
+  }
+  return &nodes_[static_cast<size_t>(node)]->media()->stats();
+}
+
+Status Cluster::FlushAll() {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    for (const auto& [name, compression] : tables_) {
+      names.push_back(name);
+    }
+  }
+  for (auto& node : nodes_) {
+    for (const auto& name : names) {
+      StorageEngine* engine = node->FindEngine(name);
+      if (engine != nullptr) {
+        MC_RETURN_IF_ERROR(engine->Flush());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Cluster::WarmCaches(std::string_view table) {
+  // Reads round-robin across replicas, so every replica's hot set is the full
+  // table: warm everything everywhere (the mirrored-cache model — effective
+  // cluster memory equals ONE node's cache, as with real RF=N replication).
+  for (auto& node : nodes_) {
+    StorageEngine* engine = node->FindEngine(table);
+    if (engine != nullptr) {
+      engine->WarmCache();
+    }
+  }
+}
+
+void Cluster::ResetPerfCounters() {
+  stats_.reads = 0;
+  stats_.writes = 0;
+  stats_.lwt_attempts = 0;
+  stats_.lwt_failures = 0;
+  stats_.bytes_to_client = 0;
+  stats_.bytes_from_client = 0;
+  for (auto& node : nodes_) {
+    node->media()->ResetStats();
+  }
+}
+
+}  // namespace minicrypt

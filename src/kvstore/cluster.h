@@ -1,0 +1,225 @@
+// The distributed key-value store: nodes, replication, coordinator logic,
+// lightweight transactions, and the network latency model. This is the
+// "unmodified key-value store" MiniCrypt layers on (paper §2.5.1): it offers
+// a sorted clustering index and single-row conditional updates, nothing more.
+
+#ifndef MINICRYPT_SRC_KVSTORE_CLUSTER_H_
+#define MINICRYPT_SRC_KVSTORE_CLUSTER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/common/thread_util.h"
+#include "src/kvstore/block_cache.h"
+#include "src/kvstore/media.h"
+#include "src/kvstore/ring.h"
+#include "src/kvstore/row.h"
+#include "src/kvstore/storage_engine.h"
+
+namespace minicrypt {
+
+enum class Consistency { kOne, kQuorum };
+
+// Condition of a lightweight transaction (single-row "UPDATE ... IF").
+struct LwtCondition {
+  enum class Kind {
+    kNotExists,    // INSERT ... IF NOT EXISTS
+    kCellEquals,   // UPDATE ... IF column = value
+    kRowExists,    // UPDATE ... IF EXISTS
+  };
+  Kind kind = Kind::kNotExists;
+  std::string column;
+  std::string value;
+
+  static LwtCondition NotExists() { return {Kind::kNotExists, "", ""}; }
+  static LwtCondition CellEquals(std::string column, std::string value) {
+    return {Kind::kCellEquals, std::move(column), std::move(value)};
+  }
+  static LwtCondition RowExists() { return {Kind::kRowExists, "", ""}; }
+};
+
+struct ClusterOptions {
+  int node_count = 3;
+  int replication_factor = 3;
+  Consistency consistency = Consistency::kOne;
+  int vnodes = 16;
+
+  // Network model (all scaled by latency_scale).
+  uint64_t rtt_micros = 300;          // client <-> coordinator round trip
+  uint64_t replica_hop_micros = 150;  // coordinator <-> replica (when remote)
+  int lwt_extra_round_trips = 3;      // Paxos prepare/propose/commit overhead
+  double network_bytes_per_micro = 120.0;  // ~120 MB/s client link
+  double latency_scale = 1.0;
+
+  // Per-node storage.
+  StorageEngineOptions engine;
+  size_t block_cache_bytes = 64 * 1024 * 1024;
+  // Media factory result is owned by the node; nullptr profile = NullMedia.
+  std::optional<MediaProfile> media;  // nullopt -> zero-latency NullMedia
+
+  Clock* clock = SystemClock::Get();
+
+  // Zero-latency, single-node profile for unit tests.
+  static ClusterOptions ForTest();
+};
+
+struct ClusterStats {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> lwt_attempts{0};
+  std::atomic<uint64_t> lwt_failures{0};
+  std::atomic<uint64_t> bytes_to_client{0};
+  std::atomic<uint64_t> bytes_from_client{0};
+};
+
+class Node;
+
+// One logical table spread over the cluster. Obtained from Cluster::CreateTable.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Creates (or returns) a table. `server_compression` enables at-rest block
+  // compression for this table's SSTables on every node.
+  Status CreateTable(std::string_view name, bool server_compression = false);
+  Status DropTable(std::string_view name);
+
+  // --- Data path (used by KvSession; all charge the network model) ----------
+
+  Status Write(std::string_view table, std::string_view partition,
+               std::string_view clustering, const Row& update);
+
+  // Single-row LWT: evaluates `condition` against the current row under the
+  // partition's Paxos lock and applies `update` to every replica when true.
+  // Returns ConditionFailed (with the current row in *current, when non-null)
+  // otherwise.
+  Status WriteIf(std::string_view table, std::string_view partition,
+                 std::string_view clustering, const Row& update, const LwtCondition& condition,
+                 Row* current = nullptr);
+
+  Result<Row> Read(std::string_view table, std::string_view partition,
+                   std::string_view clustering);
+
+  // Largest clustering <= `clustering` (the "ORDER BY packID DESC LIMIT 1"
+  // primitive). NotFound when the partition has no row at or below it.
+  Result<std::pair<std::string, Row>> ReadFloor(std::string_view table,
+                                                std::string_view partition,
+                                                std::string_view clustering);
+
+  // Ascending scan of lo <= clustering <= hi. limit 0 = unbounded.
+  Result<std::vector<std::pair<std::string, Row>>> ReadRange(std::string_view table,
+                                                             std::string_view partition,
+                                                             std::string_view lo,
+                                                             std::string_view hi,
+                                                             size_t limit = 0);
+
+  // Deletes a whole partition (one tombstone marker; models Cassandra's
+  // partition delete used for APPEND-mode epoch drops).
+  Status DeletePartition(std::string_view table, std::string_view partition);
+
+  // Deletes the named cells of one row (tombstones).
+  Status DeleteRow(std::string_view table, std::string_view partition,
+                   std::string_view clustering, const std::vector<std::string>& columns);
+
+  // --- Fault injection / fault tolerance ---------------------------------------
+  //
+  // Models node outages with hinted handoff, Cassandra-style: writes while a
+  // replica is down are queued as hints and replayed when it returns; reads
+  // and LWTs are served by the remaining replicas. MiniCrypt inherits this
+  // fault tolerance from the substrate (paper §2.5.1).
+
+  void SetNodeDown(int node, bool down);
+  bool IsNodeDown(int node) const;
+  // Hints waiting for a node (introspection for tests).
+  size_t PendingHints(int node) const;
+
+  // --- Introspection ----------------------------------------------------------
+
+  const ClusterStats& stats() const { return stats_; }
+  // Aggregate at-rest bytes for a table across one replica set (node 0's copy).
+  size_t TableAtRestBytes(std::string_view table);
+  BlockCacheStats CacheStats() const;
+  const MediaStats* NodeMediaStats(int node) const;
+  // Forces memtable flushes everywhere (benches call this after preload).
+  Status FlushAll();
+  // Warms every node's block cache with `table`'s blocks (benchmark stand-in
+  // for the paper's 5-10 minute warmup runs).
+  void WarmCaches(std::string_view table);
+  void ResetPerfCounters();
+
+  uint64_t NextTimestamp() { return timestamp_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  friend class KvSession;
+
+  struct PaxosShard;
+
+  void ChargeRtt(int round_trips);
+  void ChargeTransfer(size_t bytes);
+
+  Result<std::vector<Node*>> ReplicasFor(std::string_view table, std::string_view partition,
+                                         std::vector<StorageEngine*>* engines);
+
+  // Round-robin selection among a partition's replicas for CL=ONE reads
+  // (models Cassandra's load-balancing snitch; writes go to all replicas
+  // synchronously, so any replica is up to date).
+  StorageEngine* PickReadReplica(const std::vector<Node*>& replicas,
+                                 const std::vector<StorageEngine*>& engines);
+
+  // Applies `update` to every live replica engine; queues hints for down
+  // ones. `engines` and `replicas` are parallel arrays from ReplicasFor.
+  Status ApplyToReplicas(std::string_view table, const std::vector<Node*>& replicas,
+                         const std::vector<StorageEngine*>& engines, std::string_view partition,
+                         std::string_view clustering, const Row& stamped);
+
+  // Replays queued hints to a node that has come back.
+  void ReplayHintsLocked(int node);
+
+  ClusterOptions options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  ClusterStats stats_;
+  std::atomic<uint64_t> timestamp_{0};
+  std::atomic<uint64_t> read_rr_{0};
+
+  struct Hint {
+    std::string table;
+    std::string partition;
+    std::string clustering;
+    Row update;  // cells already timestamped
+  };
+  mutable std::mutex down_mu_;
+  std::vector<bool> node_down_;
+  std::vector<std::vector<Hint>> hints_;  // per node
+
+  // Per-partition Paxos serialization for LWTs (global table keyed by
+  // table+partition+clustering hash — collisions just over-serialize).
+  static constexpr size_t kPaxosShards = 256;
+  std::unique_ptr<std::mutex[]> paxos_locks_;
+
+  // Shared client link: transfers serialize here, so bulk results (range
+  // scans shipping uncompressed rows) saturate it just as the paper's
+  // vanilla client saturated the real network (§8.1.2).
+  Semaphore network_link_{1};
+
+  mutable std::mutex tables_mu_;
+  std::map<std::string, bool, std::less<>> tables_;  // name -> server_compression
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_CLUSTER_H_

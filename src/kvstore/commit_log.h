@@ -1,0 +1,75 @@
+// Write-ahead commit log of the storage engine. Records are CRC-framed and
+// replayable; segments are retired when the memtable they cover is flushed,
+// which bounds memory for the in-memory sink.
+
+#ifndef MINICRYPT_SRC_KVSTORE_COMMIT_LOG_H_
+#define MINICRYPT_SRC_KVSTORE_COMMIT_LOG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/kvstore/media.h"
+#include "src/kvstore/row.h"
+
+namespace minicrypt {
+
+// Destination for log bytes. The engine charges the media model separately;
+// the sink is only about durability of the bytes.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual Status Append(std::string_view bytes) = 0;
+  virtual Status ReadAll(std::string* out) const = 0;
+  virtual Status Truncate() = 0;
+};
+
+// Keeps log bytes in memory. Default for simulations.
+class MemoryLogSink : public LogSink {
+ public:
+  Status Append(std::string_view bytes) override;
+  Status ReadAll(std::string* out) const override;
+  Status Truncate() override;
+
+ private:
+  std::string data_;
+};
+
+// Appends to a real file (buffered; no fsync). For replay tests.
+class FileLogSink : public LogSink {
+ public:
+  explicit FileLogSink(std::string path);
+
+  Status Append(std::string_view bytes) override;
+  Status ReadAll(std::string* out) const override;
+  Status Truncate() override;
+
+ private:
+  std::string path_;
+};
+
+class CommitLog {
+ public:
+  // `media` may be nullptr (no latency charging).
+  CommitLog(std::unique_ptr<LogSink> sink, Media* media);
+
+  // Appends one record: the row update applied at `encoded_key`.
+  Status Append(std::string_view encoded_key, const Row& update);
+
+  // Replays every intact record in order; stops at the first torn/corrupt
+  // record (normal after a crash mid-append).
+  Status Replay(const std::function<void(std::string_view key, const Row& row)>& apply) const;
+
+  // Drops all records (called after a successful memtable flush).
+  Status Retire();
+
+ private:
+  std::unique_ptr<LogSink> sink_;
+  Media* media_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_COMMIT_LOG_H_

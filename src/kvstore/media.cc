@@ -1,0 +1,74 @@
+#include "src/kvstore/media.h"
+
+#include <cmath>
+
+namespace minicrypt {
+
+void Media::ResetStats() {
+  stats_.reads = 0;
+  stats_.read_bytes = 0;
+  stats_.writes = 0;
+  stats_.write_bytes = 0;
+  stats_.busy_micros = 0;
+}
+
+void NullMedia::Read(size_t bytes) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void NullMedia::Write(size_t bytes, bool sequential) {
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.write_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+MediaProfile MediaProfile::Disk(double latency_scale) {
+  MediaProfile p;
+  p.seek_micros = 8000;
+  p.bytes_per_micro_read = 150.0;
+  p.bytes_per_micro_write = 130.0;
+  p.queue_depth = 1;
+  p.latency_scale = latency_scale;
+  return p;
+}
+
+MediaProfile MediaProfile::Ssd(double latency_scale) {
+  MediaProfile p;
+  p.seek_micros = 120;
+  p.bytes_per_micro_read = 500.0;
+  p.bytes_per_micro_write = 450.0;
+  p.queue_depth = 32;
+  p.latency_scale = latency_scale;
+  return p;
+}
+
+SimulatedMedia::SimulatedMedia(MediaProfile profile, Clock* clock)
+    : profile_(profile), clock_(clock), queue_(profile.queue_depth) {}
+
+void SimulatedMedia::Charge(uint64_t micros) {
+  const auto scaled = static_cast<uint64_t>(std::llround(
+      static_cast<double>(micros) * profile_.latency_scale));
+  stats_.busy_micros.fetch_add(scaled, std::memory_order_relaxed);
+  if (scaled > 0) {
+    SemaphoreGuard slot(queue_);
+    clock_->SleepMicros(scaled);
+  }
+}
+
+void SimulatedMedia::Read(size_t bytes) {
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  stats_.read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const auto transfer = static_cast<uint64_t>(
+      static_cast<double>(bytes) / profile_.bytes_per_micro_read);
+  Charge(profile_.seek_micros + transfer);
+}
+
+void SimulatedMedia::Write(size_t bytes, bool sequential) {
+  stats_.writes.fetch_add(1, std::memory_order_relaxed);
+  stats_.write_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  const auto transfer = static_cast<uint64_t>(
+      static_cast<double>(bytes) / profile_.bytes_per_micro_write);
+  Charge(sequential ? transfer : profile_.seek_micros + transfer);
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,41 @@
+#include "src/kvstore/memtable.h"
+
+namespace minicrypt {
+
+void Memtable::Apply(std::string_view encoded_key, const Row& update) {
+  auto it = entries_.find(encoded_key);
+  if (it == entries_.end()) {
+    auto [pos, inserted] = entries_.emplace(std::string(encoded_key), update);
+    approx_bytes_ += encoded_key.size() + pos->second.ApproxBytes();
+    return;
+  }
+  const size_t before = it->second.ApproxBytes();
+  it->second.MergeNewer(update);
+  approx_bytes_ += it->second.ApproxBytes() - before;
+}
+
+const Row* Memtable::Get(std::string_view encoded_key) const {
+  auto it = entries_.find(encoded_key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string_view> Memtable::FloorKey(std::string_view prefix,
+                                                   std::string_view encoded_key) const {
+  auto it = entries_.upper_bound(encoded_key);
+  if (it == entries_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  const std::string_view key = it->first;
+  if (key.size() < prefix.size() || key.substr(0, prefix.size()) != prefix) {
+    return std::nullopt;
+  }
+  return key;
+}
+
+void Memtable::Clear() {
+  entries_.clear();
+  approx_bytes_ = 0;
+}
+
+}  // namespace minicrypt

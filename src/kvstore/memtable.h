@@ -1,0 +1,43 @@
+// In-memory sorted write buffer of the LSM engine. Not internally
+// synchronized — the owning StorageEngine serializes access.
+
+#ifndef MINICRYPT_SRC_KVSTORE_MEMTABLE_H_
+#define MINICRYPT_SRC_KVSTORE_MEMTABLE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/kvstore/row.h"
+
+namespace minicrypt {
+
+class Memtable {
+ public:
+  // Merges `update` into the row at `encoded_key` (LWW per cell).
+  void Apply(std::string_view encoded_key, const Row& update);
+
+  // Newest cells for the key, if any entry exists.
+  const Row* Get(std::string_view encoded_key) const;
+
+  // Largest key <= `encoded_key` with the same `prefix` (partition bound).
+  // Returns the encoded key, or nullopt.
+  std::optional<std::string_view> FloorKey(std::string_view prefix,
+                                           std::string_view encoded_key) const;
+
+  const std::map<std::string, Row, std::less<>>& entries() const { return entries_; }
+
+  size_t ApproxBytes() const { return approx_bytes_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  void Clear();
+
+ private:
+  std::map<std::string, Row, std::less<>> entries_;
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_MEMTABLE_H_

@@ -1,0 +1,35 @@
+#include "src/kvstore/node.h"
+
+namespace minicrypt {
+
+Node::Node(int id, size_t cache_bytes, std::unique_ptr<Media> media,
+           StorageEngineOptions engine_options)
+    : id_(id), cache_(cache_bytes), media_(std::move(media)), engine_options_(engine_options) {}
+
+StorageEngine* Node::EngineFor(std::string_view table, bool server_compression) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(table);
+  if (it != engines_.end()) {
+    return it->second.get();
+  }
+  StorageEngineOptions opts = engine_options_;
+  opts.sstable.server_compression = server_compression;
+  auto engine = std::make_unique<StorageEngine>(opts, &cache_, media_.get(),
+                                                std::make_unique<MemoryLogSink>());
+  StorageEngine* raw = engine.get();
+  engines_.emplace(std::string(table), std::move(engine));
+  return raw;
+}
+
+StorageEngine* Node::FindEngine(std::string_view table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(table);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+void Node::DropTable(std::string_view table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engines_.erase(std::string(table));
+}
+
+}  // namespace minicrypt

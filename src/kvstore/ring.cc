@@ -1,0 +1,52 @@
+#include "src/kvstore/ring.h"
+
+#include <algorithm>
+
+#include "src/kvstore/bloom.h"  // Fnv1a64
+
+namespace minicrypt {
+
+void HashRing::AddNode(int node_id) {
+  if (std::find(node_ids_.begin(), node_ids_.end(), node_id) != node_ids_.end()) {
+    return;
+  }
+  node_ids_.push_back(node_id);
+  for (int v = 0; v < vnodes_; ++v) {
+    const std::string label = "node-" + std::to_string(node_id) + "-vnode-" + std::to_string(v);
+    ring_[Fnv1a64(label)] = node_id;
+  }
+}
+
+void HashRing::RemoveNode(int node_id) {
+  node_ids_.erase(std::remove(node_ids_.begin(), node_ids_.end(), node_id), node_ids_.end());
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node_id) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t HashRing::Token(std::string_view partition_key) { return Fnv1a64(partition_key); }
+
+std::vector<int> HashRing::Replicas(std::string_view partition_key, int rf) const {
+  std::vector<int> out;
+  if (ring_.empty() || rf <= 0) {
+    return out;
+  }
+  const size_t want = std::min(static_cast<size_t>(rf), node_ids_.size());
+  auto it = ring_.lower_bound(Token(partition_key));
+  for (size_t walked = 0; out.size() < want && walked < 2 * ring_.size(); ++walked) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace minicrypt

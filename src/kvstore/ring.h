@@ -1,0 +1,40 @@
+// Consistent-hash ring with virtual nodes — how the cluster places partitions
+// on nodes (Cassandra-style token ring).
+
+#ifndef MINICRYPT_SRC_KVSTORE_RING_H_
+#define MINICRYPT_SRC_KVSTORE_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minicrypt {
+
+class HashRing {
+ public:
+  // `vnodes` tokens are planted per node for even load.
+  explicit HashRing(int vnodes = 16) : vnodes_(vnodes) {}
+
+  void AddNode(int node_id);
+  void RemoveNode(int node_id);
+
+  // The first `rf` distinct nodes at/after the partition's token, walking the
+  // ring clockwise. If rf >= node count, every node is returned.
+  std::vector<int> Replicas(std::string_view partition_key, int rf) const;
+
+  // Token of a partition key (exposed for tests).
+  static uint64_t Token(std::string_view partition_key);
+
+  size_t node_count() const { return node_ids_.size(); }
+
+ private:
+  int vnodes_;
+  std::map<uint64_t, int> ring_;  // token -> node id
+  std::vector<int> node_ids_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_RING_H_

@@ -1,0 +1,91 @@
+#include "src/kvstore/row.h"
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+
+void Row::MergeNewer(const Row& other) {
+  for (const auto& [name, cell] : other.cells) {
+    auto it = cells.find(name);
+    if (it == cells.end()) {
+      cells.emplace(name, cell);
+    } else if (cell.timestamp > it->second.timestamp) {
+      it->second = cell;
+    }
+  }
+}
+
+bool Row::AllTombstones() const {
+  for (const auto& [name, cell] : cells) {
+    if (!cell.tombstone) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t Row::ApproxBytes() const {
+  size_t bytes = sizeof(Row);
+  for (const auto& [name, cell] : cells) {
+    bytes += name.size() + cell.value.size() + 48;
+  }
+  return bytes;
+}
+
+std::string EncodeRowKey(std::string_view partition, std::string_view clustering) {
+  std::string out;
+  out.reserve(partition.size() + clustering.size() + 2);
+  PutVarint64(&out, partition.size());
+  out.append(partition);
+  out.append(clustering);
+  return out;
+}
+
+Result<DecodedRowKey> DecodeRowKey(std::string_view encoded) {
+  std::string_view in = encoded;
+  MC_ASSIGN_OR_RETURN(uint64_t plen, GetVarint64(&in));
+  if (in.size() < plen) {
+    return Status::Corruption("row key shorter than partition length");
+  }
+  DecodedRowKey out;
+  out.partition = in.substr(0, plen);
+  out.clustering = in.substr(plen);
+  return out;
+}
+
+std::string PartitionPrefix(std::string_view partition) {
+  return EncodeRowKey(partition, "");
+}
+
+void EncodeRow(const Row& row, std::string* out) {
+  PutVarint64(out, row.cells.size());
+  for (const auto& [name, cell] : row.cells) {
+    PutLengthPrefixed(out, name);
+    PutLengthPrefixed(out, cell.value);
+    PutVarint64(out, cell.timestamp);
+    out->push_back(cell.tombstone ? '\x01' : '\x00');
+  }
+}
+
+Result<Row> DecodeRow(std::string_view* input) {
+  Row row;
+  MC_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(input));
+  if (n > (1u << 20)) {
+    return Status::Corruption("row declares absurd cell count");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    MC_ASSIGN_OR_RETURN(std::string_view name, GetLengthPrefixed(input));
+    MC_ASSIGN_OR_RETURN(std::string_view value, GetLengthPrefixed(input));
+    MC_ASSIGN_OR_RETURN(uint64_t ts, GetVarint64(input));
+    if (input->empty()) {
+      return Status::Corruption("row truncated before tombstone flag");
+    }
+    const bool tomb = input->front() == '\x01';
+    input->remove_prefix(1);
+    Cell cell{std::string(value), ts, tomb};
+    row.cells.emplace(std::string(name), std::move(cell));
+  }
+  return row;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,74 @@
+// Data model of the kvstore substrate: Cassandra-style wide rows.
+//
+// A row is addressed by (partition key, clustering key) and holds named cells
+// with last-write-wins timestamps. The composite key is encoded into a single
+// byte string whose lexicographic order groups each partition contiguously
+// and orders rows within a partition by clustering key — the "sorted index on
+// the primary key" MiniCrypt requires (paper §2.5.1).
+
+#ifndef MINICRYPT_SRC_KVSTORE_ROW_H_
+#define MINICRYPT_SRC_KVSTORE_ROW_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace minicrypt {
+
+struct Cell {
+  std::string value;
+  uint64_t timestamp = 0;  // cluster-wide monotonic write stamp
+  bool tombstone = false;  // deletion marker (LWW semantics)
+
+  bool operator==(const Cell&) const = default;
+};
+
+// cells keyed by column name. Conventional columns used by MiniCrypt:
+// "v" (pack/row value), "h" (ciphertext hash), plus EM bookkeeping columns.
+struct Row {
+  std::map<std::string, Cell, std::less<>> cells;
+
+  bool empty() const { return cells.empty(); }
+
+  // Merge `other` into this row cell-by-cell, keeping the newer timestamp.
+  // Ties go to `other` only if its value differs and tombstone is set — in
+  // practice timestamps are unique per cluster so ties do not arise.
+  void MergeNewer(const Row& other);
+
+  // True when every cell is a tombstone (the row reads as deleted).
+  bool AllTombstones() const;
+
+  // Approximate heap footprint, for memtable accounting.
+  size_t ApproxBytes() const;
+};
+
+// The encoded composite key: varint(len(partition)) || partition || clustering.
+std::string EncodeRowKey(std::string_view partition, std::string_view clustering);
+
+struct DecodedRowKey {
+  std::string_view partition;
+  std::string_view clustering;
+};
+
+// Views into `encoded`; valid while `encoded` lives.
+Result<DecodedRowKey> DecodeRowKey(std::string_view encoded);
+
+// The encoded prefix shared by every row of `partition` — scan bounds.
+std::string PartitionPrefix(std::string_view partition);
+
+// Serialize a row (cells with timestamps) for commit log / SSTable storage.
+void EncodeRow(const Row& row, std::string* out);
+Result<Row> DecodeRow(std::string_view* input);
+
+// Column name reserved for partition-level tombstones. A cell under this name
+// in the row with an empty clustering key marks every older cell of the
+// partition deleted (models Cassandra's partition delete, used for epoch
+// drops in APPEND mode).
+inline constexpr std::string_view kPartitionTombstoneColumn = "!ptomb";
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_ROW_H_

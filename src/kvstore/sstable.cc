@@ -1,0 +1,276 @@
+#include "src/kvstore/sstable.h"
+
+#include "src/common/coding.h"
+#include "src/compress/compressor.h"
+
+namespace minicrypt {
+
+namespace {
+
+// At-rest block framing when server compression is on: 1-byte tag (0 = raw,
+// 1 = zlib) followed by the payload. Incompressible blocks stay raw.
+std::string CompressBlockAtRest(std::string_view raw) {
+  const Compressor* zlib = FindCompressor("zlib");
+  auto compressed = zlib->Compress(raw);
+  if (compressed.ok() && compressed->size() + 1 < raw.size()) {
+    std::string out;
+    out.reserve(compressed->size() + 1);
+    out.push_back('\x01');
+    out.append(*compressed);
+    return out;
+  }
+  std::string out;
+  out.reserve(raw.size() + 1);
+  out.push_back('\x00');
+  out.append(raw);
+  return out;
+}
+
+Result<std::string> DecompressBlockAtRest(std::string_view at_rest) {
+  if (at_rest.empty()) {
+    return Status::Corruption("empty at-rest block");
+  }
+  const char tag = at_rest.front();
+  at_rest.remove_prefix(1);
+  if (tag == '\x00') {
+    return std::string(at_rest);
+  }
+  if (tag == '\x01') {
+    return FindCompressor("zlib")->Decompress(at_rest);
+  }
+  return Status::Corruption("unknown at-rest block tag");
+}
+
+}  // namespace
+
+Status ForEachBlockEntry(std::string_view raw_block,
+                         const std::function<bool(std::string_view, const Row&)>& fn) {
+  std::string_view in = raw_block;
+  while (!in.empty()) {
+    MC_ASSIGN_OR_RETURN(std::string_view key, GetLengthPrefixed(&in));
+    MC_ASSIGN_OR_RETURN(Row row, DecodeRow(&in));
+    if (!fn(key, row)) {
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+SstableBuilder::SstableBuilder(uint64_t id, SstableOptions options)
+    : id_(id), options_(options) {}
+
+void SstableBuilder::Add(std::string_view encoded_key, const Row& row) {
+  if (pending_.empty()) {
+    pending_first_key_ = std::string(encoded_key);
+  }
+  PutLengthPrefixed(&pending_, encoded_key);
+  EncodeRow(row, &pending_);
+  last_key_ = std::string(encoded_key);
+  keys_for_bloom_.emplace_back(encoded_key);
+  ++entry_count_;
+  if (pending_.size() >= options_.block_bytes) {
+    FlushBlock();
+  }
+}
+
+void SstableBuilder::FlushBlock() {
+  if (pending_.empty()) {
+    return;
+  }
+  block_raw_bytes_.push_back(pending_.size());
+  if (options_.server_compression) {
+    blocks_.push_back(CompressBlockAtRest(pending_));
+  } else {
+    std::string out;
+    out.reserve(pending_.size() + 1);
+    out.push_back('\x00');
+    out.append(pending_);
+    blocks_.push_back(std::move(out));
+  }
+  block_first_key_.push_back(pending_first_key_);
+  pending_.clear();
+  pending_first_key_.clear();
+}
+
+std::shared_ptr<Sstable> SstableBuilder::Finish(Media* media) {
+  FlushBlock();
+  BloomFilter bloom(keys_for_bloom_.size(), options_.bloom_bits_per_key);
+  for (const auto& k : keys_for_bloom_) {
+    bloom.Add(k);
+  }
+  auto table = std::shared_ptr<Sstable>(new Sstable(id_, options_, std::move(bloom)));
+  table->blocks_ = std::move(blocks_);
+  table->block_first_key_ = std::move(block_first_key_);
+  table->entry_count_ = entry_count_;
+  for (const auto& b : table->blocks_) {
+    table->at_rest_bytes_ += b.size();
+  }
+  if (!table->block_first_key_.empty()) {
+    table->smallest_ = table->block_first_key_.front();
+    table->largest_ = last_key_;
+  }
+  if (media != nullptr && table->at_rest_bytes_ > 0) {
+    media->Write(table->at_rest_bytes_, /*sequential=*/true);
+  }
+  return table;
+}
+
+Sstable::Sstable(uint64_t id, SstableOptions options, BloomFilter bloom)
+    : id_(id), options_(options), bloom_(std::move(bloom)) {}
+
+void Sstable::WarmInto(
+    BlockCache* cache,
+    const std::function<bool(std::string_view partition)>& serves_partition) const {
+  if (cache == nullptr) {
+    return;
+  }
+  for (size_t idx = 0; idx < blocks_.size(); ++idx) {
+    if (serves_partition) {
+      auto decoded = DecodeRowKey(block_first_key_[idx]);
+      if (!decoded.ok() || !serves_partition(decoded->partition)) {
+        continue;
+      }
+    }
+    cache->Put(id_, idx, std::make_shared<const std::string>(blocks_[idx]));
+  }
+}
+
+Result<std::shared_ptr<const std::string>> Sstable::FetchBlock(size_t idx, BlockCache* cache,
+                                                               Media* media) const {
+  if (cache != nullptr) {
+    auto hit = cache->Get(id_, idx);
+    if (hit.has_value()) {
+      // Cached at-rest form; decompress per access when compression is on.
+      MC_ASSIGN_OR_RETURN(std::string raw, DecompressBlockAtRest(**hit));
+      return std::make_shared<const std::string>(std::move(raw));
+    }
+  }
+  const std::string& at_rest = blocks_[idx];
+  if (media != nullptr) {
+    media->Read(at_rest.size());
+  }
+  if (cache != nullptr) {
+    cache->Put(id_, idx, std::make_shared<const std::string>(at_rest));
+  }
+  MC_ASSIGN_OR_RETURN(std::string raw, DecompressBlockAtRest(at_rest));
+  return std::make_shared<const std::string>(std::move(raw));
+}
+
+int Sstable::FindBlock(std::string_view encoded_key) const {
+  // Last block whose first key <= encoded_key (binary search).
+  int lo = 0;
+  int hi = static_cast<int>(block_first_key_.size()) - 1;
+  int ans = -1;
+  while (lo <= hi) {
+    const int mid = (lo + hi) / 2;
+    if (block_first_key_[static_cast<size_t>(mid)] <= encoded_key) {
+      ans = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return ans;
+}
+
+std::optional<Row> Sstable::Get(std::string_view encoded_key, BlockCache* cache,
+                                Media* media) const {
+  if (blocks_.empty() || !bloom_.MayContain(encoded_key)) {
+    return std::nullopt;
+  }
+  const int b = FindBlock(encoded_key);
+  if (b < 0) {
+    return std::nullopt;
+  }
+  auto block = FetchBlock(static_cast<size_t>(b), cache, media);
+  if (!block.ok()) {
+    return std::nullopt;
+  }
+  std::optional<Row> found;
+  ForEachBlockEntry(**block, [&](std::string_view key, const Row& row) {
+    if (key == encoded_key) {
+      found = row;
+      return false;
+    }
+    return key < encoded_key;  // keep scanning while below
+  });
+  return found;
+}
+
+std::optional<std::string> Sstable::FloorKey(std::string_view prefix,
+                                             std::string_view encoded_key, BlockCache* cache,
+                                             Media* media) const {
+  if (blocks_.empty() || smallest_ > encoded_key) {
+    return std::nullopt;
+  }
+  int b = FindBlock(encoded_key);
+  if (b < 0) {
+    return std::nullopt;
+  }
+  // The floor may be in block b; if block b has no key <= target (cannot
+  // happen since its first key <= target), or the found floor lacks the
+  // prefix, step to earlier blocks while they can still contain the prefix.
+  while (b >= 0) {
+    auto block = FetchBlock(static_cast<size_t>(b), cache, media);
+    if (!block.ok()) {
+      return std::nullopt;
+    }
+    std::string best;
+    ForEachBlockEntry(**block, [&](std::string_view key, const Row& row) {
+      if (key > encoded_key) {
+        return false;
+      }
+      best = std::string(key);
+      return true;
+    });
+    if (!best.empty()) {
+      if (best.size() >= prefix.size() && std::string_view(best).substr(0, prefix.size()) == prefix) {
+        return best;
+      }
+      // The floor exists but belongs to an earlier partition — no key of this
+      // partition is <= target in this table.
+      return std::nullopt;
+    }
+    --b;
+  }
+  return std::nullopt;
+}
+
+Status Sstable::Scan(std::string_view lo, std::string_view hi,
+                     const std::function<bool(std::string_view, const Row&)>& fn,
+                     BlockCache* cache, Media* media) const {
+  if (blocks_.empty() || hi < smallest_ || lo > largest_) {
+    return Status::Ok();
+  }
+  int b = FindBlock(lo);
+  if (b < 0) {
+    b = 0;
+  }
+  for (size_t idx = static_cast<size_t>(b); idx < blocks_.size(); ++idx) {
+    if (block_first_key_[idx] > hi) {
+      break;
+    }
+    MC_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> block,
+                        FetchBlock(idx, cache, media));
+    bool keep_going = true;
+    MC_RETURN_IF_ERROR(ForEachBlockEntry(*block, [&](std::string_view key, const Row& row) {
+      if (key > hi) {
+        keep_going = false;
+        return false;
+      }
+      if (key >= lo) {
+        if (!fn(key, row)) {
+          keep_going = false;
+          return false;
+        }
+      }
+      return true;
+    }));
+    if (!keep_going) {
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,369 @@
+#include "src/kvstore/storage_engine.h"
+
+#include <algorithm>
+#include <map>
+
+namespace minicrypt {
+
+StorageEngine::StorageEngine(StorageEngineOptions options, BlockCache* cache, Media* media,
+                             std::unique_ptr<LogSink> log_sink)
+    : options_(options), cache_(cache), media_(media) {
+  if (options_.enable_commit_log && log_sink != nullptr) {
+    log_ = std::make_unique<CommitLog>(std::move(log_sink), media_);
+  }
+}
+
+Status StorageEngine::Apply(std::string_view partition, std::string_view clustering,
+                            const Row& update) {
+  return ApplyInternal(EncodeRowKey(partition, clustering), update);
+}
+
+Status StorageEngine::ApplyPartitionTombstone(std::string_view partition, uint64_t timestamp) {
+  Row marker;
+  marker.cells[std::string(kPartitionTombstoneColumn)] = Cell{"", timestamp, true};
+  return ApplyInternal(EncodeRowKey(partition, ""), marker);
+}
+
+Status StorageEngine::ApplyInternal(std::string_view encoded_key, const Row& update) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_ != nullptr) {
+    MC_RETURN_IF_ERROR(log_->Append(encoded_key, update));
+  }
+  memtable_.Apply(encoded_key, update);
+  if (memtable_.ApproxBytes() >= options_.memtable_flush_bytes) {
+    MC_RETURN_IF_ERROR(FlushLocked());
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::FlushLocked() {
+  if (memtable_.empty()) {
+    return Status::Ok();
+  }
+  SstableBuilder builder(next_sstable_id_++, options_.sstable);
+  for (const auto& [key, row] : memtable_.entries()) {
+    builder.Add(key, row);
+  }
+  sstables_.insert(sstables_.begin(), builder.Finish(media_));
+  memtable_.Clear();
+  if (log_ != nullptr) {
+    MC_RETURN_IF_ERROR(log_->Retire());
+  }
+  if (static_cast<int>(sstables_.size()) >= options_.compaction_trigger) {
+    MC_RETURN_IF_ERROR(CompactLocked());
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status StorageEngine::RecoverFromLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_ == nullptr) {
+    return Status::Ok();
+  }
+  return log_->Replay([&](std::string_view key, const Row& row) { memtable_.Apply(key, row); });
+}
+
+void StorageEngine::WarmCache(
+    const std::function<bool(std::string_view partition)>& serves_partition) {
+  const ReadSnapshot snap = Snapshot();
+  // Oldest first so the newest (most likely hot) blocks survive LRU eviction.
+  for (auto it = snap.tables.rbegin(); it != snap.tables.rend(); ++it) {
+    (*it)->WarmInto(cache_, serves_partition);
+  }
+}
+
+Status StorageEngine::CompactLocked() {
+  // Full merge of all SSTables, newest-first order. For each key keep the
+  // newest cell per column; honor partition tombstones; drop dead data.
+  // Memtable entries are strictly newer (monotonic timestamps) and stay put.
+  std::map<std::string, Row> merged;
+  std::map<std::string, uint64_t> ptombs;  // partition -> newest tombstone ts
+
+  for (const auto& table : sstables_) {  // newest first; MergeNewer keeps newest
+    const Status s = table->Scan(
+        table->smallest_key(), table->largest_key(),
+        [&](std::string_view key, const Row& row) {
+          merged[std::string(key)].MergeNewer(row);
+          return true;
+        },
+        /*cache=*/nullptr, /*media=*/nullptr);  // compaction reads charged below
+    MC_RETURN_IF_ERROR(s);
+  }
+  size_t input_bytes = 0;
+  for (const auto& table : sstables_) {
+    input_bytes += table->at_rest_bytes();
+  }
+  if (media_ != nullptr && input_bytes > 0) {
+    media_->Read(input_bytes);  // one streaming read of all inputs
+  }
+
+  // Collect partition tombstones.
+  for (const auto& [key, row] : merged) {
+    auto decoded = DecodeRowKey(key);
+    if (!decoded.ok()) {
+      continue;
+    }
+    auto it = row.cells.find(kPartitionTombstoneColumn);
+    if (it != row.cells.end()) {
+      auto& ts = ptombs[std::string(decoded->partition)];
+      ts = std::max(ts, it->second.timestamp);
+    }
+  }
+
+  SstableBuilder builder(next_sstable_id_++, options_.sstable);
+  for (auto& [key, row] : merged) {
+    auto decoded = DecodeRowKey(key);
+    if (!decoded.ok()) {
+      continue;
+    }
+    uint64_t ptomb_ts = 0;
+    auto pt = ptombs.find(std::string(decoded->partition));
+    if (pt != ptombs.end()) {
+      ptomb_ts = pt->second;
+    }
+    Row out;
+    for (auto& [name, cell] : row.cells) {
+      if (name == kPartitionTombstoneColumn) {
+        // Keep the marker: the memtable may still hold older unflushed data?
+        // It cannot (timestamps are monotonic), but a marker is a few bytes
+        // and keeping it makes the reasoning local. Keep the newest only.
+        out.cells[name] = Cell{"", ptomb_ts, true};
+        continue;
+      }
+      if (cell.timestamp <= ptomb_ts) {
+        continue;  // covered by partition delete
+      }
+      if (cell.tombstone) {
+        continue;  // full merge: nothing older survives anywhere below
+      }
+      out.cells[name] = std::move(cell);
+    }
+    if (!out.empty()) {
+      builder.Add(key, out);
+    }
+  }
+
+  std::vector<std::shared_ptr<Sstable>> old;
+  old.swap(sstables_);
+  if (builder.entry_count() > 0) {
+    sstables_.push_back(builder.Finish(media_));
+  }
+  if (cache_ != nullptr) {
+    for (const auto& table : old) {
+      cache_->EraseOwner(table->id());
+    }
+  }
+  return Status::Ok();
+}
+
+StorageEngine::ReadSnapshot StorageEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadSnapshot{sstables_};
+}
+
+uint64_t StorageEngine::PartitionTombstoneTs(std::string_view partition,
+                                             const ReadSnapshot& snap) {
+  const std::string marker_key = EncodeRowKey(partition, "");
+  uint64_t ts = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Row* m = memtable_.Get(marker_key);
+    if (m != nullptr) {
+      auto it = m->cells.find(kPartitionTombstoneColumn);
+      if (it != m->cells.end()) {
+        ts = std::max(ts, it->second.timestamp);
+      }
+    }
+  }
+  for (const auto& table : snap.tables) {
+    auto row = table->Get(marker_key, cache_, media_);
+    if (row.has_value()) {
+      auto it = row->cells.find(kPartitionTombstoneColumn);
+      if (it != row->cells.end()) {
+        ts = std::max(ts, it->second.timestamp);
+      }
+    }
+  }
+  return ts;
+}
+
+void StorageEngine::FilterRow(Row* row, uint64_t ptomb_ts) {
+  for (auto it = row->cells.begin(); it != row->cells.end();) {
+    if (it->first == kPartitionTombstoneColumn || it->second.timestamp <= ptomb_ts ||
+        it->second.tombstone) {
+      it = row->cells.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<Row> StorageEngine::MergedGet(std::string_view encoded_key,
+                                            const ReadSnapshot& snap, uint64_t ptomb_ts) {
+  Row merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Row* m = memtable_.Get(encoded_key);
+    if (m != nullptr) {
+      merged.MergeNewer(*m);
+    }
+  }
+  for (const auto& table : snap.tables) {
+    if (!table->MayContain(encoded_key)) {
+      continue;
+    }
+    auto row = table->Get(encoded_key, cache_, media_);
+    if (row.has_value()) {
+      merged.MergeNewer(*row);
+    }
+  }
+  FilterRow(&merged, ptomb_ts);
+  if (merged.empty()) {
+    return std::nullopt;
+  }
+  return merged;
+}
+
+std::optional<Row> StorageEngine::Get(std::string_view partition, std::string_view clustering) {
+  const ReadSnapshot snap = Snapshot();
+  const uint64_t ptomb = PartitionTombstoneTs(partition, snap);
+  return MergedGet(EncodeRowKey(partition, clustering), snap, ptomb);
+}
+
+std::optional<std::pair<std::string, Row>> StorageEngine::Floor(std::string_view partition,
+                                                                std::string_view clustering) {
+  const ReadSnapshot snap = Snapshot();
+  const uint64_t ptomb = PartitionTombstoneTs(partition, snap);
+  const std::string prefix = PartitionPrefix(partition);
+  std::string target = EncodeRowKey(partition, clustering);
+
+  // Iterate floor candidates from the top; a candidate that turns out fully
+  // deleted steps the search below it.
+  for (;;) {
+    std::optional<std::string> best;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto mk = memtable_.FloorKey(prefix, target);
+      if (mk.has_value()) {
+        best = std::string(*mk);
+      }
+    }
+    for (const auto& table : snap.tables) {
+      auto fk = table->FloorKey(prefix, target, cache_, media_);
+      if (fk.has_value() && (!best.has_value() || *fk > *best)) {
+        best = std::move(fk);
+      }
+    }
+    if (!best.has_value() || best->size() <= prefix.size()) {
+      // No candidate, or only the partition-marker row (empty clustering).
+      return std::nullopt;
+    }
+    auto merged = MergedGet(*best, snap, ptomb);
+    if (merged.has_value()) {
+      auto decoded = DecodeRowKey(*best);
+      if (!decoded.ok()) {
+        return std::nullopt;
+      }
+      return std::make_pair(std::string(decoded->clustering), std::move(*merged));
+    }
+    // Fully deleted row: restart strictly below it. Encoded keys are
+    // prefix-ordered, so the immediate predecessor target is `best` minus one
+    // conceptual step; using the key itself with an exclusive bound is
+    // simplest: shrink target to just below `best`.
+    //
+    // Keys are arbitrary bytes; "just below best" = best with last byte
+    // decremented and 0xff padding would be wrong for variable-length keys.
+    // Instead re-run floor with target = best and skip equality by trimming:
+    // we search floor(best_minus_epsilon) by using best with an exclusivity
+    // marker — implemented by truncating one trailing byte when it is 0x00,
+    // else decrementing it and extending with 0xff. For our key shapes
+    // (fixed-width clusterings) decrement-and-pad is exact.
+    std::string below = *best;
+    while (!below.empty() && static_cast<unsigned char>(below.back()) == 0) {
+      below.pop_back();
+    }
+    if (below.size() <= prefix.size()) {
+      return std::nullopt;
+    }
+    below.back() = static_cast<char>(static_cast<unsigned char>(below.back()) - 1);
+    below.append(8, '\xff');
+    target = below;
+  }
+}
+
+Status StorageEngine::Scan(std::string_view partition, std::string_view lo, std::string_view hi,
+                           size_t limit,
+                           const std::function<bool(std::string_view, const Row&)>& fn) {
+  if (hi < lo) {
+    return Status::Ok();
+  }
+  const ReadSnapshot snap = Snapshot();
+  const uint64_t ptomb = PartitionTombstoneTs(partition, snap);
+  const std::string klo = EncodeRowKey(partition, lo);
+  const std::string khi = EncodeRowKey(partition, hi);
+
+  // Gather-merge: collect per-source rows into a sorted map. Simple and
+  // correct; ranges in MiniCrypt are bounded (pack ranges, epoch scans).
+  std::map<std::string, Row> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memtable_.entries().lower_bound(klo);
+    for (; it != memtable_.entries().end() && it->first <= khi; ++it) {
+      merged[it->first].MergeNewer(it->second);
+    }
+  }
+  for (const auto& table : snap.tables) {
+    MC_RETURN_IF_ERROR(table->Scan(
+        klo, khi,
+        [&](std::string_view key, const Row& row) {
+          merged[std::string(key)].MergeNewer(row);
+          return true;
+        },
+        cache_, media_));
+  }
+
+  size_t emitted = 0;
+  for (auto& [key, row] : merged) {
+    FilterRow(&row, ptomb);
+    if (row.empty()) {
+      continue;
+    }
+    auto decoded = DecodeRowKey(key);
+    if (!decoded.ok()) {
+      continue;
+    }
+    if (!fn(decoded->clustering, row)) {
+      break;
+    }
+    if (limit != 0 && ++emitted >= limit) {
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+size_t StorageEngine::AtRestBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (const auto& table : sstables_) {
+    bytes += table->at_rest_bytes();
+  }
+  return bytes;
+}
+
+size_t StorageEngine::SstableCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sstables_.size();
+}
+
+size_t StorageEngine::MemtableBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memtable_.ApproxBytes();
+}
+
+}  // namespace minicrypt

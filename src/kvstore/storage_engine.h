@@ -1,0 +1,127 @@
+// LSM storage engine for one table replica on one node: commit log ->
+// memtable -> SSTables, with size-tiered full compaction, bloom-filter
+// skipping, a shared block cache, and the latency-modelled media layer.
+//
+// Thread-safe: a single engine mutex serializes structural changes (apply,
+// flush, compaction); reads take a snapshot of the sstable list under the
+// mutex and then run lock-free against immutable tables (media sleeps happen
+// outside the mutex so concurrent readers overlap on an SSD).
+
+#ifndef MINICRYPT_SRC_KVSTORE_STORAGE_ENGINE_H_
+#define MINICRYPT_SRC_KVSTORE_STORAGE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kvstore/block_cache.h"
+#include "src/kvstore/commit_log.h"
+#include "src/kvstore/media.h"
+#include "src/kvstore/memtable.h"
+#include "src/kvstore/row.h"
+#include "src/kvstore/sstable.h"
+
+namespace minicrypt {
+
+struct StorageEngineOptions {
+  size_t memtable_flush_bytes = 4 * 1024 * 1024;
+  int compaction_trigger = 8;  // full compaction when this many SSTables exist
+  SstableOptions sstable;
+  bool enable_commit_log = true;
+};
+
+class StorageEngine {
+ public:
+  // `cache` and `media` are shared across the node's engines; either may be
+  // nullptr (no caching / no latency).
+  StorageEngine(StorageEngineOptions options, BlockCache* cache, Media* media,
+                std::unique_ptr<LogSink> log_sink);
+
+  // --- Writes ----------------------------------------------------------------
+
+  // Applies a cell update (LWW) to (partition, clustering).
+  Status Apply(std::string_view partition, std::string_view clustering, const Row& update);
+
+  // Marks every cell of the partition older than `timestamp` deleted.
+  Status ApplyPartitionTombstone(std::string_view partition, uint64_t timestamp);
+
+  // --- Reads -----------------------------------------------------------------
+
+  // Newest visible row, nullopt when absent or fully deleted.
+  std::optional<Row> Get(std::string_view partition, std::string_view clustering);
+
+  // Largest clustering key <= `clustering` within the partition whose row is
+  // visible. Returns (clustering, row).
+  std::optional<std::pair<std::string, Row>> Floor(std::string_view partition,
+                                                   std::string_view clustering);
+
+  // All visible rows with lo <= clustering <= hi, ascending. `limit` == 0
+  // means unlimited.
+  Status Scan(std::string_view partition, std::string_view lo, std::string_view hi,
+              size_t limit,
+              const std::function<bool(std::string_view clustering, const Row&)>& fn);
+
+  // --- Maintenance -------------------------------------------------------------
+
+  // Flushes the memtable synchronously (tests / shutdown).
+  Status Flush();
+
+  // Replays the commit log into the memtable (crash recovery).
+  Status RecoverFromLog();
+
+  // Pushes SSTable blocks into the block cache without media charges
+  // (benchmark warmup shortcut; see Sstable::WarmInto). The optional filter
+  // keeps only blocks of partitions this replica serves.
+  void WarmCache(const std::function<bool(std::string_view partition)>& serves_partition = {});
+
+  // Bytes at rest across all SSTables (reported by benches as the server-side
+  // footprint, i.e. what compression saved).
+  size_t AtRestBytes() const;
+  size_t SstableCount() const;
+  size_t MemtableBytes() const;
+
+ private:
+  // Fully merges all SSTables into one, dropping shadowed cells, cells under
+  // partition tombstones, and (because this is a full merge) tombstones
+  // themselves when nothing older can exist.
+  Status CompactLocked();
+
+  Status FlushLocked();
+
+  Status ApplyInternal(std::string_view encoded_key, const Row& update);
+
+  // Snapshot of immutable state for lock-free reads.
+  struct ReadSnapshot {
+    std::vector<std::shared_ptr<Sstable>> tables;  // newest first
+  };
+  ReadSnapshot Snapshot() const;
+
+  // Newest partition-tombstone timestamp covering `partition`.
+  uint64_t PartitionTombstoneTs(std::string_view partition, const ReadSnapshot& snap);
+
+  // Merges the row across memtable + snapshot tables; applies tombstone
+  // filtering. Returns nullopt when invisible.
+  std::optional<Row> MergedGet(std::string_view encoded_key, const ReadSnapshot& snap,
+                               uint64_t ptomb_ts);
+
+  static void FilterRow(Row* row, uint64_t ptomb_ts);
+
+  StorageEngineOptions options_;
+  BlockCache* cache_;
+  Media* media_;
+
+  mutable std::mutex mu_;
+  Memtable memtable_;
+  std::vector<std::shared_ptr<Sstable>> sstables_;  // newest first
+  std::unique_ptr<CommitLog> log_;
+  uint64_t next_sstable_id_ = 1;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_STORAGE_ENGINE_H_

@@ -1,0 +1,393 @@
+#include "src/workload/datasets.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/random.h"
+
+namespace minicrypt {
+
+namespace {
+
+// Small word pools used to synthesize plausible field values. Invented names;
+// what matters is pool size (distinct-value cardinality drives cross-row
+// redundancy).
+constexpr std::array<std::string_view, 24> kCities = {
+    "sanfrancisco", "newyork",   "london",   "berlin",   "tokyo",    "sydney",
+    "toronto",      "saopaulo",  "mumbai",   "seoul",    "paris",    "madrid",
+    "amsterdam",    "stockholm", "dublin",   "zurich",   "singapore", "taipei",
+    "oslo",         "helsinki",  "vienna",   "prague",   "warsaw",   "lisbon"};
+
+constexpr std::array<std::string_view, 12> kIsps = {
+    "comstar",  "vectranet", "bluelink", "skyfiber", "metrotel", "quantanet",
+    "airwave",  "gridcom",   "novatel",  "pulsenet", "coreline", "zenbroad"};
+
+constexpr std::array<std::string_view, 10> kDevices = {
+    "roku3",    "appletv",  "chromecast", "firetv",  "smarttv-lg",
+    "xbox-one", "ps4",      "ipad-air",   "android-tablet", "desktop-web"};
+
+constexpr std::array<std::string_view, 8> kCdns = {
+    "cdn-akora", "cdn-lumen", "cdn-fastly2", "cdn-edgecloud",
+    "cdn-nimbus", "cdn-strata", "cdn-veloce", "cdn-apex"};
+
+constexpr std::array<std::string_view, 6> kPlayerStates = {
+    "playing", "buffering", "paused", "joining", "stopped", "error"};
+
+// Generic word pool for text-like datasets (wiki, twitter). Frequencies are
+// zipf-ranked by index.
+constexpr std::array<std::string_view, 96> kWords = {
+    "the",      "of",       "and",      "to",        "in",       "a",
+    "is",       "that",     "for",      "it",        "as",       "was",
+    "with",     "be",       "by",       "on",        "not",      "he",
+    "this",     "are",      "or",       "his",       "from",     "at",
+    "which",    "but",      "have",     "an",        "had",      "they",
+    "you",      "were",     "their",    "one",       "all",      "we",
+    "can",      "her",      "has",      "there",     "been",     "if",
+    "more",     "when",     "will",     "would",     "who",      "so",
+    "no",       "she",      "other",    "its",       "may",      "these",
+    "what",     "them",     "than",     "some",      "him",      "time",
+    "into",     "only",     "could",    "new",       "two",      "our",
+    "system",   "data",     "network",  "process",   "memory",   "value",
+    "result",   "number",   "function", "table",     "server",   "client",
+    "storage",  "record",   "update",   "query",     "index",    "field",
+    "stream",   "packet",   "buffer",   "thread",    "signal",   "sensor",
+    "energy",   "measure",  "history",  "century",   "region",   "science"};
+
+constexpr std::array<std::string_view, 16> kCKeywords = {
+    "static", "int", "return", "if", "else", "for", "while", "struct",
+    "void",   "char", "const", "unsigned", "break", "case", "switch", "sizeof"};
+
+uint64_t RowSeed(uint64_t dataset_seed, uint64_t index) {
+  uint64_t h = dataset_seed ^ (index * 0x9e3779b97f4a7c15ULL);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+void AppendZipfWord(std::string* out, Rng* rng) {
+  // Quadratic skew toward low indices approximates a zipfian word mix.
+  const double u = rng->NextDouble();
+  const auto idx = static_cast<size_t>(u * u * static_cast<double>(kWords.size()));
+  out->append(kWords[std::min(idx, kWords.size() - 1)]);
+}
+
+// --- Conviva-like session log -------------------------------------------------
+
+class ConvivaLike : public Dataset {
+ public:
+  explicit ConvivaLike(uint64_t seed) : seed_(seed) {}
+  std::string_view Name() const override { return "conviva"; }
+  size_t ApproxRowBytes() const override { return 1100; }
+
+  std::string Row(uint64_t index) const override {
+    Rng rng(RowSeed(seed_, index));
+    std::string out;
+    out.reserve(1200);
+    char buf[160];
+    // Session header: ids are high-entropy (this is what limits single-row
+    // compression to ~1.6), field names and dictionary values are shared
+    // across rows (this is what packs recover).
+    std::snprintf(buf, sizeof(buf),
+                  "session_id=%016llx viewer_id=%012llx asset_id=vod-%06llu ",
+                  static_cast<unsigned long long>(rng.Next()),
+                  static_cast<unsigned long long>(rng.Next() & 0xFFFFFFFFFFFFull),
+                  static_cast<unsigned long long>(rng.Uniform(250000)));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "ts=%llu city=%s isp=%s device=%s cdn=%s state=%s ",
+                  static_cast<unsigned long long>(1490000000000ull + index * 40 + rng.Uniform(40)),
+                  kCities[rng.Uniform(kCities.size())].data(),
+                  kIsps[rng.Uniform(kIsps.size())].data(),
+                  kDevices[rng.Uniform(kDevices.size())].data(),
+                  kCdns[rng.Uniform(kCdns.size())].data(),
+                  kPlayerStates[rng.Uniform(kPlayerStates.size())].data());
+    out += buf;
+    // High-entropy auth token (~12% of the row): incompressible alone or in
+    // packs, which keeps single-row ratio near the paper's ~1.6 and the pack
+    // ratio from exceeding the paper's ~4.5 plateau.
+    out += "token=";
+    const std::string token_bytes = rng.Bytes(48);
+    for (unsigned char c : token_bytes) {
+      std::snprintf(buf, sizeof(buf), "%02x", c);
+      out += buf;
+    }
+    out.push_back(' ');
+    // Flat QoS metric list: ~40 distinct field names. Names repeat *across*
+    // rows (pack-compressible) but not within one row.
+    static constexpr std::array<std::string_view, 40> kMetrics = {
+        "abr_bitrate_kbps",   "startup_delay_ms",  "rebuffer_count",   "rebuffer_ratio_pct",
+        "join_time_ms",       "frames_dropped",    "frames_rendered",  "avg_fps",
+        "bandwidth_est_kbps", "cdn_rtt_ms",        "dns_time_ms",      "tcp_connect_ms",
+        "tls_handshake_ms",   "first_byte_ms",     "manifest_time_ms", "segment_count",
+        "segment_errors",     "bitrate_switches",  "upshift_count",    "downshift_count",
+        "play_duration_s",    "pause_count",       "seek_count",       "seek_latency_ms",
+        "ad_count",           "ad_duration_s",     "ad_errors",        "exit_before_start",
+        "vst_ms",             "buffer_health_ms",  "audio_bitrate",    "video_width",
+        "video_height",       "decoder_errors",    "drm_time_ms",      "license_time_ms",
+        "player_version",     "sdk_version",       "os_build",         "session_seq"};
+    // Fractional measurements: high-cardinality (dictionary-encoding-hostile,
+    // like the real Conviva columns, §2.4). Values drift slowly with the row
+    // index — adjacent sessions see similar network conditions — so packs of
+    // nearby rows share most digit prefixes and compress well.
+    int metric_index = 0;
+    for (const std::string_view metric : kMetrics) {
+      const double base =
+          250.0 * metric_index +
+          40.0 * std::sin(static_cast<double>(index) / 700.0 + metric_index);
+      const double noise = static_cast<double>(rng.Uniform(300)) / 100.0;
+      std::snprintf(buf, sizeof(buf), "%s=%.2f ", metric.data(), base + noise);
+      out += buf;
+      ++metric_index;
+    }
+    std::snprintf(buf, sizeof(buf), "exit=%s play_ms=%llu",
+                  kPlayerStates[rng.Uniform(kPlayerStates.size())].data(),
+                  static_cast<unsigned long long>(rng.Uniform(3600000)));
+    out += buf;
+    return out;
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+// --- Genomics-like -------------------------------------------------------------
+
+class GenomicsLike : public Dataset {
+ public:
+  explicit GenomicsLike(uint64_t seed) : seed_(seed) {}
+  std::string_view Name() const override { return "genomics"; }
+  size_t ApproxRowBytes() const override { return 600; }
+
+  std::string Row(uint64_t index) const override {
+    Rng rng(RowSeed(seed_, index));
+    std::string out;
+    out.reserve(640);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ">read|chr%llu|pos=%llu|q=%llu\n",
+                  static_cast<unsigned long long>(1 + rng.Uniform(22)),
+                  static_cast<unsigned long long>(rng.Uniform(240000000)),
+                  static_cast<unsigned long long>(20 + rng.Uniform(20)));
+    out += buf;
+    // 2-bit alphabet with repeated motifs (real genomes are far from iid).
+    static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+    std::string motif;
+    for (int i = 0; i < 12; ++i) {
+      motif.push_back(kBases[rng.Uniform(4)]);
+    }
+    while (out.size() < 580) {
+      if (rng.Bernoulli(0.35)) {
+        out += motif;  // repeat region
+      } else {
+        for (int i = 0; i < 16; ++i) {
+          out.push_back(kBases[rng.Uniform(4)]);
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+// --- Twitter-like JSON ----------------------------------------------------------
+
+class TwitterLike : public Dataset {
+ public:
+  explicit TwitterLike(uint64_t seed) : seed_(seed) {}
+  std::string_view Name() const override { return "twitter"; }
+  size_t ApproxRowBytes() const override { return 700; }
+
+  std::string Row(uint64_t index) const override {
+    Rng rng(RowSeed(seed_, index));
+    std::string out;
+    out.reserve(760);
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%llu,\"created_at\":\"2016-11-%02llu 12:%02llu:%02llu\","
+                  "\"user\":{\"id\":%llu,\"followers\":%llu,\"lang\":\"en\","
+                  "\"verified\":%s},\"retweets\":%llu,\"favorites\":%llu,\"text\":\"",
+                  static_cast<unsigned long long>(780000000000000000ull + index),
+                  static_cast<unsigned long long>(1 + rng.Uniform(28)),
+                  static_cast<unsigned long long>(rng.Uniform(60)),
+                  static_cast<unsigned long long>(rng.Uniform(60)),
+                  static_cast<unsigned long long>(rng.Uniform(400000000)),
+                  static_cast<unsigned long long>(rng.Uniform(100000)),
+                  rng.Bernoulli(0.02) ? "true" : "false",
+                  static_cast<unsigned long long>(rng.Uniform(50)),
+                  static_cast<unsigned long long>(rng.Uniform(200)));
+    out += buf;
+    const size_t words = 12 + rng.Uniform(18);
+    for (size_t w = 0; w < words; ++w) {
+      AppendZipfWord(&out, &rng);
+      out.push_back(' ');
+    }
+    out += "\",\"entities\":{\"hashtags\":[\"";
+    AppendZipfWord(&out, &rng);
+    out += "\"],\"urls\":[],\"mentions\":[]},\"source\":\"";
+    out += kDevices[rng.Uniform(kDevices.size())];
+    out += "\",\"geo\":null,\"place\":\"";
+    out += kCities[rng.Uniform(kCities.size())];
+    out += "\"}";
+    return out;
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+// --- Gas-sensor time series ------------------------------------------------------
+
+class GasSensorLike : public Dataset {
+ public:
+  explicit GasSensorLike(uint64_t seed) : seed_(seed) {}
+  std::string_view Name() const override { return "gas"; }
+  size_t ApproxRowBytes() const override { return 150; }
+
+  std::string Row(uint64_t index) const override {
+    Rng rng(RowSeed(seed_, index));
+    std::string out;
+    out.reserve(360);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(1420070400 + index));
+    out += buf;
+    // 16 channels whose baseline drifts slowly with the row index, with small
+    // per-sample noise — adjacent rows are highly similar (pack-friendly).
+    for (int ch = 0; ch < 16; ++ch) {
+      const double base =
+          600.0 + 120.0 * std::sin(static_cast<double>(index) / 900.0 + ch * 0.7) +
+          25.0 * ch;
+      const double noise = (rng.NextDouble() - 0.5) * 4.0;
+      std::snprintf(buf, sizeof(buf), ",%.2f", base + noise);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",%.1f,%.1f",
+                  21.0 + 3.0 * std::sin(static_cast<double>(index) / 5000.0),
+                  45.0 + 8.0 * std::sin(static_cast<double>(index) / 7000.0));
+    out += buf;
+    return out;
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+// --- Wikipedia-like text ----------------------------------------------------------
+
+class WikiLike : public Dataset {
+ public:
+  explicit WikiLike(uint64_t seed) : seed_(seed) {}
+  std::string_view Name() const override { return "wiki"; }
+  size_t ApproxRowBytes() const override { return 2000; }
+
+  std::string Row(uint64_t index) const override {
+    Rng rng(RowSeed(seed_, index));
+    std::string out;
+    out.reserve(2100);
+    out += "== ";
+    AppendZipfWord(&out, &rng);
+    out.push_back(' ');
+    AppendZipfWord(&out, &rng);
+    out += " ==\n";
+    while (out.size() < 1900) {
+      const size_t sentence = 8 + rng.Uniform(14);
+      for (size_t w = 0; w < sentence; ++w) {
+        AppendZipfWord(&out, &rng);
+        out.push_back(' ');
+      }
+      out += rng.Bernoulli(0.2) ? ".\n" : ". ";
+      if (rng.Bernoulli(0.08)) {
+        out += "[[";
+        AppendZipfWord(&out, &rng);
+        out += "]] ";
+      }
+    }
+    return out;
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+// --- GitHub-like C source -----------------------------------------------------------
+
+class GithubLike : public Dataset {
+ public:
+  explicit GithubLike(uint64_t seed) : seed_(seed) {}
+  std::string_view Name() const override { return "github"; }
+  size_t ApproxRowBytes() const override { return 1500; }
+
+  std::string Row(uint64_t index) const override {
+    Rng rng(RowSeed(seed_, index));
+    std::string out;
+    out.reserve(1600);
+    char buf[120];
+    std::snprintf(buf, sizeof(buf), "/* module_%04llu.c */\n#include <linux/kernel.h>\n",
+                  static_cast<unsigned long long>(index % 4096));
+    out += buf;
+    while (out.size() < 1400) {
+      const std::string fn = "do_" + rng.AlphaString(6);
+      std::snprintf(buf, sizeof(buf), "%s %s %s(%s *%s, %s %s)\n{\n",
+                    kCKeywords[rng.Uniform(4)].data(), "int", fn.c_str(), "struct device",
+                    rng.AlphaString(3).c_str(), "unsigned", rng.AlphaString(3).c_str());
+      out += buf;
+      const int body = 3 + static_cast<int>(rng.Uniform(5));
+      for (int line = 0; line < body; ++line) {
+        std::snprintf(buf, sizeof(buf), "\t%s (%s_%llu %s %llu)\n\t\treturn -EINVAL;\n",
+                      kCKeywords[rng.Uniform(kCKeywords.size())].data(),
+                      rng.AlphaString(4).c_str(),
+                      static_cast<unsigned long long>(rng.Uniform(100)),
+                      rng.Bernoulli(0.5) ? "<" : ">=",
+                      static_cast<unsigned long long>(rng.Uniform(4096)));
+        out += buf;
+      }
+      out += "\treturn 0;\n}\n\n";
+    }
+    return out;
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace
+
+std::unique_ptr<Dataset> MakeDataset(std::string_view name, uint64_t seed) {
+  if (name == "conviva") {
+    return std::make_unique<ConvivaLike>(seed);
+  }
+  if (name == "genomics") {
+    return std::make_unique<GenomicsLike>(seed);
+  }
+  if (name == "twitter") {
+    return std::make_unique<TwitterLike>(seed);
+  }
+  if (name == "gas") {
+    return std::make_unique<GasSensorLike>(seed);
+  }
+  if (name == "wiki") {
+    return std::make_unique<WikiLike>(seed);
+  }
+  if (name == "github") {
+    return std::make_unique<GithubLike>(seed);
+  }
+  return nullptr;
+}
+
+std::vector<std::string_view> AllDatasetNames() {
+  return {"conviva", "genomics", "twitter", "gas", "wiki", "github"};
+}
+
+std::vector<std::pair<uint64_t, std::string>> MaterializeRows(const Dataset& dataset,
+                                                              uint64_t count) {
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    rows.emplace_back(i, dataset.Row(i));
+  }
+  return rows;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,51 @@
+// Synthetic stand-ins for the paper's six datasets (§3, Figure 2): Conviva
+// session logs, genomics sequences, tweets, gas-sensor time series, Wikipedia
+// text, and GitHub (Linux) source files.
+//
+// The originals are proprietary or impractical to ship; these generators are
+// tuned so that the property Figure 2 rests on holds: most redundancy is
+// *cross-row* (shared field names, dictionary-coded values, similar records),
+// so the compression ratio climbs steeply with rows-per-pack and then
+// plateaus near the whole-dataset ratio. Generation is deterministic per
+// (dataset, seed, row index).
+
+#ifndef MINICRYPT_SRC_WORKLOAD_DATASETS_H_
+#define MINICRYPT_SRC_WORKLOAD_DATASETS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minicrypt {
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  // Stable dataset name ("conviva", "genomics", ...).
+  virtual std::string_view Name() const = 0;
+
+  // Deterministic value of row `index`.
+  virtual std::string Row(uint64_t index) const = 0;
+
+  // Nominal average row size in bytes (for reporting; actual rows vary).
+  virtual size_t ApproxRowBytes() const = 0;
+};
+
+// Factory. Known names: conviva, genomics, twitter, gas, wiki, github.
+// Returns nullptr for unknown names.
+std::unique_ptr<Dataset> MakeDataset(std::string_view name, uint64_t seed);
+
+// All six names in the paper's order.
+std::vector<std::string_view> AllDatasetNames();
+
+// Convenience: materialize rows [0, count) as (key, value) pairs with keys
+// 0..count-1.
+std::vector<std::pair<uint64_t, std::string>> MaterializeRows(const Dataset& dataset,
+                                                              uint64_t count);
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_WORKLOAD_DATASETS_H_

@@ -1,0 +1,69 @@
+#include "src/workload/driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_util.h"
+
+namespace minicrypt {
+
+DriverResult RunClosedLoop(const DriverConfig& config,
+                           const std::function<bool(int thread, uint64_t index)>& op) {
+  std::atomic<bool> stop{false};
+  std::atomic<bool> measuring{false};
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> errors{0};
+  StartGate gate;
+
+  std::vector<Histogram> histograms(static_cast<size_t>(config.threads));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(config.threads));
+  for (int t = 0; t < config.threads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.Wait();
+      uint64_t index = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto begin = std::chrono::steady_clock::now();
+        const bool ok = op(t, index++);
+        const auto end = std::chrono::steady_clock::now();
+        if (measuring.load(std::memory_order_relaxed)) {
+          const auto micros =
+              std::chrono::duration_cast<std::chrono::microseconds>(end - begin).count();
+          histograms[static_cast<size_t>(t)].Add(static_cast<uint64_t>(micros));
+          ops.fetch_add(1, std::memory_order_relaxed);
+          if (!ok) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  gate.Open();
+  if (config.warmup_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(config.warmup_micros));
+  }
+  measuring = true;
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::microseconds(config.run_micros));
+  stop = true;
+  const auto finish = std::chrono::steady_clock::now();
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  DriverResult result;
+  result.elapsed_s = std::chrono::duration<double>(finish - start).count();
+  result.total_ops = ops.load();
+  result.errors = errors.load();
+  result.throughput_ops_s =
+      result.elapsed_s > 0 ? static_cast<double>(result.total_ops) / result.elapsed_s : 0.0;
+  for (const auto& h : histograms) {
+    result.latency.Merge(h);
+  }
+  return result;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,36 @@
+// Multi-threaded closed-loop benchmark driver: N client threads issue
+// operations back-to-back for a fixed window; reports aggregate throughput
+// and a latency histogram. Used by every figure harness.
+
+#ifndef MINICRYPT_SRC_WORKLOAD_DRIVER_H_
+#define MINICRYPT_SRC_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/histogram.h"
+
+namespace minicrypt {
+
+struct DriverResult {
+  double throughput_ops_s = 0.0;
+  uint64_t total_ops = 0;
+  uint64_t errors = 0;
+  double elapsed_s = 0.0;
+  Histogram latency;
+};
+
+struct DriverConfig {
+  int threads = 4;
+  uint64_t run_micros = 2'000'000;
+  uint64_t warmup_micros = 0;  // operations before the measured window
+};
+
+// `op(thread_id, op_index)` performs one operation and returns true on
+// success. Threads run closed-loop until the window elapses.
+DriverResult RunClosedLoop(const DriverConfig& config,
+                           const std::function<bool(int thread, uint64_t index)>& op);
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_WORKLOAD_DRIVER_H_

@@ -1,0 +1,68 @@
+// YCSB-style workload descriptors (the paper's benchmarks are modified YCSB
+// workloads, §8): key choosers over a keyspace (uniform, zipfian, latest
+// window) and operation mixes.
+
+#ifndef MINICRYPT_SRC_WORKLOAD_YCSB_H_
+#define MINICRYPT_SRC_WORKLOAD_YCSB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/random.h"
+
+namespace minicrypt {
+
+// Chooses the next key to operate on. One chooser per client thread.
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  virtual uint64_t Next() = 0;
+};
+
+class UniformChooser : public KeyChooser {
+ public:
+  UniformChooser(uint64_t keyspace, uint64_t seed) : rng_(seed), keyspace_(keyspace) {}
+  uint64_t Next() override { return rng_.Uniform(keyspace_); }
+
+ private:
+  Rng rng_;
+  uint64_t keyspace_;
+};
+
+// The paper's Figure 10 skew knob: "Zipfian parameter 0.2, with 0 being pure
+// Zipfian and 1 being uniformly random". We map that knob to YCSB's theta:
+// theta = 0.99 * (1 - knob), so knob 0 -> theta 0.99 (YCSB's default "pure"
+// zipfian) and knob 1 -> theta ~0 (uniform).
+class ZipfianChooser : public KeyChooser {
+ public:
+  ZipfianChooser(uint64_t keyspace, double knob, uint64_t seed)
+      : gen_(keyspace, 0.99 * (1.0 - knob) + 1e-6, seed) {}
+  uint64_t Next() override { return gen_.Next(); }
+
+ private:
+  ZipfianGenerator gen_;
+};
+
+// "Read most recent": keys uniform over the trailing `window` of a monotonic
+// frontier that the writers advance (paper Figure 13's "interval" knob).
+class LatestWindowChooser : public KeyChooser {
+ public:
+  LatestWindowChooser(const std::atomic<uint64_t>* frontier, uint64_t window, uint64_t seed)
+      : frontier_(frontier), window_(window), rng_(seed) {}
+
+  uint64_t Next() override {
+    const uint64_t hi = frontier_->load(std::memory_order_relaxed);
+    const uint64_t lo = hi > window_ ? hi - window_ : 0;
+    return lo + rng_.Uniform(hi > lo ? hi - lo : 1);
+  }
+
+ private:
+  const std::atomic<uint64_t>* frontier_;
+  uint64_t window_;
+  Rng rng_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_WORKLOAD_YCSB_H_

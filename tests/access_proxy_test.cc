@@ -1,0 +1,90 @@
+#include "src/core/access_proxy.h"
+
+#include <gtest/gtest.h>
+
+namespace minicrypt {
+namespace {
+
+class AccessProxyTest : public ::testing::Test {
+ protected:
+  AccessProxyTest()
+      : cluster_(ClusterOptions::ForTest()),
+        key_(SymmetricKey::FromSeed("tenant")),
+        proxy_(&cluster_, MakeOptions(), key_) {
+    EXPECT_TRUE(proxy_.client().CreateTable().ok());
+    std::vector<std::pair<uint64_t, std::string>> rows;
+    for (uint64_t k = 0; k < 100; ++k) {
+      rows.emplace_back(k, "v" + std::to_string(k));
+    }
+    EXPECT_TRUE(proxy_.client().BulkLoad(rows).ok());
+  }
+
+  static MiniCryptOptions MakeOptions() {
+    MiniCryptOptions o;
+    o.pack_rows = 8;
+    o.hash_partitions = 2;
+    return o;
+  }
+
+  Cluster cluster_;
+  SymmetricKey key_;
+  AccessProxy proxy_;
+};
+
+TEST_F(AccessProxyTest, UngrantedPrincipalDeniedEverything) {
+  EXPECT_FALSE(proxy_.Get("nobody", 5).ok());
+  EXPECT_FALSE(proxy_.Put("nobody", 5, "x").ok());
+  EXPECT_FALSE(proxy_.Delete("nobody", 5).ok());
+}
+
+TEST_F(AccessProxyTest, ReadGrantAllowsReadsOnlyWithinRange) {
+  proxy_.AddGrant("analyst", Grant{10, 19, static_cast<uint8_t>(Permission::kRead)});
+  auto v = proxy_.Get("analyst", 15);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "v15");
+  EXPECT_FALSE(proxy_.Get("analyst", 20).ok());  // outside range
+  EXPECT_FALSE(proxy_.Put("analyst", 15, "x").ok());  // no write bit
+}
+
+TEST_F(AccessProxyTest, WriteAndDeleteBits) {
+  proxy_.AddGrant("writer", Grant{0, 49, Permission::kRead | Permission::kWrite});
+  EXPECT_TRUE(proxy_.Put("writer", 3, "updated").ok());
+  auto v = proxy_.Get("writer", 3);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "updated");
+  EXPECT_FALSE(proxy_.Delete("writer", 3).ok());  // no delete bit
+
+  proxy_.AddGrant("writer", Grant{3, 3, static_cast<uint8_t>(Permission::kDelete)});
+  EXPECT_TRUE(proxy_.Delete("writer", 3).ok());
+  EXPECT_TRUE(proxy_.Get("writer", 3).status().IsNotFound());
+}
+
+TEST_F(AccessProxyTest, RangeResultsFilteredToGrants) {
+  // The grant covers a sub-range that shares packs with ungranted keys.
+  proxy_.AddGrant("partial", Grant{20, 29, static_cast<uint8_t>(Permission::kRead)});
+  auto rows = proxy_.GetRange("partial", 0, 99);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 10u);
+  for (const auto& [k, v] : *rows) {
+    EXPECT_GE(k, 20u);
+    EXPECT_LE(k, 29u);
+  }
+}
+
+TEST_F(AccessProxyTest, MultipleGrantsUnion) {
+  proxy_.AddGrant("multi", Grant{0, 4, static_cast<uint8_t>(Permission::kRead)});
+  proxy_.AddGrant("multi", Grant{90, 99, static_cast<uint8_t>(Permission::kRead)});
+  auto rows = proxy_.GetRange("multi", 0, 99);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 15u);
+}
+
+TEST_F(AccessProxyTest, RevokeCutsAccess) {
+  proxy_.AddGrant("temp", Grant{0, 99, static_cast<uint8_t>(Permission::kRead)});
+  EXPECT_TRUE(proxy_.Get("temp", 1).ok());
+  proxy_.RevokePrincipal("temp");
+  EXPECT_FALSE(proxy_.Get("temp", 1).ok());
+}
+
+}  // namespace
+}  // namespace minicrypt

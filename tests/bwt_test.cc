@@ -1,0 +1,198 @@
+#include "src/compress/bwt.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/compress/huffman.h"
+
+namespace minicrypt {
+namespace {
+
+void ExpectBwtRoundTrip(const std::string& input) {
+  const BwtResult fwd = BwtForward(input);
+  ASSERT_EQ(fwd.transformed.size(), input.size());
+  auto back = BwtInverse(fwd.transformed, fwd.primary_index);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, input);
+}
+
+TEST(Bwt, EmptyAndTiny) {
+  ExpectBwtRoundTrip("");
+  ExpectBwtRoundTrip("a");
+  ExpectBwtRoundTrip("ab");
+  ExpectBwtRoundTrip("aa");
+}
+
+TEST(Bwt, ClassicExample) {
+  // "banana"-style inputs exercise repeated suffixes.
+  ExpectBwtRoundTrip("banana");
+  ExpectBwtRoundTrip("mississippi");
+  ExpectBwtRoundTrip("abracadabraabracadabra");
+}
+
+TEST(Bwt, GroupsSimilarContexts) {
+  // BWT of a repetitive string should contain long runs (that is the whole
+  // point of the transform).
+  std::string input;
+  for (int i = 0; i < 200; ++i) {
+    input += "the cat sat on the mat. ";
+  }
+  const BwtResult fwd = BwtForward(input);
+  size_t longest_run = 1;
+  size_t run = 1;
+  for (size_t i = 1; i < fwd.transformed.size(); ++i) {
+    run = fwd.transformed[i] == fwd.transformed[i - 1] ? run + 1 : 1;
+    longest_run = std::max(longest_run, run);
+  }
+  EXPECT_GT(longest_run, 50u);
+}
+
+TEST(Bwt, RandomBinaryProperty) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    ExpectBwtRoundTrip(rng.Bytes(rng.Uniform(4000) + 1));
+  }
+}
+
+TEST(Bwt, AllSameByte) { ExpectBwtRoundTrip(std::string(10000, '\x00')); }
+
+TEST(Bwt, BadPrimaryIndexRejected) {
+  const BwtResult fwd = BwtForward("hello world");
+  EXPECT_FALSE(BwtInverse(fwd.transformed, static_cast<uint32_t>(fwd.transformed.size() + 5))
+                   .ok());
+}
+
+TEST(Mtf, RoundTrip) {
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string input = rng.Bytes(rng.Uniform(2000));
+    EXPECT_EQ(MtfInverse(MtfForward(input)), input);
+  }
+}
+
+TEST(Mtf, RunsBecomeZeros) {
+  const std::string ranks = MtfForward("aaaaaabbbbbb");
+  // After the first 'a' and first 'b', every repeat is rank 0.
+  int zeros = 0;
+  for (char c : ranks) {
+    zeros += c == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(zeros, 10);
+}
+
+TEST(Zrle, RoundTripWithLongZeroRuns) {
+  std::string ranks;
+  ranks.append(1000, '\x00');
+  ranks.push_back('\x05');
+  ranks.append(3, '\x00');
+  ranks.push_back('\x07');
+  const auto symbols = ZrleForward(ranks);
+  // Run of 1000 zeros encodes in ~log2(1000) symbols, not 1000.
+  EXPECT_LT(symbols.size(), 30u);
+  auto back = ZrleInverse(symbols);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, ranks);
+}
+
+TEST(Zrle, RoundTripProperty) {
+  Rng rng(35);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string ranks;
+    const size_t n = rng.Uniform(500);
+    for (size_t i = 0; i < n; ++i) {
+      // Skew toward zero like post-MTF data.
+      ranks.push_back(rng.Bernoulli(0.7) ? '\x00' : static_cast<char>(rng.Uniform(256)));
+    }
+    auto back = ZrleInverse(ZrleForward(ranks));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, ranks);
+  }
+}
+
+TEST(Huffman, RoundTripSkewedAlphabet) {
+  std::vector<uint64_t> freqs(kZrleAlphabet, 0);
+  freqs[0] = 10000;
+  freqs[1] = 3000;
+  freqs[7] = 500;
+  freqs[200] = 1;
+  const auto lengths = BuildHuffmanLengths(freqs);
+  EXPECT_LE(lengths[0], lengths[200]);  // frequent symbol gets shorter code
+
+  HuffmanEncoder enc(lengths);
+  auto dec = HuffmanDecoder::Make(lengths);
+  ASSERT_TRUE(dec.ok());
+
+  const std::vector<unsigned> message = {0, 0, 1, 7, 0, 200, 1, 0, 0, 7};
+  std::string bits;
+  BitWriter writer(&bits);
+  for (unsigned s : message) {
+    enc.Encode(&writer, s);
+  }
+  writer.Finish();
+  BitReader reader(bits);
+  for (unsigned expected : message) {
+    auto s = dec->Decode(&reader);
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(*s, expected);
+  }
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<uint64_t> freqs(10, 0);
+  freqs[3] = 42;
+  const auto lengths = BuildHuffmanLengths(freqs);
+  EXPECT_EQ(lengths[3], 1);
+  auto dec = HuffmanDecoder::Make(lengths);
+  ASSERT_TRUE(dec.ok());
+}
+
+TEST(Huffman, DepthLimitHolds) {
+  // Fibonacci-like frequencies force deep trees; lengths must stay <= 15.
+  std::vector<uint64_t> freqs;
+  uint64_t a = 1;
+  uint64_t b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freqs.push_back(a);
+    const uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = BuildHuffmanLengths(freqs);
+  for (uint8_t len : lengths) {
+    EXPECT_LE(len, kHuffmanMaxBits);
+  }
+  EXPECT_TRUE(HuffmanDecoder::Make(lengths).ok());
+}
+
+TEST(Huffman, OversubscribedLengthsRejected) {
+  std::vector<uint8_t> lengths = {1, 1, 1};  // Kraft sum > 1
+  EXPECT_FALSE(HuffmanDecoder::Make(lengths).ok());
+}
+
+TEST(BitStream, RoundTripVariousWidths) {
+  std::string buf;
+  BitWriter writer(&buf);
+  writer.Write(0b1, 1);
+  writer.Write(0b10110, 5);
+  writer.Write(0xdead, 16);
+  writer.Write(0x1ffffffffffffULL, 49);
+  writer.Finish();
+  BitReader reader(buf);
+  EXPECT_EQ(*reader.Read(1), 0b1u);
+  EXPECT_EQ(*reader.Read(5), 0b10110u);
+  EXPECT_EQ(*reader.Read(16), 0xdeadu);
+  EXPECT_EQ(*reader.Read(49), 0x1ffffffffffffULL);
+}
+
+TEST(BitStream, UnderrunReported) {
+  std::string buf;
+  BitWriter writer(&buf);
+  writer.Write(0x3, 2);
+  writer.Finish();
+  BitReader reader(buf);
+  ASSERT_TRUE(reader.Read(8).ok());   // padded byte readable
+  EXPECT_FALSE(reader.Read(8).ok());  // past the end
+}
+
+}  // namespace
+}  // namespace minicrypt

@@ -1,0 +1,105 @@
+#include "src/kvstore/commit_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+namespace {
+
+Row ValueRow(std::string value, uint64_t ts) {
+  Row row;
+  row.cells["v"] = Cell{std::move(value), ts, false};
+  return row;
+}
+
+TEST(CommitLog, AppendReplayRoundTrip) {
+  NullMedia media;
+  CommitLog log(std::make_unique<MemoryLogSink>(), &media);
+  ASSERT_TRUE(log.Append(EncodeRowKey("p", EncodeKey64(1)), ValueRow("one", 1)).ok());
+  ASSERT_TRUE(log.Append(EncodeRowKey("p", EncodeKey64(2)), ValueRow("two", 2)).ok());
+
+  std::vector<std::pair<std::string, std::string>> seen;
+  ASSERT_TRUE(log.Replay([&](std::string_view key, const Row& row) {
+                   seen.emplace_back(std::string(key), row.cells.at("v").value);
+                 })
+                  .ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].second, "one");
+  EXPECT_EQ(seen[1].second, "two");
+  // Sequential write latency was charged.
+  EXPECT_EQ(media.stats().writes.load(), 2u);
+}
+
+TEST(CommitLog, RetireDropsRecords) {
+  CommitLog log(std::make_unique<MemoryLogSink>(), nullptr);
+  ASSERT_TRUE(log.Append(EncodeRowKey("p", EncodeKey64(1)), ValueRow("x", 1)).ok());
+  ASSERT_TRUE(log.Retire().ok());
+  int replayed = 0;
+  ASSERT_TRUE(log.Replay([&](std::string_view key, const Row& row) { ++replayed; }).ok());
+  EXPECT_EQ(replayed, 0);
+}
+
+TEST(CommitLog, CorruptRecordStopsReplayWithoutError) {
+  auto sink = std::make_unique<MemoryLogSink>();
+  MemoryLogSink* raw = sink.get();
+  CommitLog log(std::move(sink), nullptr);
+  ASSERT_TRUE(log.Append(EncodeRowKey("p", EncodeKey64(1)), ValueRow("good", 1)).ok());
+  // Append garbage that is not a valid record.
+  ASSERT_TRUE(raw->Append("garbage bytes that fail the crc").ok());
+  int replayed = 0;
+  ASSERT_TRUE(log.Replay([&](std::string_view key, const Row& row) { ++replayed; }).ok());
+  EXPECT_EQ(replayed, 1);
+}
+
+TEST(FileLogSink, RoundTripOnDisk) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mc_commit_log_test.log").string();
+  std::remove(path.c_str());
+  {
+    FileLogSink sink(path);
+    ASSERT_TRUE(sink.Append("hello ").ok());
+    ASSERT_TRUE(sink.Append("world").ok());
+    std::string all;
+    ASSERT_TRUE(sink.ReadAll(&all).ok());
+    EXPECT_EQ(all, "hello world");
+    ASSERT_TRUE(sink.Truncate().ok());
+    ASSERT_TRUE(sink.ReadAll(&all).ok());
+    EXPECT_TRUE(all.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileLogSink, MissingFileReadsEmpty) {
+  FileLogSink sink("/nonexistent-dir-hopefully/never.log");
+  std::string all = "sentinel";
+  ASSERT_TRUE(sink.ReadAll(&all).ok());
+  EXPECT_TRUE(all.empty());
+}
+
+TEST(CommitLog, FileBackedEngineRecovery) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mc_engine_recovery.log").string();
+  std::remove(path.c_str());
+
+  CommitLog writer(std::make_unique<FileLogSink>(path), nullptr);
+  ASSERT_TRUE(writer.Append(EncodeRowKey("p", EncodeKey64(10)), ValueRow("durable", 5)).ok());
+
+  // A second process (modelled by a fresh CommitLog over the same file)
+  // replays what the first wrote.
+  CommitLog reader(std::make_unique<FileLogSink>(path), nullptr);
+  std::vector<std::string> values;
+  ASSERT_TRUE(reader.Replay([&](std::string_view key, const Row& row) {
+                  values.push_back(row.cells.at("v").value);
+                })
+                  .ok());
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0], "durable");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace minicrypt

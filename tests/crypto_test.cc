@@ -1,0 +1,171 @@
+#include "src/crypto/crypto.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/coding.h"
+#include "src/common/random.h"
+#include "src/crypto/padding.h"
+
+namespace minicrypt {
+namespace {
+
+TEST(SymmetricKey, DeterministicFromSeed) {
+  const SymmetricKey a = SymmetricKey::FromSeed("customer-secret");
+  const SymmetricKey b = SymmetricKey::FromSeed("customer-secret");
+  EXPECT_EQ(0, memcmp(a.data(), b.data(), a.size()));
+  const SymmetricKey c = SymmetricKey::FromSeed("other-secret");
+  EXPECT_NE(0, memcmp(a.data(), c.data(), a.size()));
+}
+
+TEST(SymmetricKey, DerivedKeysAreDomainSeparated) {
+  const SymmetricKey root = SymmetricKey::FromSeed("root");
+  const SymmetricKey pack = root.Derive("pack:t1");
+  const SymmetricKey prf = root.Derive("packid:t1");
+  const SymmetricKey other_table = root.Derive("pack:t2");
+  EXPECT_NE(0, memcmp(pack.data(), prf.data(), pack.size()));
+  EXPECT_NE(0, memcmp(pack.data(), other_table.data(), pack.size()));
+  EXPECT_NE(0, memcmp(pack.data(), root.data(), pack.size()));
+}
+
+TEST(Aes, RoundTripVariousSizes) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  Rng rng(1);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{15}, size_t{16}, size_t{17}, size_t{1000},
+                   size_t{100000}}) {
+    const std::string plaintext = rng.Bytes(n);
+    auto envelope = AesCbcEncrypt(key, plaintext);
+    ASSERT_TRUE(envelope.ok());
+    EXPECT_EQ(envelope->size() % kAesBlockBytes, 0u);
+    auto back = AesCbcDecrypt(key, *envelope);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, plaintext);
+  }
+}
+
+TEST(Aes, SemanticSecuritySameplaintextDifferentCiphertext) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  const std::string plaintext = "the same pack bytes";
+  std::set<std::string> envelopes;
+  for (int i = 0; i < 16; ++i) {
+    auto envelope = AesCbcEncrypt(key, plaintext);
+    ASSERT_TRUE(envelope.ok());
+    envelopes.insert(*envelope);
+  }
+  EXPECT_EQ(envelopes.size(), 16u);  // fresh IV each time
+}
+
+TEST(Aes, WrongKeyFails) {
+  auto envelope = AesCbcEncrypt(SymmetricKey::FromSeed("a"), "secret data here");
+  ASSERT_TRUE(envelope.ok());
+  auto out = AesCbcDecrypt(SymmetricKey::FromSeed("b"), *envelope);
+  // CBC with PKCS#7: wrong key shows as padding corruption (or, rarely,
+  // garbage that happens to have valid padding — envelope is short enough
+  // that this is astronomically unlikely for this fixed test vector).
+  EXPECT_FALSE(out.ok() && *out == "secret data here");
+}
+
+TEST(Aes, TamperedCiphertextRejectedOrGarbled) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  const std::string plaintext(1000, 'p');
+  auto envelope = AesCbcEncrypt(key, plaintext);
+  ASSERT_TRUE(envelope.ok());
+  std::string tampered = *envelope;
+  tampered[tampered.size() / 2] ^= 0x40;
+  auto out = AesCbcDecrypt(key, tampered);
+  EXPECT_FALSE(out.ok() && *out == plaintext);
+}
+
+TEST(Aes, MalformedEnvelopeLengthsRejected) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  EXPECT_TRUE(AesCbcDecrypt(key, "").status().IsCorruption());
+  EXPECT_TRUE(AesCbcDecrypt(key, std::string(16, 'x')).status().IsCorruption());
+  EXPECT_TRUE(AesCbcDecrypt(key, std::string(33, 'x')).status().IsCorruption());
+}
+
+TEST(Sha256, KnownProperties) {
+  const std::string h1 = Sha256("abc");
+  const std::string h2 = Sha256("abc");
+  const std::string h3 = Sha256("abd");
+  EXPECT_EQ(h1.size(), kSha256Bytes);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+}
+
+TEST(Hmac, DeterministicPerKey) {
+  const SymmetricKey k1 = SymmetricKey::FromSeed("1");
+  const SymmetricKey k2 = SymmetricKey::FromSeed("2");
+  EXPECT_EQ(HmacSha256(k1, "packid-5"), HmacSha256(k1, "packid-5"));
+  EXPECT_NE(HmacSha256(k1, "packid-5"), HmacSha256(k2, "packid-5"));
+  EXPECT_NE(HmacSha256(k1, "packid-5"), HmacSha256(k1, "packid-6"));
+}
+
+TEST(ConstantTimeEqual, Basics) {
+  EXPECT_TRUE(ConstantTimeEqual("same", "same"));
+  EXPECT_FALSE(ConstantTimeEqual("same", "s4me"));
+  EXPECT_FALSE(ConstantTimeEqual("short", "longer"));
+  EXPECT_TRUE(ConstantTimeEqual("", ""));
+}
+
+TEST(Padding, TierSelection) {
+  const PaddingTiers tiers = PaddingTiers::SmallMediumLarge(1024, 4096, 16384);
+  EXPECT_EQ(tiers.TierFor(1), 1024u);
+  EXPECT_EQ(tiers.TierFor(1024), 1024u);
+  EXPECT_EQ(tiers.TierFor(1025), 4096u);
+  EXPECT_EQ(tiers.TierFor(16384), 16384u);
+  // Above the top tier: multiples of the top tier.
+  EXPECT_EQ(tiers.TierFor(16385), 32768u);
+  EXPECT_EQ(tiers.TierFor(40000), 49152u);
+}
+
+TEST(Padding, ExponentialTiers) {
+  const PaddingTiers tiers = PaddingTiers::Exponential(512, 4);  // 512,1k,2k,4k
+  EXPECT_EQ(tiers.tiers().size(), 4u);
+  EXPECT_EQ(tiers.TierFor(600), 1024u);
+}
+
+TEST(Padding, PadUnpadRoundTrip) {
+  const PaddingTiers tiers = PaddingTiers::Exponential(256, 6);
+  Rng rng(3);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{255}, size_t{256}, size_t{1000},
+                   size_t{50000}}) {
+    const std::string payload = rng.Bytes(n);
+    const std::string padded = tiers.Pad(payload);
+    EXPECT_GE(padded.size(), payload.size());
+    EXPECT_EQ(padded.size(), tiers.TierFor(payload.size() + VarintLength(payload.size())));
+    auto back = PaddingTiers::Unpad(padded);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, payload);
+  }
+}
+
+TEST(Padding, SizesCollapseToTiers) {
+  // The security point: many distinct payload sizes map to few visible sizes.
+  const PaddingTiers tiers = PaddingTiers::SmallMediumLarge(1024, 4096, 16384);
+  std::set<size_t> visible;
+  for (size_t n = 0; n < 4000; n += 37) {
+    visible.insert(tiers.Pad(std::string(n, 'x')).size());
+  }
+  EXPECT_LE(visible.size(), 2u);
+}
+
+TEST(Padding, DisabledPassThrough) {
+  const PaddingTiers none = PaddingTiers::None();
+  EXPECT_FALSE(none.enabled());
+  const std::string payload(100, 'z');
+  const std::string framed = none.Pad(payload);
+  EXPECT_EQ(framed.size(), payload.size() + VarintLength(payload.size()));
+  auto back = PaddingTiers::Unpad(framed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(Padding, TruncatedFrameRejected) {
+  const PaddingTiers none = PaddingTiers::None();
+  const std::string framed = none.Pad(std::string(100, 'z'));
+  EXPECT_FALSE(PaddingTiers::Unpad(std::string_view(framed.data(), 50)).ok());
+}
+
+}  // namespace
+}  // namespace minicrypt

@@ -1,0 +1,171 @@
+#include "src/workload/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compress/compressor.h"
+#include "src/workload/driver.h"
+#include "src/workload/ycsb.h"
+
+namespace minicrypt {
+namespace {
+
+class DatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetTest, DeterministicPerSeedAndIndex) {
+  auto a = MakeDataset(GetParam(), 42);
+  auto b = MakeDataset(GetParam(), 42);
+  auto c = MakeDataset(GetParam(), 43);
+  ASSERT_NE(a, nullptr);
+  for (uint64_t i : {0ULL, 1ULL, 999ULL}) {
+    EXPECT_EQ(a->Row(i), b->Row(i));
+  }
+  EXPECT_NE(a->Row(0), c->Row(0));
+  EXPECT_NE(a->Row(0), a->Row(1));
+}
+
+TEST_P(DatasetTest, RowSizeNearNominal) {
+  auto dataset = MakeDataset(GetParam(), 7);
+  size_t total = 0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    total += dataset->Row(i).size();
+  }
+  const double avg = static_cast<double>(total) / 50.0;
+  const double nominal = static_cast<double>(dataset->ApproxRowBytes());
+  EXPECT_GT(avg, nominal * 0.5);
+  EXPECT_LT(avg, nominal * 2.0);
+}
+
+// The property Figure 2 rests on: packing a moderate number of rows recovers
+// most of the whole-dataset compression ratio, and beats single-row
+// compression clearly.
+TEST_P(DatasetTest, PackCompressionBeatsSingleRow) {
+  auto dataset = MakeDataset(GetParam(), 11);
+  const Compressor* zlib = FindCompressor("zlib");
+  const int rows = 256;
+
+  size_t raw = 0;
+  size_t single_compressed = 0;
+  std::string packed;
+  for (int i = 0; i < rows; ++i) {
+    const std::string row = dataset->Row(static_cast<uint64_t>(i));
+    raw += row.size();
+    single_compressed += zlib->Compress(row)->size();
+    packed += row;
+  }
+  const double single_ratio =
+      static_cast<double>(raw) / static_cast<double>(single_compressed);
+  // 50-row packs.
+  size_t pack50_compressed = 0;
+  for (int start = 0; start < rows; start += 50) {
+    std::string pack;
+    for (int i = start; i < std::min(rows, start + 50); ++i) {
+      pack += dataset->Row(static_cast<uint64_t>(i));
+    }
+    pack50_compressed += zlib->Compress(pack)->size();
+  }
+  const double pack_ratio = static_cast<double>(raw) / static_cast<double>(pack50_compressed);
+  const double full_ratio =
+      static_cast<double>(raw) / static_cast<double>(zlib->Compress(packed)->size());
+
+  EXPECT_GT(pack_ratio, single_ratio * 1.3)
+      << GetParam() << ": packs must recover cross-row redundancy";
+  EXPECT_GE(full_ratio * 1.05, pack_ratio) << "whole-dataset ratio is the ceiling";
+  EXPECT_GT(pack_ratio, full_ratio * 0.55)
+      << GetParam() << ": 50-row packs should recover most of the ceiling";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::Values("conviva", "genomics", "twitter", "gas", "wiki",
+                                           "github"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Datasets, ConvivaMatchesPaperProfile) {
+  // Paper: ~1100-byte rows; single-row ratio ~1.6; 50-row packs ~4.5.
+  auto dataset = MakeDataset("conviva", 1);
+  const Compressor* zlib = FindCompressor("zlib");
+  size_t raw = 0;
+  size_t single = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string row = dataset->Row(static_cast<uint64_t>(i));
+    raw += row.size();
+    single += zlib->Compress(row)->size();
+  }
+  const double avg_row = static_cast<double>(raw) / 200.0;
+  EXPECT_GT(avg_row, 900.0);
+  EXPECT_LT(avg_row, 1400.0);
+  const double single_ratio = static_cast<double>(raw) / static_cast<double>(single);
+  EXPECT_GT(single_ratio, 1.2);
+  EXPECT_LT(single_ratio, 2.2);
+
+  size_t packed = 0;
+  for (int start = 0; start < 200; start += 50) {
+    std::string pack;
+    for (int i = start; i < start + 50; ++i) {
+      pack += dataset->Row(static_cast<uint64_t>(i));
+    }
+    packed += zlib->Compress(pack)->size();
+  }
+  const double pack_ratio = static_cast<double>(raw) / static_cast<double>(packed);
+  EXPECT_GT(pack_ratio, 3.0);
+}
+
+TEST(Datasets, UnknownNameReturnsNull) { EXPECT_EQ(MakeDataset("nope", 1), nullptr); }
+
+TEST(Datasets, MaterializeRowsKeysAreSequential) {
+  auto dataset = MakeDataset("gas", 2);
+  const auto rows = MaterializeRows(*dataset, 10);
+  ASSERT_EQ(rows.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rows[i].first, i);
+    EXPECT_FALSE(rows[i].second.empty());
+  }
+}
+
+TEST(Driver, ClosedLoopCountsOpsAndLatency) {
+  DriverConfig config;
+  config.threads = 2;
+  config.run_micros = 100'000;
+  std::atomic<uint64_t> side_effect{0};
+  const DriverResult result = RunClosedLoop(config, [&](int thread, uint64_t index) {
+    side_effect.fetch_add(1, std::memory_order_relaxed);
+    return index % 10 != 0;  // inject some "errors"
+  });
+  EXPECT_GT(result.total_ops, 100u);
+  EXPECT_GT(result.errors, 0u);
+  EXPECT_LT(result.errors, result.total_ops);
+  EXPECT_GT(result.throughput_ops_s, 0.0);
+  EXPECT_EQ(result.latency.count(), result.total_ops);
+  EXPECT_GE(side_effect.load(), result.total_ops);
+}
+
+TEST(Ycsb, LatestWindowTracksFrontier) {
+  std::atomic<uint64_t> frontier{100};
+  LatestWindowChooser chooser(&frontier, 10, 3);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t k = chooser.Next();
+    EXPECT_GE(k, 90u);
+    EXPECT_LT(k, 100u);
+  }
+  frontier = 1000;
+  bool above = false;
+  for (int i = 0; i < 200; ++i) {
+    above |= chooser.Next() >= 990;
+  }
+  EXPECT_TRUE(above);
+}
+
+TEST(Ycsb, ZipfianKnobMapsToSkew) {
+  // knob 0 -> heavily skewed; knob 1 -> near uniform (paper Figure 10).
+  ZipfianChooser skewed(1000, 0.0, 5);
+  ZipfianChooser uniform(1000, 1.0, 5);
+  int skew_low = 0;
+  int uni_low = 0;
+  for (int i = 0; i < 5000; ++i) {
+    skew_low += skewed.Next() < 10 ? 1 : 0;
+    uni_low += uniform.Next() < 10 ? 1 : 0;
+  }
+  EXPECT_GT(skew_low, uni_low * 5);
+}
+
+}  // namespace
+}  // namespace minicrypt

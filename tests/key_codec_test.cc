@@ -1,0 +1,110 @@
+#include "src/core/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/coding.h"
+
+namespace minicrypt {
+namespace {
+
+TEST(PartitionForKey, DeterministicAndInRange) {
+  for (uint64_t k = 0; k < 500; ++k) {
+    const std::string encoded = EncodeKey64(k);
+    const std::string p1 = PartitionForKey(encoded, 8);
+    const std::string p2 = PartitionForKey(encoded, 8);
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(p1[0], 'p');
+    const int idx = std::stoi(p1.substr(1));
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 8);
+  }
+}
+
+TEST(PartitionForKey, SpreadsKeysEvenly) {
+  std::map<std::string, int> counts;
+  for (uint64_t k = 0; k < 8000; ++k) {
+    counts[PartitionForKey(EncodeKey64(k), 8)]++;
+  }
+  EXPECT_EQ(counts.size(), 8u);
+  for (const auto& [partition, count] : counts) {
+    EXPECT_GT(count, 700) << partition;   // expected 1000 each
+    EXPECT_LT(count, 1300) << partition;
+  }
+}
+
+TEST(PartitionForKey, SinglePartitionDegenerate) {
+  EXPECT_EQ(PartitionForKey(EncodeKey64(123), 1), "p0");
+}
+
+TEST(PartitionLabel, Format) {
+  EXPECT_EQ(PartitionLabel(0), "p0");
+  EXPECT_EQ(PartitionLabel(7), "p7");
+}
+
+class PackIdCipherTest : public ::testing::Test {
+ protected:
+  PackIdCipherTest() : key_(SymmetricKey::FromSeed("k")) {
+    options_.table = "t";
+    options_.packid_bucket_width = 50;
+  }
+
+  SymmetricKey key_;
+  MiniCryptOptions options_;
+};
+
+TEST_F(PackIdCipherTest, BucketAssignment) {
+  PackIdCipher cipher(options_, key_);
+  EXPECT_EQ(cipher.BucketFor(0), 0u);
+  EXPECT_EQ(cipher.BucketFor(49), 0u);
+  EXPECT_EQ(cipher.BucketFor(50), 1u);
+  EXPECT_EQ(cipher.BucketFor(101), 2u);
+  EXPECT_EQ(cipher.bucket_width(), 50u);
+}
+
+TEST_F(PackIdCipherTest, DeterministicPerTableKey) {
+  PackIdCipher a(options_, key_);
+  PackIdCipher b(options_, key_);
+  EXPECT_EQ(a.EncryptBucket(3), b.EncryptBucket(3));
+
+  MiniCryptOptions other = options_;
+  other.table = "other";
+  PackIdCipher c(other, key_);
+  EXPECT_NE(a.EncryptBucket(3), c.EncryptBucket(3));
+
+  PackIdCipher d(options_, SymmetricKey::FromSeed("k2"));
+  EXPECT_NE(a.EncryptBucket(3), d.EncryptBucket(3));
+}
+
+TEST_F(PackIdCipherTest, ImagesDestroyOrder) {
+  PackIdCipher cipher(options_, key_);
+  // Consecutive buckets must not produce lexicographically consecutive
+  // images with any noticeable frequency.
+  int ordered = 0;
+  std::string prev = cipher.EncryptBucket(0);
+  for (uint64_t b = 1; b < 200; ++b) {
+    const std::string cur = cipher.EncryptBucket(b);
+    EXPECT_EQ(cur.size(), kSha256Bytes);
+    if (cur > prev) {
+      ++ordered;
+    }
+    prev = cur;
+  }
+  // Random images preserve order ~50% of the time; reject near-monotone.
+  EXPECT_GT(ordered, 60);
+  EXPECT_LT(ordered, 140);
+}
+
+TEST_F(PackIdCipherTest, ImagesAreUnique) {
+  PackIdCipher cipher(options_, key_);
+  std::set<std::string> images;
+  for (uint64_t b = 0; b < 1000; ++b) {
+    images.insert(cipher.EncryptBucket(b));
+  }
+  EXPECT_EQ(images.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace minicrypt

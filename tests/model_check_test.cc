@@ -1,0 +1,172 @@
+// Model-based property tests: long random operation sequences against an
+// in-memory reference model. Single-threaded sequences must match the model
+// exactly (packs, splits, partitions and codecs are all invisible at the API
+// level); multi-threaded sequences must converge to a state where every key
+// has a value one of the writers actually wrote.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/common/random.h"
+#include "src/core/generic_client.h"
+
+namespace minicrypt {
+namespace {
+
+struct ModelParams {
+  size_t pack_rows;
+  int hash_partitions;
+  std::string codec;
+  bool encrypt_pack_ids;
+};
+
+class ModelCheck : public ::testing::TestWithParam<ModelParams> {};
+
+TEST_P(ModelCheck, RandomSequenceMatchesReferenceModel) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("model");
+  MiniCryptOptions options;
+  options.pack_rows = GetParam().pack_rows;
+  options.hash_partitions = GetParam().hash_partitions;
+  options.codec = GetParam().codec;
+  options.encrypt_pack_ids = GetParam().encrypt_pack_ids;
+  options.packid_bucket_width = 16;
+  ASSERT_TRUE(options.Validate().ok());
+
+  GenericClient client(&cluster, options, key);
+  ASSERT_TRUE(client.CreateTable().ok());
+
+  std::map<uint64_t, std::string> model;
+  Rng rng(0xC0FFEE);
+  const uint64_t keyspace = 400;
+  for (int op = 0; op < 1500; ++op) {
+    const uint64_t k = rng.Uniform(keyspace);
+    const int kind = static_cast<int>(rng.Uniform(10));
+    if (kind < 6) {  // put
+      const std::string value = "v" + std::to_string(op);
+      ASSERT_TRUE(client.Put(k, value).ok()) << "op " << op;
+      model[k] = value;
+    } else if (kind < 8) {  // delete
+      ASSERT_TRUE(client.Delete(k).ok()) << "op " << op;
+      model.erase(k);
+    } else {  // get
+      auto got = client.Get(k);
+      auto it = model.find(k);
+      if (it == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << "op " << op << " key " << k;
+      } else {
+        ASSERT_TRUE(got.ok()) << "op " << op << " key " << k;
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  // Final full audit.
+  for (uint64_t k = 0; k < keyspace; ++k) {
+    auto got = client.Get(k);
+    auto it = model.find(k);
+    if (it == model.end()) {
+      EXPECT_TRUE(got.status().IsNotFound()) << k;
+    } else {
+      ASSERT_TRUE(got.ok()) << k;
+      EXPECT_EQ(*got, it->second) << k;
+    }
+  }
+  // Range audit (skip in encrypted-packID mode, which refuses ranges).
+  if (!options.encrypt_pack_ids) {
+    auto rows = client.GetRange(0, keyspace);
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->size(), model.size());
+    auto expected = model.begin();
+    for (const auto& [k, v] : *rows) {
+      EXPECT_EQ(k, expected->first);
+      EXPECT_EQ(v, expected->second);
+      ++expected;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ModelCheck,
+    ::testing::Values(ModelParams{4, 1, "zlib", false},
+                      ModelParams{8, 4, "zlib", false},
+                      ModelParams{50, 8, "lz4like", false},
+                      ModelParams{5, 2, "snappylike", false},
+                      ModelParams{16, 2, "zlib", true}),
+    [](const auto& info) {
+      const ModelParams& p = info.param;
+      return "pack" + std::to_string(p.pack_rows) + "_part" +
+             std::to_string(p.hash_partitions) + "_" + p.codec +
+             (p.encrypt_pack_ids ? "_encids" : "");
+    });
+
+TEST(ModelCheckConcurrent, WritersConvergeToWrittenValues) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("model");
+  MiniCryptOptions options;
+  options.pack_rows = 6;
+  options.hash_partitions = 2;
+
+  GenericClient setup(&cluster, options, key);
+  ASSERT_TRUE(setup.CreateTable().ok());
+
+  constexpr int kThreads = 6;
+  constexpr uint64_t kKeyspace = 120;
+  // Each thread records the last value it wrote (or tombstone) per key.
+  std::vector<std::map<uint64_t, std::string>> last_write(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      GenericClient worker(&cluster, options, key);
+      Rng rng(static_cast<uint64_t>(t) * 31 + 1);
+      for (int op = 0; op < 150; ++op) {
+        const uint64_t k = rng.Uniform(kKeyspace);
+        if (rng.Bernoulli(0.85)) {
+          const std::string value = "t" + std::to_string(t) + "#" + std::to_string(op);
+          ASSERT_TRUE(worker.Put(k, value).ok());
+          last_write[static_cast<size_t>(t)][k] = value;
+        } else {
+          ASSERT_TRUE(worker.Delete(k).ok());
+          last_write[static_cast<size_t>(t)][k] = "";  // tombstone marker
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  // Every readable value must be the final write of *some* thread for that
+  // key (no resurrected, torn, or invented values), and a key is NotFound
+  // only if at least one thread's final op on it was a delete.
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = setup.Get(k);
+    bool some_writer_touched = false;
+    bool some_final_delete = false;
+    bool value_matches_some_final = false;
+    for (const auto& writes : last_write) {
+      auto it = writes.find(k);
+      if (it == writes.end()) {
+        continue;
+      }
+      some_writer_touched = true;
+      if (it->second.empty()) {
+        some_final_delete = true;
+      } else if (got.ok() && *got == it->second) {
+        value_matches_some_final = true;
+      }
+    }
+    if (!some_writer_touched) {
+      EXPECT_TRUE(got.status().IsNotFound()) << k;
+    } else if (got.ok()) {
+      EXPECT_TRUE(value_matches_some_final) << "key " << k << " holds value '" << *got
+                                            << "' no thread finally wrote";
+    } else {
+      EXPECT_TRUE(some_final_delete) << "key " << k << " vanished without a final delete";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minicrypt

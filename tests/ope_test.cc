@@ -1,0 +1,97 @@
+#include "src/crypto/ope.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/common/random.h"
+
+namespace minicrypt {
+namespace {
+
+TEST(Ope, OrderPreservedOnRandomPairs) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t a = rng.Next();
+    const uint64_t b = rng.Next();
+    const std::string ea = ope.Encrypt(a);
+    const std::string eb = ope.Encrypt(b);
+    EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+    EXPECT_EQ(a == b, ea == eb);
+  }
+}
+
+TEST(Ope, OrderPreservedOnAdjacentAndBoundaryValues) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  const uint64_t cases[] = {0, 1, 2, 49, 50, 51, (1ULL << 32) - 1, 1ULL << 32,
+                            ~0ULL - 1, ~0ULL};
+  std::string prev;
+  for (size_t i = 0; i < std::size(cases); ++i) {
+    const std::string e = ope.Encrypt(cases[i]);
+    EXPECT_EQ(e.size(), kOpeCiphertextBytes);
+    if (i > 0) {
+      EXPECT_LT(prev, e);
+    }
+    prev = e;
+  }
+}
+
+TEST(Ope, DeterministicPerKeyDistinctAcrossKeys) {
+  OpeCipher a(SymmetricKey::FromSeed("k1"));
+  OpeCipher a2(SymmetricKey::FromSeed("k1"));
+  OpeCipher b(SymmetricKey::FromSeed("k2"));
+  EXPECT_EQ(a.Encrypt(777), a2.Encrypt(777));
+  EXPECT_NE(a.Encrypt(777), b.Encrypt(777));
+}
+
+TEST(Ope, DecryptInvertsEncrypt) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t m = rng.Next() >> rng.Uniform(64);
+    auto back = ope.Decrypt(ope.Encrypt(m));
+    ASSERT_TRUE(back.ok()) << m;
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST(Ope, NonImageRejected) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  // Perturb a valid image by one; the result is almost surely not an image
+  // (the range is 2^32 times sparser than the domain).
+  std::string image = ope.Encrypt(42);
+  image.back() = static_cast<char>(static_cast<uint8_t>(image.back()) ^ 1);
+  auto out = ope.Decrypt(image);
+  if (out.ok()) {
+    EXPECT_NE(*out, 42u);  // astronomically unlikely branch
+  }
+  EXPECT_FALSE(ope.Decrypt("short").ok());
+}
+
+TEST(Ope, ImagesInjective) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  std::set<std::string> images;
+  for (uint64_t m = 0; m < 2000; ++m) {
+    images.insert(ope.Encrypt(m * 1000003));
+  }
+  EXPECT_EQ(images.size(), 2000u);
+}
+
+TEST(Ope, SortingCiphertextsSortsPlaintexts) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  Rng rng(9);
+  std::vector<std::pair<std::string, uint64_t>> pairs;
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t m = rng.Next();
+    pairs.emplace_back(ope.Encrypt(m), m);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LE(pairs[i - 1].second, pairs[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace minicrypt

@@ -1,0 +1,109 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace minicrypt {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(124);
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    differs |= a2.Next() != c.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformStaysInRangeAndCoversIt) {
+  Rng rng(5);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    ASSERT_LT(v, 10u);
+    counts[static_cast<size_t>(v)]++;
+  }
+  for (int c : counts) {
+    // Each bucket expects 1000; allow wide slack.
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.UniformRange(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BytesLengthExact) {
+  Rng rng(13);
+  for (size_t n : {0, 1, 7, 8, 9, 100}) {
+    EXPECT_EQ(rng.Bytes(n).size(), n);
+  }
+}
+
+TEST(Zipfian, SkewConcentratesOnLowKeys) {
+  ZipfianGenerator gen(1000, 0.99, 17);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = gen.Next();
+    ASSERT_LT(v, 1000u);
+    if (v < 10) {
+      ++low;
+    }
+  }
+  // With theta=0.99 the head is heavy: far more than the uniform 1%.
+  EXPECT_GT(low, 2000);
+}
+
+TEST(Zipfian, LowThetaApproachesUniform) {
+  ZipfianGenerator gen(1000, 0.05, 19);
+  int low = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (gen.Next() < 10) {
+      ++low;
+    }
+  }
+  // Near-uniform: about 1% of draws in the first 10 keys (allow 5x slack).
+  EXPECT_LT(low, 500);
+}
+
+TEST(ShuffledIndices, IsAPermutation) {
+  const auto idx = ShuffledIndices(100, 23);
+  ASSERT_EQ(idx.size(), 100u);
+  std::vector<bool> seen(100, false);
+  for (uint64_t v : idx) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+}  // namespace
+}  // namespace minicrypt

@@ -1,0 +1,216 @@
+#include "src/kvstore/sstable.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/coding.h"
+#include "src/kvstore/bloom.h"
+#include "src/kvstore/memtable.h"
+#include "src/kvstore/row.h"
+
+namespace minicrypt {
+namespace {
+
+Row ValueRow(std::string value) {
+  Row row;
+  row.cells["v"] = Cell{std::move(value), 1, false};
+  return row;
+}
+
+std::shared_ptr<Sstable> BuildTable(int entries, bool compression = false,
+                                    Media* media = nullptr) {
+  SstableOptions opts;
+  opts.block_bytes = 256;
+  opts.server_compression = compression;
+  SstableBuilder builder(1, opts);
+  for (int i = 0; i < entries; ++i) {
+    builder.Add(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
+                ValueRow("value-" + std::to_string(i * 10)));
+  }
+  return builder.Finish(media);
+}
+
+TEST(Sstable, GetFindsEveryKey) {
+  auto table = BuildTable(200);
+  EXPECT_EQ(table->entry_count(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    auto row = table->Get(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
+                          nullptr, nullptr);
+    ASSERT_TRUE(row.has_value()) << i;
+    EXPECT_EQ(row->cells.at("v").value, "value-" + std::to_string(i * 10));
+  }
+  EXPECT_FALSE(table->Get(EncodeRowKey("p1", EncodeKey64(5)), nullptr, nullptr).has_value());
+  EXPECT_FALSE(table->Get(EncodeRowKey("p2", EncodeKey64(10)), nullptr, nullptr).has_value());
+}
+
+TEST(Sstable, FloorWithinAndAcrossBlocks) {
+  auto table = BuildTable(200);
+  const std::string prefix = PartitionPrefix("p1");
+  // Exact hit.
+  auto fk = table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(500)), nullptr, nullptr);
+  ASSERT_TRUE(fk.has_value());
+  EXPECT_EQ(*DecodeKey64(DecodeRowKey(*fk)->clustering), 500u);
+  // Between keys.
+  fk = table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(505)), nullptr, nullptr);
+  ASSERT_TRUE(fk.has_value());
+  EXPECT_EQ(*DecodeKey64(DecodeRowKey(*fk)->clustering), 500u);
+  // Below the smallest.
+  EXPECT_FALSE(
+      table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(0)), nullptr, nullptr)
+          .has_value() &&
+      *DecodeKey64(
+          DecodeRowKey(*table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(0)), nullptr,
+                                        nullptr))
+              ->clustering) != 0);
+  // Above the largest.
+  fk = table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(99999)), nullptr, nullptr);
+  ASSERT_TRUE(fk.has_value());
+  EXPECT_EQ(*DecodeKey64(DecodeRowKey(*fk)->clustering), 1990u);
+}
+
+TEST(Sstable, FloorRespectsPartitionPrefix) {
+  SstableOptions opts;
+  opts.block_bytes = 128;
+  SstableBuilder builder(2, opts);
+  builder.Add(EncodeRowKey("aa", EncodeKey64(100)), ValueRow("x"));
+  builder.Add(EncodeRowKey("bb", EncodeKey64(1)), ValueRow("y"));
+  auto table = builder.Finish(nullptr);
+  // Floor for partition "bb" below its only key must not leak "aa"'s rows.
+  EXPECT_FALSE(table->FloorKey(PartitionPrefix("bb"), EncodeRowKey("bb", EncodeKey64(0)),
+                               nullptr, nullptr)
+                   .has_value());
+}
+
+TEST(Sstable, ScanRange) {
+  auto table = BuildTable(100);
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(table
+                  ->Scan(EncodeRowKey("p1", EncodeKey64(200)),
+                         EncodeRowKey("p1", EncodeKey64(400)),
+                         [&](std::string_view key, const Row& row) {
+                           seen.push_back(*DecodeKey64(DecodeRowKey(key)->clustering));
+                           return true;
+                         },
+                         nullptr, nullptr)
+                  .ok());
+  ASSERT_EQ(seen.size(), 21u);
+  EXPECT_EQ(seen.front(), 200u);
+  EXPECT_EQ(seen.back(), 400u);
+}
+
+TEST(Sstable, ScanEarlyStop) {
+  auto table = BuildTable(100);
+  int count = 0;
+  ASSERT_TRUE(table
+                  ->Scan(EncodeRowKey("p1", EncodeKey64(0)),
+                         EncodeRowKey("p1", EncodeKey64(10000)),
+                         [&](std::string_view key, const Row& row) { return ++count < 7; },
+                         nullptr, nullptr)
+                  .ok());
+  EXPECT_EQ(count, 7);
+}
+
+TEST(Sstable, BloomFilterSkipsAbsentKeys) {
+  auto table = BuildTable(500);
+  int false_positives = 0;
+  for (uint64_t k = 1; k < 2000; k += 2) {  // odd keys were never inserted
+    if (table->MayContain(EncodeRowKey("p1", EncodeKey64(k)))) {
+      ++false_positives;
+    }
+  }
+  EXPECT_LT(false_positives, 100);  // ~1% expected at 10 bits/key; allow 10%
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(
+        table->MayContain(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10)))));
+  }
+}
+
+TEST(Sstable, ServerCompressionShrinksAtRestAndRoundTrips) {
+  auto plain = BuildTable(300, /*compression=*/false);
+  auto compressed = BuildTable(300, /*compression=*/true);
+  EXPECT_LT(compressed->at_rest_bytes(), plain->at_rest_bytes());
+  for (int i = 0; i < 300; ++i) {
+    auto row = compressed->Get(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
+                               nullptr, nullptr);
+    ASSERT_TRUE(row.has_value());
+    EXPECT_EQ(row->cells.at("v").value, "value-" + std::to_string(i * 10));
+  }
+}
+
+TEST(Sstable, ReadsChargeMediaOnCacheMissOnly) {
+  NullMedia media;
+  auto table = BuildTable(300, false, &media);
+  const uint64_t writes = media.stats().writes.load();
+  EXPECT_GE(writes, 1u);  // the flush write
+
+  BlockCache cache(1 << 20);
+  (void)table->Get(EncodeRowKey("p1", EncodeKey64(100)), &cache, &media);
+  const uint64_t after_first = media.stats().reads.load();
+  EXPECT_GE(after_first, 1u);
+  (void)table->Get(EncodeRowKey("p1", EncodeKey64(100)), &cache, &media);
+  EXPECT_EQ(media.stats().reads.load(), after_first);  // cache hit: no media read
+}
+
+TEST(BloomFilter, SerializeRoundTrip) {
+  BloomFilter f(100, 10);
+  f.Add("alpha");
+  f.Add("beta");
+  BloomFilter g = BloomFilter::Deserialize(f.Serialize());
+  EXPECT_TRUE(g.MayContain("alpha"));
+  EXPECT_TRUE(g.MayContain("beta"));
+  EXPECT_FALSE(g.MayContain("gamma") && g.MayContain("delta") && g.MayContain("epsilon") &&
+               g.MayContain("zeta"));
+}
+
+TEST(Memtable, FloorAndAccounting) {
+  Memtable mem;
+  Row row = ValueRow("x");
+  mem.Apply(EncodeRowKey("p", EncodeKey64(10)), row);
+  mem.Apply(EncodeRowKey("p", EncodeKey64(30)), row);
+  EXPECT_GT(mem.ApproxBytes(), 0u);
+  auto fk = mem.FloorKey(PartitionPrefix("p"), EncodeRowKey("p", EncodeKey64(20)));
+  ASSERT_TRUE(fk.has_value());
+  EXPECT_EQ(*DecodeKey64(DecodeRowKey(*fk)->clustering), 10u);
+  EXPECT_FALSE(mem.FloorKey(PartitionPrefix("p"), EncodeRowKey("p", EncodeKey64(5)))
+                   .has_value());
+  EXPECT_FALSE(mem.FloorKey(PartitionPrefix("q"), EncodeRowKey("q", EncodeKey64(50)))
+                   .has_value());
+  mem.Clear();
+  EXPECT_EQ(mem.ApproxBytes(), 0u);
+  EXPECT_TRUE(mem.empty());
+}
+
+TEST(RowKey, EncodeDecodeRoundTrip) {
+  const std::string_view clustering("cluster\x00key", 11);  // embedded NUL
+  const std::string encoded = EncodeRowKey("part-with-bytes\x01", clustering);
+  auto decoded = DecodeRowKey(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->partition, "part-with-bytes\x01");
+  EXPECT_EQ(decoded->clustering, clustering);
+}
+
+TEST(RowKey, PartitionRowsAreContiguous) {
+  // All keys of one partition share a prefix no other partition's keys can
+  // interleave with.
+  const std::string a1 = EncodeRowKey("a", EncodeKey64(1));
+  const std::string a2 = EncodeRowKey("a", EncodeKey64(99999));
+  const std::string ab = EncodeRowKey("ab", EncodeKey64(0));
+  EXPECT_TRUE(ab < a1 || ab > a2);
+}
+
+TEST(RowMerge, NewerTimestampWins) {
+  Row base;
+  base.cells["v"] = Cell{"old", 5, false};
+  Row update;
+  update.cells["v"] = Cell{"new", 9, false};
+  update.cells["extra"] = Cell{"e", 9, false};
+  base.MergeNewer(update);
+  EXPECT_EQ(base.cells.at("v").value, "new");
+  EXPECT_EQ(base.cells.size(), 2u);
+  Row stale;
+  stale.cells["v"] = Cell{"stale", 3, false};
+  base.MergeNewer(stale);
+  EXPECT_EQ(base.cells.at("v").value, "new");
+}
+
+}  // namespace
+}  // namespace minicrypt

@@ -1,0 +1,276 @@
+#include "src/kvstore/storage_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/coding.h"
+#include "src/common/random.h"
+
+namespace minicrypt {
+namespace {
+
+Row ValueRow(std::string value, uint64_t ts) {
+  Row row;
+  row.cells["v"] = Cell{std::move(value), ts, false};
+  return row;
+}
+
+class StorageEngineTest : public ::testing::Test {
+ protected:
+  StorageEngineTest() : cache_(1 << 20) { Recreate(); }
+
+  void Recreate(size_t flush_bytes = 16 * 1024, int compaction_trigger = 4) {
+    StorageEngineOptions opts;
+    opts.memtable_flush_bytes = flush_bytes;
+    opts.compaction_trigger = compaction_trigger;
+    opts.sstable.block_bytes = 512;
+    engine_ = std::make_unique<StorageEngine>(opts, &cache_, &media_,
+                                              std::make_unique<MemoryLogSink>());
+  }
+
+  BlockCache cache_;
+  NullMedia media_;
+  std::unique_ptr<StorageEngine> engine_;
+  uint64_t ts_ = 0;
+};
+
+TEST_F(StorageEngineTest, GetFromMemtable) {
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(5), ValueRow("five", ++ts_)).ok());
+  auto row = engine_->Get("p1", EncodeKey64(5));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->cells.at("v").value, "five");
+  EXPECT_FALSE(engine_->Get("p1", EncodeKey64(6)).has_value());
+  EXPECT_FALSE(engine_->Get("p2", EncodeKey64(5)).has_value());
+}
+
+TEST_F(StorageEngineTest, GetAfterFlush) {
+  for (uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(
+        engine_->Apply("p1", EncodeKey64(k), ValueRow("v" + std::to_string(k), ++ts_)).ok());
+  }
+  ASSERT_TRUE(engine_->Flush().ok());
+  EXPECT_EQ(engine_->MemtableBytes(), 0u);
+  EXPECT_GE(engine_->SstableCount(), 1u);
+  for (uint64_t k = 0; k < 100; ++k) {
+    auto row = engine_->Get("p1", EncodeKey64(k));
+    ASSERT_TRUE(row.has_value()) << k;
+    EXPECT_EQ(row->cells.at("v").value, "v" + std::to_string(k));
+  }
+}
+
+TEST_F(StorageEngineTest, NewerCellWinsAcrossFlushBoundary) {
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(1), ValueRow("old", ++ts_)).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(1), ValueRow("new", ++ts_)).ok());
+  auto row = engine_->Get("p1", EncodeKey64(1));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->cells.at("v").value, "new");
+  ASSERT_TRUE(engine_->Flush().ok());
+  row = engine_->Get("p1", EncodeKey64(1));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->cells.at("v").value, "new");
+}
+
+TEST_F(StorageEngineTest, CompactionPreservesNewestAndDropsShadowed) {
+  Recreate(/*flush_bytes=*/16 * 1024, /*compaction_trigger=*/3);
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t k = 0; k < 50; ++k) {
+      ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(k),
+                                 ValueRow("r" + std::to_string(round), ++ts_))
+                      .ok());
+    }
+    ASSERT_TRUE(engine_->Flush().ok());
+  }
+  EXPECT_LT(engine_->SstableCount(), 3u);  // compaction collapsed the runs
+  for (uint64_t k = 0; k < 50; ++k) {
+    auto row = engine_->Get("p1", EncodeKey64(k));
+    ASSERT_TRUE(row.has_value());
+    EXPECT_EQ(row->cells.at("v").value, "r4");
+  }
+}
+
+TEST_F(StorageEngineTest, TombstoneHidesRowAndSurvivesCompaction) {
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(1), ValueRow("x", ++ts_)).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  Row tomb;
+  tomb.cells["v"] = Cell{"", ++ts_, true};
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(1), tomb).ok());
+  EXPECT_FALSE(engine_->Get("p1", EncodeKey64(1)).has_value());
+  ASSERT_TRUE(engine_->Flush().ok());
+  EXPECT_FALSE(engine_->Get("p1", EncodeKey64(1)).has_value());
+}
+
+TEST_F(StorageEngineTest, FloorBasics) {
+  for (uint64_t k : {10, 20, 30}) {
+    ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(k), ValueRow("v", ++ts_)).ok());
+  }
+  auto floor = engine_->Floor("p1", EncodeKey64(25));
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_EQ(*DecodeKey64(floor->first), 20u);
+  floor = engine_->Floor("p1", EncodeKey64(30));
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_EQ(*DecodeKey64(floor->first), 30u);  // inclusive
+  EXPECT_FALSE(engine_->Floor("p1", EncodeKey64(9)).has_value());
+  EXPECT_FALSE(engine_->Floor("p2", EncodeKey64(25)).has_value());
+}
+
+TEST_F(StorageEngineTest, FloorAcrossMemtableAndSstables) {
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(10), ValueRow("a", ++ts_)).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(20), ValueRow("b", ++ts_)).ok());
+  auto floor = engine_->Floor("p1", EncodeKey64(25));
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_EQ(*DecodeKey64(floor->first), 20u);  // memtable candidate wins
+  floor = engine_->Floor("p1", EncodeKey64(15));
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_EQ(*DecodeKey64(floor->first), 10u);  // sstable candidate wins
+}
+
+TEST_F(StorageEngineTest, FloorSkipsFullyDeletedRows) {
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(10), ValueRow("keep", ++ts_)).ok());
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(20), ValueRow("kill", ++ts_)).ok());
+  Row tomb;
+  tomb.cells["v"] = Cell{"", ++ts_, true};
+  ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(20), tomb).ok());
+  auto floor = engine_->Floor("p1", EncodeKey64(25));
+  ASSERT_TRUE(floor.has_value());
+  EXPECT_EQ(*DecodeKey64(floor->first), 10u);
+}
+
+TEST_F(StorageEngineTest, FloorDoesNotCrossPartitions) {
+  ASSERT_TRUE(engine_->Apply("alpha", EncodeKey64(10), ValueRow("a", ++ts_)).ok());
+  ASSERT_TRUE(engine_->Flush().ok());
+  EXPECT_FALSE(engine_->Floor("beta", EncodeKey64(99)).has_value());
+}
+
+TEST_F(StorageEngineTest, ScanOrderedAndBounded) {
+  for (uint64_t k = 0; k < 40; ++k) {
+    ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(k * 2),
+                               ValueRow(std::to_string(k * 2), ++ts_))
+                    .ok());
+    if (k == 20) {
+      ASSERT_TRUE(engine_->Flush().ok());
+    }
+  }
+  std::vector<uint64_t> seen;
+  ASSERT_TRUE(engine_
+                  ->Scan("p1", EncodeKey64(10), EncodeKey64(30), 0,
+                         [&](std::string_view clustering, const Row& row) {
+                           seen.push_back(*DecodeKey64(clustering));
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(seen.size(), 11u);  // 10,12,...,30 inclusive
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], 10 + 2 * i);
+  }
+}
+
+TEST_F(StorageEngineTest, ScanHonorsLimit) {
+  for (uint64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(k), ValueRow("v", ++ts_)).ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(engine_
+                  ->Scan("p1", EncodeKey64(0), EncodeKey64(100), 5,
+                         [&](std::string_view clustering, const Row& row) {
+                           ++count;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(StorageEngineTest, PartitionTombstoneHidesOlderData) {
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(engine_->Apply("epoch3", EncodeKey64(k), ValueRow("old", ++ts_)).ok());
+  }
+  ASSERT_TRUE(engine_->Flush().ok());
+  ASSERT_TRUE(engine_->ApplyPartitionTombstone("epoch3", ++ts_).ok());
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_FALSE(engine_->Get("epoch3", EncodeKey64(k)).has_value());
+  }
+  int scanned = 0;
+  ASSERT_TRUE(engine_
+                  ->Scan("epoch3", EncodeKey64(0), EncodeKey64(100), 0,
+                         [&](std::string_view clustering, const Row& row) {
+                           ++scanned;
+                           return true;
+                         })
+                  .ok());
+  EXPECT_EQ(scanned, 0);
+  // Writes after the tombstone are visible again.
+  ASSERT_TRUE(engine_->Apply("epoch3", EncodeKey64(4), ValueRow("new", ++ts_)).ok());
+  auto row = engine_->Get("epoch3", EncodeKey64(4));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->cells.at("v").value, "new");
+}
+
+TEST_F(StorageEngineTest, PartitionTombstoneSurvivesFlushAndCompaction) {
+  Recreate(/*flush_bytes=*/16 * 1024, /*compaction_trigger=*/2);
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(engine_->Apply("e1", EncodeKey64(k), ValueRow("old", ++ts_)).ok());
+  }
+  ASSERT_TRUE(engine_->Flush().ok());
+  ASSERT_TRUE(engine_->ApplyPartitionTombstone("e1", ++ts_).ok());
+  ASSERT_TRUE(engine_->Flush().ok());  // triggers compaction at 2 tables
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_FALSE(engine_->Get("e1", EncodeKey64(k)).has_value());
+  }
+}
+
+TEST_F(StorageEngineTest, CommitLogReplayRestoresMemtable) {
+  auto sink = std::make_unique<MemoryLogSink>();
+  LogSink* raw_sink = sink.get();
+  StorageEngineOptions opts;
+  opts.memtable_flush_bytes = 1 << 20;
+  StorageEngine first(opts, &cache_, &media_, std::move(sink));
+  ASSERT_TRUE(first.Apply("p1", EncodeKey64(1), ValueRow("crashsafe", 1)).ok());
+  ASSERT_TRUE(first.Apply("p1", EncodeKey64(2), ValueRow("also", 2)).ok());
+
+  // Simulate a crash: build a second engine over a sink holding the same
+  // bytes and replay.
+  std::string log_bytes;
+  ASSERT_TRUE(raw_sink->ReadAll(&log_bytes).ok());
+  auto sink2 = std::make_unique<MemoryLogSink>();
+  ASSERT_TRUE(sink2->Append(log_bytes).ok());
+  StorageEngine second(opts, &cache_, &media_, std::move(sink2));
+  ASSERT_TRUE(second.RecoverFromLog().ok());
+  auto row = second.Get("p1", EncodeKey64(1));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->cells.at("v").value, "crashsafe");
+  EXPECT_TRUE(second.Get("p1", EncodeKey64(2)).has_value());
+}
+
+TEST_F(StorageEngineTest, CommitLogReplayStopsAtTornRecord) {
+  auto sink = std::make_unique<MemoryLogSink>();
+  LogSink* raw_sink = sink.get();
+  StorageEngineOptions opts;
+  opts.memtable_flush_bytes = 1 << 20;
+  StorageEngine first(opts, &cache_, &media_, std::move(sink));
+  ASSERT_TRUE(first.Apply("p1", EncodeKey64(1), ValueRow("intact", 1)).ok());
+  ASSERT_TRUE(first.Apply("p1", EncodeKey64(2), ValueRow("torn", 2)).ok());
+
+  std::string log_bytes;
+  ASSERT_TRUE(raw_sink->ReadAll(&log_bytes).ok());
+  log_bytes.resize(log_bytes.size() - 3);  // tear the tail record
+  auto sink2 = std::make_unique<MemoryLogSink>();
+  ASSERT_TRUE(sink2->Append(log_bytes).ok());
+  StorageEngine second(opts, &cache_, &media_, std::move(sink2));
+  ASSERT_TRUE(second.RecoverFromLog().ok());
+  EXPECT_TRUE(second.Get("p1", EncodeKey64(1)).has_value());
+  EXPECT_FALSE(second.Get("p1", EncodeKey64(2)).has_value());
+}
+
+TEST_F(StorageEngineTest, AutomaticFlushOnThreshold) {
+  Recreate(/*flush_bytes=*/2048);
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(engine_->Apply("p1", EncodeKey64(k), ValueRow(std::string(64, 'x'), ++ts_)).ok());
+  }
+  EXPECT_GE(engine_->SstableCount(), 1u);
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_TRUE(engine_->Get("p1", EncodeKey64(k)).has_value()) << k;
+  }
+}
+
+}  // namespace
+}  // namespace minicrypt
