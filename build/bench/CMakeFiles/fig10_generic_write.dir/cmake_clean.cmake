@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_generic_write.dir/fig10_generic_write.cc.o"
+  "CMakeFiles/fig10_generic_write.dir/fig10_generic_write.cc.o.d"
+  "fig10_generic_write"
+  "fig10_generic_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_generic_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_append_write.dir/fig11_append_write.cc.o"
+  "CMakeFiles/fig11_append_write.dir/fig11_append_write.cc.o.d"
+  "fig11_append_write"
+  "fig11_append_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_append_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

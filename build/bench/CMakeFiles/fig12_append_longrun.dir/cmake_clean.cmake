@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_append_longrun.dir/fig12_append_longrun.cc.o"
+  "CMakeFiles/fig12_append_longrun.dir/fig12_append_longrun.cc.o.d"
+  "fig12_append_longrun"
+  "fig12_append_longrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_append_longrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_read_write_mix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pack_size.dir/fig14_pack_size.cc.o"
+  "CMakeFiles/fig14_pack_size.dir/fig14_pack_size.cc.o.d"
+  "fig14_pack_size"
+  "fig14_pack_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pack_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_range_throughput.dir/fig9_range_throughput.cc.o"
+  "CMakeFiles/fig9_range_throughput.dir/fig9_range_throughput.cc.o.d"
+  "fig9_range_throughput"
+  "fig9_range_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_range_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_append.dir/latency_append.cc.o"
+  "CMakeFiles/latency_append.dir/latency_append.cc.o.d"
+  "latency_append"
+  "latency_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_point.dir/latency_point.cc.o"
+  "CMakeFiles/latency_point.dir/latency_point.cc.o.d"
+  "latency_point"
+  "latency_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

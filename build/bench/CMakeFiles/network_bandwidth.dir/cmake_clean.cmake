@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_bandwidth.dir/network_bandwidth.cc.o"
+  "CMakeFiles/network_bandwidth.dir/network_bandwidth.cc.o.d"
+  "network_bandwidth"
+  "network_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

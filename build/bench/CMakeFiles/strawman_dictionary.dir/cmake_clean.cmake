@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strawman_dictionary.dir/strawman_dictionary.cc.o"
+  "CMakeFiles/strawman_dictionary.dir/strawman_dictionary.cc.o.d"
+  "strawman_dictionary"
+  "strawman_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strawman_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_packs.dir/multi_tenant_packs.cpp.o"
+  "CMakeFiles/multi_tenant_packs.dir/multi_tenant_packs.cpp.o.d"
+  "multi_tenant_packs"
+  "multi_tenant_packs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_packs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

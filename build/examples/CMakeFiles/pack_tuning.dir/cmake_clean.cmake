@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_tuning.dir/pack_tuning.cpp.o"
+  "CMakeFiles/pack_tuning.dir/pack_tuning.cpp.o.d"
+  "pack_tuning"
+  "pack_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for timeseries_append.
+# This may be replaced when dependencies are built.

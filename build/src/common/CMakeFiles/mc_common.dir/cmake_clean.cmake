@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_common.dir/coding.cc.o"
+  "CMakeFiles/mc_common.dir/coding.cc.o.d"
+  "CMakeFiles/mc_common.dir/histogram.cc.o"
+  "CMakeFiles/mc_common.dir/histogram.cc.o.d"
+  "CMakeFiles/mc_common.dir/logging.cc.o"
+  "CMakeFiles/mc_common.dir/logging.cc.o.d"
+  "CMakeFiles/mc_common.dir/random.cc.o"
+  "CMakeFiles/mc_common.dir/random.cc.o.d"
+  "CMakeFiles/mc_common.dir/status.cc.o"
+  "CMakeFiles/mc_common.dir/status.cc.o.d"
+  "CMakeFiles/mc_common.dir/thread_util.cc.o"
+  "CMakeFiles/mc_common.dir/thread_util.cc.o.d"
+  "libmc_common.a"
+  "libmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

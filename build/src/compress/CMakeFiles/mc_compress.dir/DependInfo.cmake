@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitstream.cc" "src/compress/CMakeFiles/mc_compress.dir/bitstream.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/bitstream.cc.o.d"
+  "/root/repo/src/compress/bwt.cc" "src/compress/CMakeFiles/mc_compress.dir/bwt.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/bwt.cc.o.d"
+  "/root/repo/src/compress/bzip2_like.cc" "src/compress/CMakeFiles/mc_compress.dir/bzip2_like.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/bzip2_like.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/mc_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/lz4_like.cc" "src/compress/CMakeFiles/mc_compress.dir/lz4_like.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/lz4_like.cc.o.d"
+  "/root/repo/src/compress/lzma_like.cc" "src/compress/CMakeFiles/mc_compress.dir/lzma_like.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/lzma_like.cc.o.d"
+  "/root/repo/src/compress/registry.cc" "src/compress/CMakeFiles/mc_compress.dir/registry.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/registry.cc.o.d"
+  "/root/repo/src/compress/snappy_like.cc" "src/compress/CMakeFiles/mc_compress.dir/snappy_like.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/snappy_like.cc.o.d"
+  "/root/repo/src/compress/strawman.cc" "src/compress/CMakeFiles/mc_compress.dir/strawman.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/strawman.cc.o.d"
+  "/root/repo/src/compress/zlib_compressor.cc" "src/compress/CMakeFiles/mc_compress.dir/zlib_compressor.cc.o" "gcc" "src/compress/CMakeFiles/mc_compress.dir/zlib_compressor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_compress.dir/bitstream.cc.o"
+  "CMakeFiles/mc_compress.dir/bitstream.cc.o.d"
+  "CMakeFiles/mc_compress.dir/bwt.cc.o"
+  "CMakeFiles/mc_compress.dir/bwt.cc.o.d"
+  "CMakeFiles/mc_compress.dir/bzip2_like.cc.o"
+  "CMakeFiles/mc_compress.dir/bzip2_like.cc.o.d"
+  "CMakeFiles/mc_compress.dir/huffman.cc.o"
+  "CMakeFiles/mc_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/mc_compress.dir/lz4_like.cc.o"
+  "CMakeFiles/mc_compress.dir/lz4_like.cc.o.d"
+  "CMakeFiles/mc_compress.dir/lzma_like.cc.o"
+  "CMakeFiles/mc_compress.dir/lzma_like.cc.o.d"
+  "CMakeFiles/mc_compress.dir/registry.cc.o"
+  "CMakeFiles/mc_compress.dir/registry.cc.o.d"
+  "CMakeFiles/mc_compress.dir/snappy_like.cc.o"
+  "CMakeFiles/mc_compress.dir/snappy_like.cc.o.d"
+  "CMakeFiles/mc_compress.dir/strawman.cc.o"
+  "CMakeFiles/mc_compress.dir/strawman.cc.o.d"
+  "CMakeFiles/mc_compress.dir/zlib_compressor.cc.o"
+  "CMakeFiles/mc_compress.dir/zlib_compressor.cc.o.d"
+  "libmc_compress.a"
+  "libmc_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_proxy.cc" "src/core/CMakeFiles/mc_core.dir/access_proxy.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/access_proxy.cc.o.d"
+  "/root/repo/src/core/append/append_client.cc" "src/core/CMakeFiles/mc_core.dir/append/append_client.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/append/append_client.cc.o.d"
+  "/root/repo/src/core/append/em_service.cc" "src/core/CMakeFiles/mc_core.dir/append/em_service.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/append/em_service.cc.o.d"
+  "/root/repo/src/core/append/epoch.cc" "src/core/CMakeFiles/mc_core.dir/append/epoch.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/append/epoch.cc.o.d"
+  "/root/repo/src/core/baseline_client.cc" "src/core/CMakeFiles/mc_core.dir/baseline_client.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/baseline_client.cc.o.d"
+  "/root/repo/src/core/generic_client.cc" "src/core/CMakeFiles/mc_core.dir/generic_client.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/generic_client.cc.o.d"
+  "/root/repo/src/core/key_codec.cc" "src/core/CMakeFiles/mc_core.dir/key_codec.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/key_codec.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/core/CMakeFiles/mc_core.dir/options.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/options.cc.o.d"
+  "/root/repo/src/core/pack.cc" "src/core/CMakeFiles/mc_core.dir/pack.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/pack.cc.o.d"
+  "/root/repo/src/core/pack_crypter.cc" "src/core/CMakeFiles/mc_core.dir/pack_crypter.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/pack_crypter.cc.o.d"
+  "/root/repo/src/core/tuner.cc" "src/core/CMakeFiles/mc_core.dir/tuner.cc.o" "gcc" "src/core/CMakeFiles/mc_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mc_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/mc_kvstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_core.dir/access_proxy.cc.o"
+  "CMakeFiles/mc_core.dir/access_proxy.cc.o.d"
+  "CMakeFiles/mc_core.dir/append/append_client.cc.o"
+  "CMakeFiles/mc_core.dir/append/append_client.cc.o.d"
+  "CMakeFiles/mc_core.dir/append/em_service.cc.o"
+  "CMakeFiles/mc_core.dir/append/em_service.cc.o.d"
+  "CMakeFiles/mc_core.dir/append/epoch.cc.o"
+  "CMakeFiles/mc_core.dir/append/epoch.cc.o.d"
+  "CMakeFiles/mc_core.dir/baseline_client.cc.o"
+  "CMakeFiles/mc_core.dir/baseline_client.cc.o.d"
+  "CMakeFiles/mc_core.dir/generic_client.cc.o"
+  "CMakeFiles/mc_core.dir/generic_client.cc.o.d"
+  "CMakeFiles/mc_core.dir/key_codec.cc.o"
+  "CMakeFiles/mc_core.dir/key_codec.cc.o.d"
+  "CMakeFiles/mc_core.dir/options.cc.o"
+  "CMakeFiles/mc_core.dir/options.cc.o.d"
+  "CMakeFiles/mc_core.dir/pack.cc.o"
+  "CMakeFiles/mc_core.dir/pack.cc.o.d"
+  "CMakeFiles/mc_core.dir/pack_crypter.cc.o"
+  "CMakeFiles/mc_core.dir/pack_crypter.cc.o.d"
+  "CMakeFiles/mc_core.dir/tuner.cc.o"
+  "CMakeFiles/mc_core.dir/tuner.cc.o.d"
+  "libmc_core.a"
+  "libmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

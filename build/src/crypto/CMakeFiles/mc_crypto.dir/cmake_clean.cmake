@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_crypto.dir/crypto.cc.o"
+  "CMakeFiles/mc_crypto.dir/crypto.cc.o.d"
+  "CMakeFiles/mc_crypto.dir/ope.cc.o"
+  "CMakeFiles/mc_crypto.dir/ope.cc.o.d"
+  "CMakeFiles/mc_crypto.dir/padding.cc.o"
+  "CMakeFiles/mc_crypto.dir/padding.cc.o.d"
+  "libmc_crypto.a"
+  "libmc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/block_cache.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/block_cache.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/block_cache.cc.o.d"
+  "/root/repo/src/kvstore/bloom.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/bloom.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/bloom.cc.o.d"
+  "/root/repo/src/kvstore/cluster.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/cluster.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/cluster.cc.o.d"
+  "/root/repo/src/kvstore/commit_log.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/commit_log.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/commit_log.cc.o.d"
+  "/root/repo/src/kvstore/media.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/media.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/media.cc.o.d"
+  "/root/repo/src/kvstore/memtable.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/memtable.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/memtable.cc.o.d"
+  "/root/repo/src/kvstore/node.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/node.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/node.cc.o.d"
+  "/root/repo/src/kvstore/ring.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/ring.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/ring.cc.o.d"
+  "/root/repo/src/kvstore/row.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/row.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/row.cc.o.d"
+  "/root/repo/src/kvstore/sstable.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/sstable.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/sstable.cc.o.d"
+  "/root/repo/src/kvstore/storage_engine.cc" "src/kvstore/CMakeFiles/mc_kvstore.dir/storage_engine.cc.o" "gcc" "src/kvstore/CMakeFiles/mc_kvstore.dir/storage_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/mc_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

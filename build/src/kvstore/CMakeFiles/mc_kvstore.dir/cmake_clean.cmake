@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_kvstore.dir/block_cache.cc.o"
+  "CMakeFiles/mc_kvstore.dir/block_cache.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/bloom.cc.o"
+  "CMakeFiles/mc_kvstore.dir/bloom.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/cluster.cc.o"
+  "CMakeFiles/mc_kvstore.dir/cluster.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/commit_log.cc.o"
+  "CMakeFiles/mc_kvstore.dir/commit_log.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/media.cc.o"
+  "CMakeFiles/mc_kvstore.dir/media.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/memtable.cc.o"
+  "CMakeFiles/mc_kvstore.dir/memtable.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/node.cc.o"
+  "CMakeFiles/mc_kvstore.dir/node.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/ring.cc.o"
+  "CMakeFiles/mc_kvstore.dir/ring.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/row.cc.o"
+  "CMakeFiles/mc_kvstore.dir/row.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/sstable.cc.o"
+  "CMakeFiles/mc_kvstore.dir/sstable.cc.o.d"
+  "CMakeFiles/mc_kvstore.dir/storage_engine.cc.o"
+  "CMakeFiles/mc_kvstore.dir/storage_engine.cc.o.d"
+  "libmc_kvstore.a"
+  "libmc_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

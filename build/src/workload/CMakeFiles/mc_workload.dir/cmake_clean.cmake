@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_workload.dir/datasets.cc.o"
+  "CMakeFiles/mc_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/mc_workload.dir/driver.cc.o"
+  "CMakeFiles/mc_workload.dir/driver.cc.o.d"
+  "libmc_workload.a"
+  "libmc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

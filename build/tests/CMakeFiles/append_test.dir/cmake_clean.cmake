@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/append_test.dir/append_test.cc.o"
+  "CMakeFiles/append_test.dir/append_test.cc.o.d"
+  "append_test"
+  "append_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/append_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

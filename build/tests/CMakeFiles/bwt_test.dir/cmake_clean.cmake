@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwt_test.dir/bwt_test.cc.o"
+  "CMakeFiles/bwt_test.dir/bwt_test.cc.o.d"
+  "bwt_test"
+  "bwt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

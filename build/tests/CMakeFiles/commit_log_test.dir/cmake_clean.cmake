@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_log_test.dir/commit_log_test.cc.o"
+  "CMakeFiles/commit_log_test.dir/commit_log_test.cc.o.d"
+  "commit_log_test"
+  "commit_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_client_test.dir/generic_client_test.cc.o"
+  "CMakeFiles/generic_client_test.dir/generic_client_test.cc.o.d"
+  "generic_client_test"
+  "generic_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

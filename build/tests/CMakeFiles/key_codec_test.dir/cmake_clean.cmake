@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_codec_test.dir/key_codec_test.cc.o"
+  "CMakeFiles/key_codec_test.dir/key_codec_test.cc.o.d"
+  "key_codec_test"
+  "key_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ope_test.dir/ope_test.cc.o"
+  "CMakeFiles/ope_test.dir/ope_test.cc.o.d"
+  "ope_test"
+  "ope_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ope_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
