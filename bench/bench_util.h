@@ -24,6 +24,7 @@
 #include "src/core/pack_crypter.h"
 #include "src/crypto/crypto.h"
 #include "src/kvstore/cluster.h"
+#include "src/obs/metrics.h"
 #include "src/workload/datasets.h"
 
 namespace minicrypt {
@@ -163,6 +164,21 @@ inline void PreloadAndWarm(KvFacade& facade, Cluster& cluster, const MiniCryptOp
   }
   cluster.WarmCaches(options.table);
   cluster.ResetPerfCounters();
+  // Scope the metrics snapshot to the measured run: drop everything the
+  // preload/warmup phase recorded.
+  MetricsRegistry::Instance().ResetAll();
+}
+
+// One-line JSON snapshot of every metric recorded since the last reset
+// (docs/METRICS.md documents the names and schema). With reset=true the
+// registry is cleared afterwards so the next measured cell starts clean.
+inline std::string MetricsJson(bool reset = true) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  std::string json = registry.ToJson();
+  if (reset) {
+    registry.ResetAll();
+  }
+  return json;
 }
 
 // Preloads APPEND-mode data: rows packed directly into epoch 0 (the layout

@@ -53,6 +53,7 @@ int Main() {
 
     // Baseline run.
     double baseline_result = 0;
+    std::string baseline_metrics;
     {
       Cluster cluster(PaperCluster(MediaKind::kSsd, 8 * 1024 * 1024));
       MiniCryptOptions options = AppendOptions();
@@ -61,6 +62,7 @@ int Main() {
       (void)baseline.BulkLoad(preload);
       (void)cluster.FlushAll();
       cluster.WarmCaches(options.table);
+      MetricsRegistry::Instance().ResetAll();
       std::atomic<uint64_t> frontier{preload_rows_n};
       DriverConfig driver;
       driver.threads = clients;
@@ -76,10 +78,12 @@ int Main() {
         return baseline.Get(chooser.Next()).ok();
       });
       baseline_result = r.throughput_ops_s;
+      baseline_metrics = MetricsJson();
     }
 
     // MiniCrypt APPEND run: preload lands as epoch-0 packs; mergers live.
     double mc_result = 0;
+    std::string mc_metrics;
     {
       Cluster cluster(PaperCluster(MediaKind::kSsd, 8 * 1024 * 1024));
       MiniCryptOptions options = AppendOptions();
@@ -89,6 +93,7 @@ int Main() {
       PreloadAppendPacks(cluster, options, key, preload);
       (void)cluster.FlushAll();
       cluster.WarmCaches(options.table);
+      MetricsRegistry::Instance().ResetAll();
       em.Start(150'000);
       std::vector<std::unique_ptr<AppendClient>> workers;
       for (int c = 0; c < clients; ++c) {
@@ -117,9 +122,14 @@ int Main() {
         w->Stop();
       }
       mc_result = r.throughput_ops_s;
+      mc_metrics = MetricsJson();
     }
 
     std::printf("%-12.1f %-12.0f %-12.0f\n", mb, baseline_result, mc_result);
+    // Per-cell attribution: cache-hit rate, merge activity, and the
+    // decrypt/decompress share of read latency (docs/METRICS.md).
+    std::printf("# metrics interval_MB=%.1f baseline %s\n", mb, baseline_metrics.c_str());
+    std::printf("# metrics interval_MB=%.1f mc-append %s\n", mb, mc_metrics.c_str());
     std::fflush(stdout);
     base_tp.push_back(baseline_result);
     mc_tp.push_back(mc_result);

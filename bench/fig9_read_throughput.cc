@@ -49,6 +49,7 @@ int Main() {
       const auto rows = ConvivaRows(row_count);
       std::printf("%-6s %-9.1f", MediaName(media), raw_mb * scale);
       double at_rest_mb = 0;
+      std::vector<std::string> metric_lines;
       for (const auto& system : systems) {
         Cluster cluster(PaperCluster(media, cache_per_node));
         MiniCryptOptions options;
@@ -71,8 +72,17 @@ int Main() {
         std::printf(" %-12.0f", r.throughput_ops_s);
         std::fflush(stdout);
         results[MediaName(media)][system].push_back(Point{raw_mb, r.throughput_ops_s});
+        // Per-cell latency attribution (cache / media / network / decrypt /
+        // decompress — see docs/METRICS.md); printed after the table row so
+        // the columns stay aligned.
+        metric_lines.push_back("# metrics " + std::string(MediaName(media)) + " raw_MB=" +
+                               std::to_string(raw_mb * scale) + " " + system + " " +
+                               MetricsJson());
       }
       std::printf(" %-10.1f\n", at_rest_mb);
+      for (const auto& line : metric_lines) {
+        std::printf("%s\n", line.c_str());
+      }
     }
   }
 

@@ -6,7 +6,7 @@
 
 namespace minicrypt {
 
-Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
 
 int Histogram::BucketFor(uint64_t v) {
   if (v < 4) {
@@ -16,7 +16,21 @@ int Histogram::BucketFor(uint64_t v) {
   // Two bits below the MSB select the sub-bucket.
   const int sub = static_cast<int>((v >> (msb - 2)) & 0x3);
   const int b = msb * 4 + sub;
-  return std::min(b, kNumBuckets - 1);
+  return std::min(b, kBucketCount - 1);
+}
+
+Histogram Histogram::FromBucketCounts(const uint64_t* counts, int n, uint64_t sum, uint64_t min,
+                                      uint64_t max) {
+  Histogram out;
+  const int limit = std::min(n, kBucketCount);
+  for (int b = 0; b < limit; ++b) {
+    out.buckets_[static_cast<size_t>(b)] = counts[b];
+    out.count_ += counts[b];
+  }
+  out.sum_ = sum;
+  out.min_ = out.count_ == 0 ? 0 : min;
+  out.max_ = max;
+  return out;
 }
 
 uint64_t Histogram::BucketLowerBound(int b) {
@@ -67,7 +81,7 @@ double Histogram::Percentile(double q) const {
   }
   const auto target = static_cast<uint64_t>(q * static_cast<double>(count_));
   uint64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
+  for (int b = 0; b < kBucketCount; ++b) {
     seen += buckets_[static_cast<size_t>(b)];
     if (seen > target) {
       return static_cast<double>(BucketLowerBound(b));

@@ -12,13 +12,27 @@ namespace minicrypt {
 
 class Histogram {
  public:
+  // Bucket layout is shared with the obs layer's sharded atomic histograms,
+  // which accumulate counts per bucket concurrently and rebuild a Histogram
+  // (via FromBucketCounts) whenever percentiles are needed.
+  static constexpr int kBucketCount = 64 * 4;  // 4 sub-buckets per power of two
+
+  static int BucketFor(uint64_t v);
+  static uint64_t BucketLowerBound(int b);
+
   Histogram();
+
+  // Rebuilds a histogram from externally accumulated per-bucket counts.
+  // `counts` holds up to kBucketCount entries (missing tail treated as zero).
+  static Histogram FromBucketCounts(const uint64_t* counts, int n, uint64_t sum, uint64_t min,
+                                    uint64_t max);
 
   void Add(uint64_t value_micros);
   void Merge(const Histogram& other);
   void Reset();
 
   uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
   double Mean() const;
   uint64_t Min() const { return count_ == 0 ? 0 : min_; }
   uint64_t Max() const { return max_; }
@@ -30,11 +44,6 @@ class Histogram {
   std::string Summary() const;
 
  private:
-  static constexpr int kNumBuckets = 64 * 4;  // 4 sub-buckets per power of two
-
-  static int BucketFor(uint64_t v);
-  static uint64_t BucketLowerBound(int b);
-
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   uint64_t sum_ = 0;

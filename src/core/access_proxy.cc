@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace minicrypt {
 
 AccessProxy::AccessProxy(Cluster* cluster, const MiniCryptOptions& options,
@@ -35,36 +37,48 @@ bool AccessProxy::Allowed(std::string_view principal, uint64_t key,
 }
 
 Result<std::string> AccessProxy::Get(std::string_view principal, uint64_t key) {
+  OBS_SPAN("proxy.get");
   if (!Allowed(principal, key, Permission::kRead)) {
+    OBS_COUNTER_INC("proxy.denied");
     return Status::InvalidArgument("principal lacks read grant for key");
   }
+  OBS_COUNTER_INC("proxy.allowed");
   return client_.Get(key);
 }
 
 Status AccessProxy::Put(std::string_view principal, uint64_t key, std::string_view value) {
+  OBS_SPAN("proxy.put");
   if (!Allowed(principal, key, Permission::kWrite)) {
+    OBS_COUNTER_INC("proxy.denied");
     return Status::InvalidArgument("principal lacks write grant for key");
   }
+  OBS_COUNTER_INC("proxy.allowed");
   return client_.Put(key, value);
 }
 
 Status AccessProxy::Delete(std::string_view principal, uint64_t key) {
+  OBS_SPAN("proxy.delete");
   if (!Allowed(principal, key, Permission::kDelete)) {
+    OBS_COUNTER_INC("proxy.denied");
     return Status::InvalidArgument("principal lacks delete grant for key");
   }
+  OBS_COUNTER_INC("proxy.allowed");
   return client_.Delete(key);
 }
 
 Result<std::vector<std::pair<uint64_t, std::string>>> AccessProxy::GetRange(
     std::string_view principal, uint64_t low, uint64_t high) {
+  OBS_SPAN("proxy.range");
   MC_ASSIGN_OR_RETURN(auto rows, client_.GetRange(low, high));
   // Filter to the principal's readable keys — packs may contain neighbours
   // the principal is not entitled to see.
+  const size_t fetched = rows.size();
   rows.erase(std::remove_if(rows.begin(), rows.end(),
                             [&](const auto& kv) {
                               return !Allowed(principal, kv.first, Permission::kRead);
                             }),
              rows.end());
+  OBS_COUNTER_ADD("proxy.range.filtered", fetched - rows.size());
   return rows;
 }
 

@@ -6,6 +6,7 @@
 
 #include "src/common/coding.h"
 #include "src/core/pack.h"
+#include "src/obs/metrics.h"
 
 namespace minicrypt {
 
@@ -35,13 +36,16 @@ Status AppendClient::Register() {
 }
 
 Status AppendClient::SyncEpoch() {
+  OBS_SPAN("append.epoch.sync");
   MC_ASSIGN_OR_RETURN(Row row, cluster_->Read(meta_table_, kEmPartition, kGEpochRow));
   auto it = row.cells.find(kEpochColumn);
   if (it == row.cells.end()) {
     return Status::Corruption("g_epoch row missing epoch cell");
   }
   MC_ASSIGN_OR_RETURN(uint64_t g_epoch, DecodeKey64(it->second.value));
-  c_epoch_.store(g_epoch, std::memory_order_release);
+  if (g_epoch != c_epoch_.exchange(g_epoch, std::memory_order_acq_rel)) {
+    OBS_COUNTER_INC("append.epoch.renewals");
+  }
   return Status::Ok();
 }
 
@@ -53,6 +57,7 @@ Status AppendClient::HeartbeatOnce() {
 }
 
 Status AppendClient::Put(uint64_t key, std::string_view value) {
+  OBS_SPAN("append.put");
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   const uint64_t epoch = c_epoch_.load(std::memory_order_acquire);
   MC_ASSIGN_OR_RETURN(std::string envelope, crypter_.SealValue(value));
@@ -63,6 +68,7 @@ Status AppendClient::Put(uint64_t key, std::string_view value) {
 }
 
 Result<std::string> AppendClient::ProbeEpoch(uint64_t epoch, std::string_view encoded_key) {
+  OBS_COUNTER_INC("append.get.epoch_probes");
   stats_.get_epoch_probes.fetch_add(1, std::memory_order_relaxed);
   MC_ASSIGN_OR_RETURN(Row row,
                       cluster_->Read(options_.table, EpochPartition(epoch), encoded_key));
@@ -74,6 +80,7 @@ Result<std::string> AppendClient::ProbeEpoch(uint64_t epoch, std::string_view en
 }
 
 Result<std::string> AppendClient::ProbeMergedPacks(std::string_view encoded_key) {
+  OBS_SPAN("pack.fetch");
   MC_ASSIGN_OR_RETURN(auto found, cluster_->ReadFloor(options_.table,
                                                       EpochPartition(kMergedEpoch),
                                                       encoded_key));
@@ -90,6 +97,7 @@ Result<std::string> AppendClient::ProbeMergedPacks(std::string_view encoded_key)
 }
 
 Result<std::string> AppendClient::Get(uint64_t key) {
+  OBS_SPAN("append.get");
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   const std::string encoded = EncodeKey64(key);
 
@@ -255,6 +263,7 @@ Result<std::vector<std::pair<uint64_t, std::string>>> AppendClient::ReadEpochRow
 }
 
 Status AppendClient::MergeEpoch(uint64_t epoch) {
+  OBS_SPAN("append.merge");
   // Paper §6.1.4: read e-1, e, e+1; merge keys in [k_min,e, k_min,e+1).
   MC_ASSIGN_OR_RETURN(auto prev_rows, ReadEpochRows(epoch - 1));
   MC_ASSIGN_OR_RETURN(auto cur_rows, ReadEpochRows(epoch));
@@ -318,6 +327,8 @@ Status AppendClient::MergeEpoch(uint64_t epoch) {
     if (!s.ok() && !s.IsConditionFailed()) {
       return s;
     }
+    OBS_COUNTER_INC("append.merge.packs_written");
+    OBS_COUNTER_ADD("append.merge.keys", pack.size());
     stats_.packs_written.fetch_add(1, std::memory_order_relaxed);
     stats_.keys_merged.fetch_add(pack.size(), std::memory_order_relaxed);
     return Status::Ok();
@@ -336,6 +347,7 @@ Status AppendClient::MergeEpoch(uint64_t epoch) {
   update.cells[std::string(kStatusColumn)] =
       PlainCell(std::string(1, static_cast<char>(EpochStatus::kMerged)));
   MC_RETURN_IF_ERROR(cluster_->Write(meta_table_, kStatsPartition, EncodeKey64(epoch), update));
+  OBS_COUNTER_INC("append.merge.epochs");
   stats_.epochs_merged.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
@@ -394,6 +406,7 @@ Status AppendClient::DeleteMergedOnce() {
     MC_ASSIGN_OR_RETURN(auto rows, cluster_->ReadRange(options_.table, EpochPartition(epoch),
                                                        EncodeKey64(0), EncodeKey64(~0ULL)));
     MC_RETURN_IF_ERROR(cluster_->DeletePartition(options_.table, EpochPartition(epoch)));
+    OBS_COUNTER_INC("append.delete.epochs");
     stats_.keys_deleted.fetch_add(rows.size(), std::memory_order_relaxed);
     stats_.epochs_deleted.fetch_add(1, std::memory_order_relaxed);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/coding.h"
+#include "src/obs/metrics.h"
 
 namespace minicrypt {
 
@@ -133,6 +134,7 @@ Status EmService::AdvanceEpochIfDue(uint64_t now) {
     return s;
   }
   if (s.ok()) {
+    OBS_COUNTER_INC("em.epoch.advanced");
     // Open a stats row for the newly closed epoch so mergers can find it.
     Row stats = MakeStatsRow(EpochStatus::kNotMerged, "", std::nullopt);
     const Status st = cluster_->WriteIf(meta_table_, kStatsPartition, EncodeKey64(g_epoch),
@@ -218,6 +220,7 @@ Status EmService::AssignEpochs(uint64_t g_epoch, uint64_t now) {
 }
 
 Status EmService::Tick() {
+  OBS_SPAN("em.tick");
   const uint64_t now = clock_->NowMicros();
   MC_RETURN_IF_ERROR(MaintainMastership(now));
   if (!is_master_) {

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/common/coding.h"
+#include "src/obs/metrics.h"
 
 namespace minicrypt {
 
@@ -75,6 +76,9 @@ std::string GenericClient::StoredPackId(std::string_view partition, const Pack& 
 
 Result<GenericClient::FetchedPack> GenericClient::FetchPackFor(std::string_view partition,
                                                                std::string_view encoded_key) {
+  // Covers the server round trip (floor query or direct read) plus
+  // Open (pack.decrypt + pack.decompress, timed separately).
+  OBS_SPAN("pack.fetch");
   std::string stored_id;
   Row row;
   if (packid_cipher_.has_value()) {
@@ -104,6 +108,7 @@ Result<GenericClient::FetchedPack> GenericClient::FetchPackFor(std::string_view 
 }
 
 Result<std::string> GenericClient::Get(uint64_t key) {
+  OBS_SPAN("client.get");
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   const std::string encoded = EncodeKey64(key);
   const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
@@ -117,6 +122,7 @@ Result<std::string> GenericClient::Get(uint64_t key) {
 
 Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(uint64_t low,
                                                                               uint64_t high) {
+  OBS_SPAN("client.range");
   stats_.range_queries.fetch_add(1, std::memory_order_relaxed);
   if (packid_cipher_.has_value()) {
     return Status::InvalidArgument("range queries unsupported with encrypted packIDs");
@@ -189,6 +195,8 @@ Status GenericClient::InsertNewPack(std::string_view partition, std::string_view
 }
 
 Status GenericClient::SplitPack(std::string_view partition, const FetchedPack& fetched) {
+  OBS_SPAN("pack.split");
+  OBS_COUNTER_INC("client.splits");
   stats_.splits.fetch_add(1, std::memory_order_relaxed);
   MC_ASSIGN_OR_RETURN(auto halves, fetched.pack.SplitDeterministic());
   const Pack& left = halves.first;
@@ -279,6 +287,7 @@ Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& 
 }
 
 Status GenericClient::Put(uint64_t key, std::string_view value) {
+  OBS_SPAN("client.put");
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   const std::string encoded = EncodeKey64(key);
   const std::string val(value);
@@ -289,12 +298,15 @@ Status GenericClient::Put(uint64_t key, std::string_view value) {
     if (!retry) {
       return Status::Ok();
     }
+    OBS_COUNTER_INC("client.put.retries");
     stats_.put_retries.fetch_add(1, std::memory_order_relaxed);
   }
+  OBS_COUNTER_INC("client.put.aborts");
   return Status::Aborted("put exceeded retry budget under contention");
 }
 
 Status GenericClient::Delete(uint64_t key) {
+  OBS_SPAN("client.delete");
   stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   const std::string encoded = EncodeKey64(key);
   for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
@@ -304,8 +316,10 @@ Status GenericClient::Delete(uint64_t key) {
     if (!retry) {
       return Status::Ok();
     }
+    OBS_COUNTER_INC("client.put.retries");
     stats_.put_retries.fetch_add(1, std::memory_order_relaxed);
   }
+  OBS_COUNTER_INC("client.put.aborts");
   return Status::Aborted("delete exceeded retry budget under contention");
 }
 

@@ -1,6 +1,43 @@
 #include "src/core/pack_crypter.h"
 
+#include "src/obs/metrics.h"
+
 namespace minicrypt {
+
+namespace {
+
+// Live compression-ratio gauge, fed from cumulative byte counters so the
+// ratio converges to the run-wide value rather than the last pack's. Wire
+// bytes include the padding + AES envelope, so this is the true
+// bytes-on-wire vs bytes-after-decompression ratio the paper's Figure 2/9
+// discussion turns on. Pointers are interned once; the per-pack cost is two
+// relaxed adds plus the shard-summing Value() reads.
+struct RatioMetrics {
+  Counter* raw;
+  Counter* wire;
+  Gauge* ratio;
+
+  static RatioMetrics Intern(const char* raw_name, const char* wire_name,
+                             const char* gauge_name) {
+    MetricsRegistry& registry = MetricsRegistry::Instance();
+    return RatioMetrics{registry.GetCounter(raw_name), registry.GetCounter(wire_name),
+                        registry.GetGauge(gauge_name)};
+  }
+
+  void Update(size_t raw_bytes, size_t wire_bytes) const {
+    if (!MetricsRegistry::Instance().enabled()) {
+      return;
+    }
+    raw->Add(raw_bytes);
+    wire->Add(wire_bytes);
+    const uint64_t wire_total = wire->Value();
+    if (wire_total > 0) {
+      ratio->Set(static_cast<double>(raw->Value()) / static_cast<double>(wire_total));
+    }
+  }
+};
+
+}  // namespace
 
 PackCrypter::PackCrypter(const MiniCryptOptions& options, const SymmetricKey& key)
     : codec_(FindCompressor(options.codec)),
@@ -8,9 +45,22 @@ PackCrypter::PackCrypter(const MiniCryptOptions& options, const SymmetricKey& ke
       pack_key_(key.Derive("pack:" + options.table)) {}
 
 Result<SealedPack> PackCrypter::Seal(const Pack& pack) const {
-  MC_ASSIGN_OR_RETURN(std::string compressed, codec_->Compress(pack.Serialize()));
+  OBS_SPAN("pack.seal");
+  const std::string raw = pack.Serialize();
+  std::string compressed;
+  {
+    OBS_SPAN("pack.compress");
+    MC_ASSIGN_OR_RETURN(compressed, codec_->Compress(raw));
+  }
   const std::string padded = padding_.Pad(compressed);
-  MC_ASSIGN_OR_RETURN(std::string envelope, AesCbcEncrypt(pack_key_, padded));
+  std::string envelope;
+  {
+    OBS_SPAN("pack.encrypt");
+    MC_ASSIGN_OR_RETURN(envelope, AesCbcEncrypt(pack_key_, padded));
+  }
+  static const RatioMetrics seal_ratio =
+      RatioMetrics::Intern("pack.seal.bytes_raw", "pack.seal.bytes_wire", "pack.seal.ratio");
+  seal_ratio.Update(raw.size(), envelope.size());
   SealedPack out;
   out.hash = Sha256(envelope);
   out.envelope = std::move(envelope);
@@ -18,19 +68,41 @@ Result<SealedPack> PackCrypter::Seal(const Pack& pack) const {
 }
 
 Result<Pack> PackCrypter::Open(std::string_view envelope) const {
-  MC_ASSIGN_OR_RETURN(std::string padded, AesCbcDecrypt(pack_key_, envelope));
+  OBS_SPAN("pack.open");
+  std::string padded;
+  {
+    OBS_SPAN("pack.decrypt");
+    MC_ASSIGN_OR_RETURN(padded, AesCbcDecrypt(pack_key_, envelope));
+  }
   MC_ASSIGN_OR_RETURN(std::string compressed, PaddingTiers::Unpad(padded));
-  MC_ASSIGN_OR_RETURN(std::string raw, codec_->Decompress(compressed));
+  std::string raw;
+  {
+    OBS_SPAN("pack.decompress");
+    MC_ASSIGN_OR_RETURN(raw, codec_->Decompress(compressed));
+  }
+  static const RatioMetrics open_ratio =
+      RatioMetrics::Intern("pack.open.bytes_raw", "pack.open.bytes_wire", "pack.open.ratio");
+  open_ratio.Update(raw.size(), envelope.size());
   return Pack::Deserialize(raw);
 }
 
 Result<std::string> PackCrypter::SealValue(std::string_view value) const {
-  MC_ASSIGN_OR_RETURN(std::string compressed, codec_->Compress(value));
+  std::string compressed;
+  {
+    OBS_SPAN("pack.compress");
+    MC_ASSIGN_OR_RETURN(compressed, codec_->Compress(value));
+  }
+  OBS_SPAN("pack.encrypt");
   return AesCbcEncrypt(pack_key_, compressed);
 }
 
 Result<std::string> PackCrypter::OpenValue(std::string_view envelope) const {
-  MC_ASSIGN_OR_RETURN(std::string compressed, AesCbcDecrypt(pack_key_, envelope));
+  std::string compressed;
+  {
+    OBS_SPAN("pack.decrypt");
+    MC_ASSIGN_OR_RETURN(compressed, AesCbcDecrypt(pack_key_, envelope));
+  }
+  OBS_SPAN("pack.decompress");
   return codec_->Decompress(compressed);
 }
 

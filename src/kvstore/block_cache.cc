@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace minicrypt {
 
 BlockCache::BlockCache(size_t capacity_bytes, int shards) : capacity_(capacity_bytes) {
@@ -34,9 +36,11 @@ std::optional<std::shared_ptr<const std::string>> BlockCache::Get(uint64_t owner
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     shard.misses++;
+    OBS_COUNTER_INC("cache.miss");
     return std::nullopt;
   }
   shard.hits++;
+  OBS_COUNTER_INC("cache.hit");
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->block;
 }
@@ -65,12 +69,17 @@ void BlockCache::Put(uint64_t owner, uint64_t index,
 }
 
 void BlockCache::EvictLocked(Shard& shard, size_t per_shard_capacity) {
+  uint64_t evicted = 0;
   while (shard.bytes > per_shard_capacity && !shard.lru.empty()) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.block->size();
     shard.map.erase(MixKey(victim.owner, victim.index));
     shard.lru.pop_back();
     shard.evictions++;
+    evicted++;
+  }
+  if (evicted > 0) {
+    OBS_COUNTER_ADD("cache.evictions", evicted);
   }
 }
 

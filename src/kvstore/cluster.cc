@@ -4,8 +4,22 @@
 
 #include "src/kvstore/bloom.h"
 #include "src/kvstore/node.h"
+#include "src/obs/metrics.h"
 
 namespace minicrypt {
+
+namespace {
+
+// Coordinator read latency split by consistency level. Both histograms are
+// interned once; the dynamic consistency value just selects the pointer.
+LatencyHistogram* ReadLatencyFor(Consistency consistency) {
+  static LatencyHistogram* one = MetricsRegistry::Instance().GetHistogram("cluster.read.one");
+  static LatencyHistogram* quorum =
+      MetricsRegistry::Instance().GetHistogram("cluster.read.quorum");
+  return consistency == Consistency::kQuorum ? quorum : one;
+}
+
+}  // namespace
 
 ClusterOptions ClusterOptions::ForTest() {
   ClusterOptions o;
@@ -61,6 +75,7 @@ void Cluster::ChargeRtt(int round_trips) {
   const auto micros = static_cast<uint64_t>(std::llround(
       static_cast<double>(options_.rtt_micros) * round_trips * options_.latency_scale));
   if (micros > 0) {
+    OBS_COUNTER_ADD("net.rtt.charged_micros", micros);
     options_.clock->SleepMicros(micros);
   }
 }
@@ -72,8 +87,13 @@ void Cluster::ChargeTransfer(size_t bytes) {
   const auto micros = static_cast<uint64_t>(std::llround(
       static_cast<double>(bytes) / options_.network_bytes_per_micro * options_.latency_scale));
   if (micros > 0) {
+    OBS_COUNTER_ADD("net.transfer.bytes", bytes);
+    OBS_COUNTER_ADD("net.transfer.charged_micros", micros);
     // The link is a shared resource: holding the slot while the transfer
-    // "runs" gives the cluster a finite aggregate bandwidth.
+    // "runs" gives the cluster a finite aggregate bandwidth. The span covers
+    // queue wait + service time, so net.transfer p99 >> the charged micros
+    // means the client link is saturated.
+    OBS_SPAN("net.transfer");
     SemaphoreGuard slot(network_link_);
     options_.clock->SleepMicros(micros);
   }
@@ -109,6 +129,7 @@ Result<std::vector<Node*>> Cluster::ReplicasFor(std::string_view table,
 
 Status Cluster::Write(std::string_view table, std::string_view partition,
                       std::string_view clustering, const Row& update) {
+  OBS_SPAN("cluster.write");
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   std::vector<StorageEngine*> engines;
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
@@ -132,6 +153,8 @@ Status Cluster::Write(std::string_view table, std::string_view partition,
 Status Cluster::WriteIf(std::string_view table, std::string_view partition,
                         std::string_view clustering, const Row& update,
                         const LwtCondition& condition, Row* current) {
+  OBS_SPAN("cluster.lwt");
+  OBS_COUNTER_INC("cluster.lwt.attempts");
   stats_.lwt_attempts.fetch_add(1, std::memory_order_relaxed);
   std::vector<StorageEngine*> engines;
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
@@ -165,6 +188,7 @@ Status Cluster::WriteIf(std::string_view table, std::string_view partition,
     }
   }
   if (!pass) {
+    OBS_COUNTER_INC("cluster.lwt.failures");
     stats_.lwt_failures.fetch_add(1, std::memory_order_relaxed);
     if (current != nullptr) {
       *current = existing.has_value() ? *existing : Row{};
@@ -252,10 +276,12 @@ Status Cluster::ApplyToReplicas(std::string_view table, const std::vector<Node*>
                                 std::string_view partition, std::string_view clustering,
                                 const Row& stamped) {
   std::lock_guard<std::mutex> lock(down_mu_);
+  OBS_COUNTER_ADD("cluster.replica.fanout", engines.size());
   for (size_t i = 0; i < engines.size(); ++i) {
     const auto node_id = static_cast<size_t>(replicas[i]->id());
     if (node_id < node_down_.size() && node_down_[node_id]) {
       // Hinted handoff: queue the timestamped mutation for replay.
+      OBS_COUNTER_INC("cluster.hints.queued");
       hints_[node_id].push_back(Hint{std::string(table), std::string(partition),
                                      std::string(clustering), stamped});
       continue;
@@ -267,6 +293,7 @@ Status Cluster::ApplyToReplicas(std::string_view table, const std::vector<Node*>
 
 Result<Row> Cluster::Read(std::string_view table, std::string_view partition,
                           std::string_view clustering) {
+  ScopedSpan read_span(ReadLatencyFor(options_.consistency));
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
   std::vector<StorageEngine*> engines;
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
@@ -309,6 +336,8 @@ Result<Row> Cluster::Read(std::string_view table, std::string_view partition,
 Result<std::pair<std::string, Row>> Cluster::ReadFloor(std::string_view table,
                                                        std::string_view partition,
                                                        std::string_view clustering) {
+  ScopedSpan read_span(ReadLatencyFor(options_.consistency));
+  OBS_SPAN("cluster.read_floor");
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
   std::vector<StorageEngine*> engines;
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
@@ -333,6 +362,7 @@ Result<std::vector<std::pair<std::string, Row>>> Cluster::ReadRange(std::string_
                                                                     std::string_view lo,
                                                                     std::string_view hi,
                                                                     size_t limit) {
+  OBS_SPAN("cluster.read_range");
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
   std::vector<StorageEngine*> engines;
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));

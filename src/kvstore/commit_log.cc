@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/common/coding.h"
+#include "src/obs/metrics.h"
 
 namespace minicrypt {
 
@@ -75,6 +76,9 @@ CommitLog::CommitLog(std::unique_ptr<LogSink> sink, Media* media)
     : sink_(std::move(sink)), media_(media) {}
 
 Status CommitLog::Append(std::string_view encoded_key, const Row& update) {
+  // The span covers framing plus the sequential media write — the per-update
+  // durability (fsync-equivalent) charge on the write path.
+  OBS_SPAN("commitlog.append");
   std::string payload;
   PutLengthPrefixed(&payload, encoded_key);
   EncodeRow(update, &payload);
@@ -84,6 +88,8 @@ Status CommitLog::Append(std::string_view encoded_key, const Row& update) {
   PutVarint64(&record, payload.size());
   record.append(payload);
 
+  OBS_COUNTER_INC("commitlog.append.count");
+  OBS_COUNTER_ADD("commitlog.append.bytes", record.size());
   MC_RETURN_IF_ERROR(sink_->Append(record));
   if (media_ != nullptr) {
     media_->Write(record.size(), /*sequential=*/true);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace minicrypt {
 
 void Media::ResetStats() {
@@ -45,7 +47,7 @@ MediaProfile MediaProfile::Ssd(double latency_scale) {
 SimulatedMedia::SimulatedMedia(MediaProfile profile, Clock* clock)
     : profile_(profile), clock_(clock), queue_(profile.queue_depth) {}
 
-void SimulatedMedia::Charge(uint64_t micros) {
+uint64_t SimulatedMedia::Charge(uint64_t micros) {
   const auto scaled = static_cast<uint64_t>(std::llround(
       static_cast<double>(micros) * profile_.latency_scale));
   stats_.busy_micros.fetch_add(scaled, std::memory_order_relaxed);
@@ -53,22 +55,28 @@ void SimulatedMedia::Charge(uint64_t micros) {
     SemaphoreGuard slot(queue_);
     clock_->SleepMicros(scaled);
   }
+  return scaled;
 }
 
 void SimulatedMedia::Read(size_t bytes) {
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
   stats_.read_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  OBS_COUNTER_INC("media.read.count");
+  OBS_COUNTER_ADD("media.read.bytes", bytes);
   const auto transfer = static_cast<uint64_t>(
       static_cast<double>(bytes) / profile_.bytes_per_micro_read);
-  Charge(profile_.seek_micros + transfer);
+  OBS_HISTOGRAM_RECORD("media.read", Charge(profile_.seek_micros + transfer));
 }
 
 void SimulatedMedia::Write(size_t bytes, bool sequential) {
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   stats_.write_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  OBS_COUNTER_INC("media.write.count");
+  OBS_COUNTER_ADD("media.write.bytes", bytes);
   const auto transfer = static_cast<uint64_t>(
       static_cast<double>(bytes) / profile_.bytes_per_micro_write);
-  Charge(sequential ? transfer : profile_.seek_micros + transfer);
+  OBS_HISTOGRAM_RECORD("media.write",
+                       Charge(sequential ? transfer : profile_.seek_micros + transfer));
 }
 
 }  // namespace minicrypt

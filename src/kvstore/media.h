@@ -86,7 +86,8 @@ class SimulatedMedia : public Media {
   const MediaProfile& profile() const { return profile_; }
 
  private:
-  void Charge(uint64_t micros);
+  // Returns the scaled micros actually charged (for stage attribution).
+  uint64_t Charge(uint64_t micros);
 
   MediaProfile profile_;
   Clock* clock_;

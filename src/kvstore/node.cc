@@ -1,5 +1,7 @@
 #include "src/kvstore/node.h"
 
+#include "src/obs/metrics.h"
+
 namespace minicrypt {
 
 Node::Node(int id, size_t cache_bytes, std::unique_ptr<Media> media,
@@ -17,6 +19,7 @@ StorageEngine* Node::EngineFor(std::string_view table, bool server_compression) 
   auto engine = std::make_unique<StorageEngine>(opts, &cache_, media_.get(),
                                                 std::make_unique<MemoryLogSink>());
   StorageEngine* raw = engine.get();
+  OBS_COUNTER_INC("node.engines.created");
   engines_.emplace(std::string(table), std::move(engine));
   return raw;
 }

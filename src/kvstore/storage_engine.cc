@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "src/obs/metrics.h"
+
 namespace minicrypt {
 
 StorageEngine::StorageEngine(StorageEngineOptions options, BlockCache* cache, Media* media,
@@ -25,6 +27,8 @@ Status StorageEngine::ApplyPartitionTombstone(std::string_view partition, uint64
 }
 
 Status StorageEngine::ApplyInternal(std::string_view encoded_key, const Row& update) {
+  OBS_SPAN("engine.apply");
+  OBS_COUNTER_INC("engine.memtable.applies");
   std::lock_guard<std::mutex> lock(mu_);
   if (log_ != nullptr) {
     MC_RETURN_IF_ERROR(log_->Append(encoded_key, update));
@@ -40,6 +44,9 @@ Status StorageEngine::FlushLocked() {
   if (memtable_.empty()) {
     return Status::Ok();
   }
+  OBS_SPAN("engine.flush");
+  OBS_COUNTER_INC("engine.flush.count");
+  OBS_COUNTER_ADD("engine.flush.bytes", memtable_.ApproxBytes());
   SstableBuilder builder(next_sstable_id_++, options_.sstable);
   for (const auto& [key, row] : memtable_.entries()) {
     builder.Add(key, row);
@@ -81,6 +88,8 @@ Status StorageEngine::CompactLocked() {
   // Full merge of all SSTables, newest-first order. For each key keep the
   // newest cell per column; honor partition tombstones; drop dead data.
   // Memtable entries are strictly newer (monotonic timestamps) and stay put.
+  OBS_SPAN("engine.compaction");
+  OBS_COUNTER_INC("engine.compaction.count");
   std::map<std::string, Row> merged;
   std::map<std::string, uint64_t> ptombs;  // partition -> newest tombstone ts
 
@@ -98,6 +107,7 @@ Status StorageEngine::CompactLocked() {
   for (const auto& table : sstables_) {
     input_bytes += table->at_rest_bytes();
   }
+  OBS_COUNTER_ADD("engine.compaction.input_bytes", input_bytes);
   if (media_ != nullptr && input_bytes > 0) {
     media_->Read(input_bytes);  // one streaming read of all inputs
   }
@@ -230,6 +240,7 @@ std::optional<Row> StorageEngine::MergedGet(std::string_view encoded_key,
 }
 
 std::optional<Row> StorageEngine::Get(std::string_view partition, std::string_view clustering) {
+  OBS_SPAN("engine.get");
   const ReadSnapshot snap = Snapshot();
   const uint64_t ptomb = PartitionTombstoneTs(partition, snap);
   return MergedGet(EncodeRowKey(partition, clustering), snap, ptomb);

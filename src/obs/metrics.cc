@@ -1,0 +1,161 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace minicrypt {
+
+namespace {
+
+// Metric names are dotted identifiers, but escape defensively so ToJson always
+// emits valid JSON whatever a caller registers.
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() {
+  // MC_OBS=0 turns all instrumentation off for overhead-sensitive runs.
+  const char* env = std::getenv("MC_OBS");
+  if (env != nullptr && std::strcmp(env, "0") == 0) {
+    enabled_.store(false, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<LatencyHistogram>()).first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    const uint64_t value = counter->Value();
+    if (value == 0) {
+      continue;
+    }
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    out.append(std::to_string(value));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    const double value = gauge->Value();
+    if (value == 0.0) {
+      continue;
+    }
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendJsonString(&out, name);
+    out.push_back(':');
+    AppendDouble(&out, value);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram snap = histogram->Snapshot();
+    if (snap.count() == 0) {
+      continue;
+    }
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    AppendJsonString(&out, name);
+    out.append(":{\"count\":");
+    out.append(std::to_string(snap.count()));
+    out.append(",\"sum_us\":");
+    out.append(std::to_string(snap.sum()));
+    out.append(",\"mean_us\":");
+    AppendDouble(&out, snap.Mean());
+    out.append(",\"p50_us\":");
+    AppendDouble(&out, snap.Percentile(0.50));
+    out.append(",\"p95_us\":");
+    AppendDouble(&out, snap.Percentile(0.95));
+    out.append(",\"p99_us\":");
+    AppendDouble(&out, snap.Percentile(0.99));
+    out.append(",\"max_us\":");
+    out.append(std::to_string(snap.Max()));
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,227 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/thread_util.h"
+
+namespace minicrypt {
+namespace {
+
+// The registry is a process-wide singleton shared by every test in this
+// binary, so each test uses its own metric names and resets values up front.
+
+TEST(MetricsRegistry, InternsStablePointers) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  Counter* a = registry.GetCounter("obs_test.intern.a");
+  Counter* b = registry.GetCounter("obs_test.intern.b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, registry.GetCounter("obs_test.intern.a"));
+  EXPECT_EQ(registry.GetGauge("obs_test.intern.g"), registry.GetGauge("obs_test.intern.g"));
+  EXPECT_EQ(registry.GetHistogram("obs_test.intern.h"),
+            registry.GetHistogram("obs_test.intern.h"));
+
+  // ResetAll zeroes values but keeps registrations and pointers valid.
+  a->Add(7);
+  registry.ResetAll();
+  EXPECT_EQ(a, registry.GetCounter("obs_test.intern.a"));
+  EXPECT_EQ(a->Value(), 0u);
+  a->Add(3);
+  EXPECT_EQ(a->Value(), 3u);
+}
+
+TEST(MetricsRegistry, ConcurrentCounterIncrements) {
+  Counter* counter = MetricsRegistry::Instance().GetCounter("obs_test.concurrent");
+  counter->Reset();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        counter->Add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramRecords) {
+  LatencyHistogram* hist = MetricsRegistry::Instance().GetHistogram("obs_test.conc_hist");
+  hist->Reset();
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([hist, t] {
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        hist->Record(i + static_cast<uint64_t>(t));  // values in [1, kPerThread+5]
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  Histogram snapshot = hist->Snapshot();
+  EXPECT_EQ(snapshot.count(), kThreads * kPerThread);
+  EXPECT_EQ(snapshot.Min(), 1u);
+  EXPECT_EQ(snapshot.Max(), kPerThread + kThreads - 1);
+  // Mean of ~uniform [1, 20000] per thread, small per-thread offset.
+  EXPECT_NEAR(snapshot.Mean(), kPerThread / 2.0, kPerThread * 0.01);
+}
+
+TEST(Histogram, MergePreservesPercentiles) {
+  // Two disjoint-range histograms merged must reproduce the percentiles of
+  // one histogram fed the union of the samples.
+  Histogram low;
+  Histogram high;
+  Histogram all;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    low.Add(v);
+    all.Add(v);
+  }
+  for (uint64_t v = 10000; v <= 11000; ++v) {
+    high.Add(v);
+    all.Add(v);
+  }
+  Histogram merged = low;
+  merged.Merge(high);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.Min(), all.Min());
+  EXPECT_EQ(merged.Max(), all.Max());
+  for (double p : {0.10, 0.50, 0.90, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), all.Percentile(p)) << "p=" << p;
+  }
+  // The low half dominates below p≈0.48, the high half above p≈0.52.
+  EXPECT_LE(merged.Percentile(0.25), 1024.0);
+  EXPECT_GE(merged.Percentile(0.75), 9000.0);
+}
+
+TEST(Histogram, FromBucketCountsRoundTrip) {
+  Histogram direct;
+  uint64_t counts[Histogram::kBucketCount] = {};
+  uint64_t sum = 0;
+  for (uint64_t v : {1u, 3u, 17u, 900u, 900u, 65536u}) {
+    direct.Add(v);
+    counts[Histogram::BucketFor(v)]++;
+    sum += v;
+  }
+  Histogram rebuilt =
+      Histogram::FromBucketCounts(counts, Histogram::kBucketCount, sum, 1, 65536);
+  EXPECT_EQ(rebuilt.count(), direct.count());
+  EXPECT_EQ(rebuilt.sum(), direct.sum());
+  EXPECT_EQ(rebuilt.Min(), direct.Min());
+  EXPECT_EQ(rebuilt.Max(), direct.Max());
+  for (double p : {0.05, 0.50, 0.95}) {
+    EXPECT_DOUBLE_EQ(rebuilt.Percentile(p), direct.Percentile(p)) << "p=" << p;
+  }
+
+  // Empty input yields an empty histogram with zeroed min.
+  uint64_t zeros[Histogram::kBucketCount] = {};
+  Histogram empty = Histogram::FromBucketCounts(zeros, Histogram::kBucketCount, 0, 0, 0);
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.Min(), 0u);
+}
+
+TEST(ScopedSpan, TimingSanity) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  LatencyHistogram* hist = registry.GetHistogram("obs_test.span");
+  hist->Reset();
+  {
+    OBS_SPAN("obs_test.span");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  Histogram snapshot = hist->Snapshot();
+  ASSERT_EQ(snapshot.count(), 1u);
+  // Slept 5 ms: the recorded span must be at least that (scheduling can only
+  // add time) and well under a second on any sane machine.
+  EXPECT_GE(snapshot.Min(), 5000u);
+  EXPECT_LT(snapshot.Min(), 1000000u);
+}
+
+TEST(ScopedSpan, DisabledRegistryIsInert) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  LatencyHistogram* hist = registry.GetHistogram("obs_test.disabled_span");
+  Counter* counter = registry.GetCounter("obs_test.disabled_counter");
+  hist->Reset();
+  counter->Reset();
+  registry.SetEnabled(false);
+  {
+    OBS_SPAN("obs_test.disabled_span");
+    OBS_COUNTER_INC("obs_test.disabled_counter");
+    OBS_COUNTER_ADD("obs_test.disabled_counter", 41);
+  }
+  registry.SetEnabled(true);
+  EXPECT_EQ(hist->Snapshot().count(), 0u);
+  EXPECT_EQ(counter->Value(), 0u);
+  // Re-enabled: the same call sites work again (interned pointers survive).
+  OBS_COUNTER_INC("obs_test.disabled_counter");
+  EXPECT_EQ(counter->Value(), 1u);
+}
+
+TEST(MetricsRegistry, JsonSnapshot) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetAll();
+  registry.GetCounter("obs_test.json.count")->Add(42);
+  registry.GetCounter("obs_test.json.zero");  // zero-valued: must be elided
+  registry.GetGauge("obs_test.json.ratio")->Set(3.5);
+  LatencyHistogram* hist = registry.GetHistogram("obs_test.json.lat");
+  for (uint64_t i = 0; i < 100; ++i) {
+    hist->Record(100);
+  }
+
+  const std::string json = registry.ToJson();
+
+  // Structural validity: balanced braces, quotes pair up, top-level sections
+  // present in order.
+  int depth = 0;
+  int min_depth_after_first = 1;
+  size_t quotes = 0;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '{') depth++;
+    if (json[i] == '}') depth--;
+    if (json[i] == '"') quotes++;
+    if (i > 0 && i + 1 < json.size()) {
+      min_depth_after_first = std::min(min_depth_after_first, depth);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0u);
+  EXPECT_GE(min_depth_after_first, 1);  // one top-level object
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  // Round-trip of the values we wrote.
+  EXPECT_NE(json.find("\"obs_test.json.count\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"obs_test.json.ratio\":3.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"obs_test.json.lat\":{\"count\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum_us\":10000"), std::string::npos) << json;
+  // Zero counter elided; empty histograms elided entirely.
+  EXPECT_EQ(json.find("obs_test.json.zero"), std::string::npos) << json;
+
+  // After ResetAll the snapshot elides everything we wrote above.
+  registry.ResetAll();
+  const std::string after = registry.ToJson();
+  EXPECT_EQ(after.find("obs_test.json.count"), std::string::npos) << after;
+  EXPECT_EQ(after.find("obs_test.json.lat"), std::string::npos) << after;
+}
+
+TEST(MetricsRegistry, JsonEscapesStrings) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetAll();
+  registry.GetCounter("obs_test.\"quoted\"\\name")->Add(1);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\\\"quoted\\\"\\\\name"), std::string::npos) << json;
+  registry.ResetAll();
+}
+
+}  // namespace
+}  // namespace minicrypt
