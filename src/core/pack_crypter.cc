@@ -6,22 +6,29 @@ namespace minicrypt {
 
 namespace {
 
-// Live compression-ratio gauge, fed from cumulative byte counters so the
+// Live compression-ratio gauge, derived from cumulative byte counters so the
 // ratio converges to the run-wide value rather than the last pack's. Wire
 // bytes include the padding + AES envelope, so this is the true
 // bytes-on-wire vs bytes-after-decompression ratio the paper's Figure 2/9
-// discussion turns on. Pointers are interned once; the per-pack cost is two
-// relaxed adds plus the shard-summing Value() reads.
+// discussion turns on. The division happens lazily at snapshot time
+// (RegisterDerivedGauge), so the per-pack hot-path cost is exactly two
+// relaxed adds — no shard-summing Value() reads, no gauge read-modify-write.
 struct RatioMetrics {
   Counter* raw;
   Counter* wire;
-  Gauge* ratio;
 
   static RatioMetrics Intern(const char* raw_name, const char* wire_name,
                              const char* gauge_name) {
     MetricsRegistry& registry = MetricsRegistry::Instance();
-    return RatioMetrics{registry.GetCounter(raw_name), registry.GetCounter(wire_name),
-                        registry.GetGauge(gauge_name)};
+    Counter* raw = registry.GetCounter(raw_name);
+    Counter* wire = registry.GetCounter(wire_name);
+    registry.RegisterDerivedGauge(gauge_name, [raw, wire] {
+      const uint64_t wire_total = wire->Value();
+      return wire_total == 0 ? 0.0
+                             : static_cast<double>(raw->Value()) /
+                                   static_cast<double>(wire_total);
+    });
+    return RatioMetrics{raw, wire};
   }
 
   void Update(size_t raw_bytes, size_t wire_bytes) const {
@@ -30,10 +37,6 @@ struct RatioMetrics {
     }
     raw->Add(raw_bytes);
     wire->Add(wire_bytes);
-    const uint64_t wire_total = wire->Value();
-    if (wire_total > 0) {
-      ratio->Set(static_cast<double>(raw->Value()) / static_cast<double>(wire_total));
-    }
   }
 };
 

@@ -86,8 +86,10 @@ void Cluster::ChargeTransfer(size_t bytes) {
   }
   const auto micros = static_cast<uint64_t>(std::llround(
       static_cast<double>(bytes) / options_.network_bytes_per_micro * options_.latency_scale));
+  // Count all bytes on the wire, even transfers too small to round to a
+  // nonzero latency charge.
+  OBS_COUNTER_ADD("net.transfer.bytes", bytes);
   if (micros > 0) {
-    OBS_COUNTER_ADD("net.transfer.bytes", bytes);
     OBS_COUNTER_ADD("net.transfer.charged_micros", micros);
     // The link is a shared resource: holding the slot while the transfer
     // "runs" gives the cluster a finite aggregate bandwidth. The span covers

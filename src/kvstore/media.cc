@@ -65,7 +65,10 @@ void SimulatedMedia::Read(size_t bytes) {
   OBS_COUNTER_ADD("media.read.bytes", bytes);
   const auto transfer = static_cast<uint64_t>(
       static_cast<double>(bytes) / profile_.bytes_per_micro_read);
-  OBS_HISTOGRAM_RECORD("media.read", Charge(profile_.seek_micros + transfer));
+  // The charge IS the simulated device: it must sleep and account busy time
+  // whether or not metrics are enabled. Only the histogram record is gated.
+  const uint64_t charged = Charge(profile_.seek_micros + transfer);
+  OBS_HISTOGRAM_RECORD("media.read", charged);
 }
 
 void SimulatedMedia::Write(size_t bytes, bool sequential) {
@@ -75,8 +78,9 @@ void SimulatedMedia::Write(size_t bytes, bool sequential) {
   OBS_COUNTER_ADD("media.write.bytes", bytes);
   const auto transfer = static_cast<uint64_t>(
       static_cast<double>(bytes) / profile_.bytes_per_micro_write);
-  OBS_HISTOGRAM_RECORD("media.write",
-                       Charge(sequential ? transfer : profile_.seek_micros + transfer));
+  const uint64_t charged =
+      Charge(sequential ? transfer : profile_.seek_micros + transfer);
+  OBS_HISTOGRAM_RECORD("media.write", charged);
 }
 
 }  // namespace minicrypt

@@ -72,6 +72,12 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   return it->second.get();
 }
 
+void MetricsRegistry::RegisterDerivedGauge(std::string_view name,
+                                           std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  derived_gauges_.emplace(std::string(name), std::move(fn));
+}
+
 LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
@@ -113,8 +119,16 @@ std::string MetricsRegistry::ToJson() const {
   }
   out.append("},\"gauges\":{");
   first = true;
+  // Merge plain and derived gauges into one sorted section; a derived gauge
+  // shadows a plain gauge of the same name.
+  std::map<std::string_view, double> gauge_values;
   for (const auto& [name, gauge] : gauges_) {
-    const double value = gauge->Value();
+    gauge_values[name] = gauge->Value();
+  }
+  for (const auto& [name, fn] : derived_gauges_) {
+    gauge_values[name] = fn();
+  }
+  for (const auto& [name, value] : gauge_values) {
     if (value == 0.0) {
       continue;
     }

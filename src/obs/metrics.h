@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -171,6 +172,14 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name);
   LatencyHistogram* GetHistogram(std::string_view name);
 
+  // Registers a gauge whose value is computed on demand at snapshot time
+  // (ToJson) — e.g. a ratio derived from two counters — so hot paths pay only
+  // the counter adds and never a read-modify-write of a gauge. The first
+  // registration under a name wins; a derived gauge shadows a plain gauge of
+  // the same name in the snapshot. `fn` must be thread-safe and must not call
+  // back into the registry (ToJson invokes it under the registry lock).
+  void RegisterDerivedGauge(std::string_view name, std::function<double()> fn);
+
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void SetEnabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
 
@@ -189,6 +198,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::function<double()>, std::less<>> derived_gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
   std::atomic<bool> enabled_{true};
 };
@@ -223,6 +233,11 @@ class ScopedSpan {
 // All take a string literal name (docs/METRICS.md lists every name in use).
 // The metric pointer is interned once per call site via a function-local
 // static; the enabled check is one relaxed load.
+//
+// The value argument is evaluated exactly once, BEFORE the enabled check, so
+// side-effecting expressions (e.g. a simulated-latency charge) still run when
+// the registry is disabled — only the record itself is gated. Keep the value
+// expression cheap; disabled-mode overhead is its evaluation plus one load.
 
 #define OBS_INTERNAL_CONCAT2(a, b) a##b
 #define OBS_INTERNAL_CONCAT(a, b) OBS_INTERNAL_CONCAT2(a, b)
@@ -231,8 +246,10 @@ class ScopedSpan {
   do {                                                                                     \
     static ::minicrypt::Counter* OBS_INTERNAL_CONCAT(obs_counter_, __LINE__) =             \
         ::minicrypt::MetricsRegistry::Instance().GetCounter(name);                         \
+    const uint64_t OBS_INTERNAL_CONCAT(obs_delta_, __LINE__) = (delta);                    \
     if (::minicrypt::MetricsRegistry::Instance().enabled()) {                              \
-      OBS_INTERNAL_CONCAT(obs_counter_, __LINE__)->Add(delta);                             \
+      OBS_INTERNAL_CONCAT(obs_counter_, __LINE__)->Add(OBS_INTERNAL_CONCAT(obs_delta_,     \
+                                                                           __LINE__));     \
     }                                                                                      \
   } while (0)
 
@@ -242,8 +259,10 @@ class ScopedSpan {
   do {                                                                                     \
     static ::minicrypt::Gauge* OBS_INTERNAL_CONCAT(obs_gauge_, __LINE__) =                 \
         ::minicrypt::MetricsRegistry::Instance().GetGauge(name);                           \
+    const double OBS_INTERNAL_CONCAT(obs_value_, __LINE__) = (value);                      \
     if (::minicrypt::MetricsRegistry::Instance().enabled()) {                              \
-      OBS_INTERNAL_CONCAT(obs_gauge_, __LINE__)->Set(value);                               \
+      OBS_INTERNAL_CONCAT(obs_gauge_, __LINE__)->Set(OBS_INTERNAL_CONCAT(obs_value_,       \
+                                                                         __LINE__));       \
     }                                                                                      \
   } while (0)
 
@@ -251,8 +270,10 @@ class ScopedSpan {
   do {                                                                                     \
     static ::minicrypt::LatencyHistogram* OBS_INTERNAL_CONCAT(obs_hist_, __LINE__) =       \
         ::minicrypt::MetricsRegistry::Instance().GetHistogram(name);                       \
+    const uint64_t OBS_INTERNAL_CONCAT(obs_micros_, __LINE__) = (micros);                  \
     if (::minicrypt::MetricsRegistry::Instance().enabled()) {                              \
-      OBS_INTERNAL_CONCAT(obs_hist_, __LINE__)->Record(micros);                            \
+      OBS_INTERNAL_CONCAT(obs_hist_, __LINE__)->Record(OBS_INTERNAL_CONCAT(obs_micros_,    \
+                                                                           __LINE__));     \
     }                                                                                      \
   } while (0)
 

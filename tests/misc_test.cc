@@ -9,6 +9,7 @@
 #include "src/common/thread_util.h"
 #include "src/core/baseline_client.h"
 #include "src/kvstore/media.h"
+#include "src/obs/metrics.h"
 
 namespace minicrypt {
 namespace {
@@ -72,6 +73,25 @@ TEST(SimulatedMedia, ChargesSeekPlusTransfer) {
   EXPECT_EQ(media.stats().read_bytes.load(), 1000u);
   media.Write(1000, /*sequential=*/true);  // no seek
   EXPECT_EQ(clock.NowMicros(), 300u);
+}
+
+TEST(SimulatedMedia, ChargesEvenWhenMetricsDisabled) {
+  // Regression: the latency charge is the simulated device, not telemetry.
+  // With the metrics registry disabled (MC_OBS=0 mode) reads and writes must
+  // still sleep and account busy time; only the histogram record is skipped.
+  MetricsRegistry::Instance().SetEnabled(false);
+  SimulatedClock clock(0);
+  MediaProfile profile;
+  profile.seek_micros = 100;
+  profile.bytes_per_micro_read = 10.0;
+  profile.bytes_per_micro_write = 10.0;
+  profile.latency_scale = 1.0;
+  SimulatedMedia media(profile, &clock);
+  media.Read(1000);                        // 100 seek + 100 transfer
+  media.Write(1000, /*sequential=*/true);  // 100 transfer
+  MetricsRegistry::Instance().SetEnabled(true);
+  EXPECT_EQ(clock.NowMicros(), 300u);
+  EXPECT_EQ(media.stats().busy_micros.load(), 300u);
 }
 
 TEST(SimulatedMedia, LatencyScaleApplies) {

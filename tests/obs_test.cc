@@ -214,6 +214,38 @@ TEST(MetricsRegistry, JsonSnapshot) {
   EXPECT_EQ(after.find("obs_test.json.lat"), std::string::npos) << after;
 }
 
+TEST(MetricsRegistry, DerivedGaugeComputedAtSnapshotTime) {
+  MetricsRegistry& registry = MetricsRegistry::Instance();
+  registry.ResetAll();
+  Counter* raw = registry.GetCounter("obs_test.derived.raw");
+  Counter* wire = registry.GetCounter("obs_test.derived.wire");
+  // Static: the registration (and thus the lambda) outlives this test body,
+  // and ToJson from any later test will invoke it again.
+  static int calls;
+  calls = 0;
+  registry.RegisterDerivedGauge("obs_test.derived.ratio", [raw, wire] {
+    ++calls;
+    const uint64_t w = wire->Value();
+    return w == 0 ? 0.0 : static_cast<double>(raw->Value()) / static_cast<double>(w);
+  });
+
+  // Not evaluated until a snapshot is taken; zero-valued (wire == 0) elided.
+  EXPECT_EQ(calls, 0);
+  std::string json = registry.ToJson();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(json.find("obs_test.derived.ratio"), std::string::npos) << json;
+
+  raw->Add(700);
+  wire->Add(200);
+  json = registry.ToJson();
+  EXPECT_NE(json.find("\"obs_test.derived.ratio\":3.5"), std::string::npos) << json;
+
+  // ResetAll zeroes the source counters, so the derived value follows.
+  registry.ResetAll();
+  json = registry.ToJson();
+  EXPECT_EQ(json.find("obs_test.derived.ratio"), std::string::npos) << json;
+}
+
 TEST(MetricsRegistry, JsonEscapesStrings) {
   MetricsRegistry& registry = MetricsRegistry::Instance();
   registry.ResetAll();
