@@ -1,0 +1,49 @@
+// Exponential backoff with seeded "equal jitter" for client retry loops.
+//
+// The delay before retry k is uniform in [cap/2, cap] where
+// cap = min(max, base << k). Jitter comes from a deterministic Rng, so a
+// chaos run replays the exact same sleep sequence from its seed, and sleeps
+// route through the caller's Clock (a SimulatedClock in tests never
+// wall-blocks).
+
+#ifndef MINICRYPT_SRC_COMMON_BACKOFF_H_
+#define MINICRYPT_SRC_COMMON_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace minicrypt {
+
+class Backoff {
+ public:
+  Backoff(uint64_t base_micros, uint64_t max_micros, uint64_t seed)
+      : base_(base_micros), max_(max_micros), rng_(seed) {}
+
+  // Delay before retry number `attempt` (0-based: the first retry after the
+  // initial try passes 0). base == 0 disables backoff entirely.
+  uint64_t NextDelayMicros(int attempt) {
+    if (base_ == 0) {
+      return 0;
+    }
+    const int shift = attempt < 20 ? attempt : 20;
+    uint64_t cap = base_ << shift;
+    if (cap > max_ || cap < base_) {  // second test catches shift overflow
+      cap = max_;
+    }
+    if (cap == 0) {
+      return 0;
+    }
+    const uint64_t half = cap / 2;
+    return half + rng_.Uniform(cap - half + 1);
+  }
+
+ private:
+  uint64_t base_;
+  uint64_t max_;
+  Rng rng_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_BACKOFF_H_

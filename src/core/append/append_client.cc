@@ -17,6 +17,19 @@ constexpr std::string_view kHashColumn = "h";
 
 Cell PlainCell(std::string value) { return Cell{std::move(value), 0, false}; }
 
+// Each client's jitter stream is derived from its ID so fleets of append
+// clients desynchronize their retries.
+uint64_t JitterSeedFor(const MiniCryptOptions& options, std::string_view client_id) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a over the client id
+  for (const char c : client_id) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  }
+  const uint64_t base = options.retry_jitter_seed != 0 ? options.retry_jitter_seed
+                                                       : 0x6D696E6963727970ULL;
+  const uint64_t seed = base ^ h;
+  return seed != 0 ? seed : 1;
+}
+
 }  // namespace
 
 AppendClient::AppendClient(Cluster* cluster, const MiniCryptOptions& options,
@@ -26,9 +39,34 @@ AppendClient::AppendClient(Cluster* cluster, const MiniCryptOptions& options,
       meta_table_(EmService::MetaTable(options)),
       crypter_(options, key),
       client_id_(std::move(client_id)),
-      clock_(clock) {}
+      clock_(clock),
+      backoff_(options.retry_backoff_base_micros, options.retry_backoff_max_micros,
+               JitterSeedFor(options, client_id_)) {}
 
 AppendClient::~AppendClient() { Stop(); }
+
+Status AppendClient::RetryUnavailable(const std::function<Status()>& op, std::string_view what) {
+  Status s = Status::Ok();
+  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
+    if (attempt > 0) {
+      OBS_COUNTER_INC("append.unavailable_retries");
+      uint64_t delay = 0;
+      {
+        std::lock_guard<std::mutex> lock(backoff_mu_);
+        delay = backoff_.NextDelayMicros(attempt - 1);
+      }
+      if (delay > 0) {
+        OBS_COUNTER_ADD("client.backoff_micros", delay);
+        clock_->SleepMicros(delay);
+      }
+    }
+    s = op();
+    if (!s.IsUnavailable()) {
+      return s;
+    }
+  }
+  return Status::Unavailable(std::string(what) + " ran out of retries: " + s.message());
+}
 
 Status AppendClient::Register() {
   MC_RETURN_IF_ERROR(HeartbeatOnce());
@@ -36,6 +74,10 @@ Status AppendClient::Register() {
 }
 
 Status AppendClient::SyncEpoch() {
+  return RetryUnavailable([this] { return SyncEpochOnce(); }, "epoch sync");
+}
+
+Status AppendClient::SyncEpochOnce() {
   OBS_SPAN("append.epoch.sync");
   MC_ASSIGN_OR_RETURN(Row row, cluster_->Read(meta_table_, kEmPartition, kGEpochRow));
   auto it = row.cells.find(kEpochColumn);
@@ -50,21 +92,32 @@ Status AppendClient::SyncEpoch() {
 }
 
 Status AppendClient::HeartbeatOnce() {
-  Row hb;
-  hb.cells[std::string(kHeartbeatColumn)] = PlainCell(EncodeKey64(clock_->NowMicros()));
-  MC_RETURN_IF_ERROR(cluster_->Write(meta_table_, kClientsPartition, client_id_, hb));
+  MC_RETURN_IF_ERROR(RetryUnavailable(
+      [this] {
+        Row hb;
+        hb.cells[std::string(kHeartbeatColumn)] = PlainCell(EncodeKey64(clock_->NowMicros()));
+        return cluster_->Write(meta_table_, kClientsPartition, client_id_, hb);
+      },
+      "heartbeat"));
   return SyncEpoch();
 }
 
 Status AppendClient::Put(uint64_t key, std::string_view value) {
   OBS_SPAN("append.put");
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
-  const uint64_t epoch = c_epoch_.load(std::memory_order_acquire);
   MC_ASSIGN_OR_RETURN(std::string envelope, crypter_.SealValue(value));
-  Row row;
-  row.cells[std::string(kValueColumn)] = PlainCell(std::move(envelope));
   // Single-row insert under (epoch, key) — no read, no update-if (§6.1.2).
-  return cluster_->Write(options_.table, EpochPartition(epoch), EncodeKey64(key), row);
+  // The epoch is re-read per attempt: a retry that straddles an epoch sync
+  // must land in the client's *current* epoch or the merge-safety window
+  // (paper §6.1) no longer covers it.
+  return RetryUnavailable(
+      [&] {
+        Row row;
+        row.cells[std::string(kValueColumn)] = PlainCell(envelope);
+        const uint64_t epoch = c_epoch_.load(std::memory_order_acquire);
+        return cluster_->Write(options_.table, EpochPartition(epoch), EncodeKey64(key), row);
+      },
+      "append put");
 }
 
 Result<std::string> AppendClient::ProbeEpoch(uint64_t epoch, std::string_view encoded_key) {

@@ -7,11 +7,14 @@
 #define MINICRYPT_SRC_CORE_APPEND_APPEND_CLIENT_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/backoff.h"
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/common/thread_util.h"
@@ -88,6 +91,12 @@ class AppendClient {
   Result<std::string> ProbeMergedPacks(std::string_view encoded_key);
 
   Status SyncEpoch();
+  Status SyncEpochOnce();
+
+  // Runs `op` with bounded retries on Unavailable (exponential backoff with
+  // seeded jitter through clock_); other statuses return immediately.
+  // Exhaustion returns Unavailable naming `what`.
+  Status RetryUnavailable(const std::function<Status()>& op, std::string_view what);
 
   Cluster* cluster_;
   MiniCryptOptions options_;
@@ -95,6 +104,9 @@ class AppendClient {
   PackCrypter crypter_;
   std::string client_id_;
   Clock* clock_;
+  // Heartbeat/merge threads share the client with the caller's data path.
+  std::mutex backoff_mu_;
+  Backoff backoff_;
   std::atomic<uint64_t> c_epoch_{1};
   AppendClientStats stats_;
   std::unique_ptr<PeriodicTask> heartbeat_task_;

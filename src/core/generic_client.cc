@@ -29,16 +29,54 @@ Result<std::pair<std::string_view, std::string_view>> ExtractPackCells(const Row
   return std::make_pair(std::string_view(v->second.value), std::string_view(h->second.value));
 }
 
+// Human-readable pack id for error messages: the decoded key when the id is
+// a plain encoded key, hex otherwise (OPE image / PRF output).
+std::string FormatPackId(std::string_view id) {
+  if (id.empty()) {
+    return "<none>";
+  }
+  if (auto key = DecodeKey64(id); key.ok()) {
+    return std::to_string(*key);
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "0x";
+  for (const char c : id) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+constexpr uint64_t kDefaultJitterSeed = 0x6D696E6963727970ULL;  // "minicryp"
+
 }  // namespace
 
 GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
                              const SymmetricKey& key)
-    : cluster_(cluster), options_(options), crypter_(options, key) {
+    : cluster_(cluster),
+      options_(options),
+      crypter_(options, key),
+      clock_(cluster->options().clock),
+      backoff_(options.retry_backoff_base_micros, options.retry_backoff_max_micros,
+               options.retry_jitter_seed != 0 ? options.retry_jitter_seed : kDefaultJitterSeed) {
   if (options_.encrypt_pack_ids) {
     packid_cipher_.emplace(options_, key);
   }
   if (options_.ope_pack_ids) {
     ope_.emplace(key.Derive("packid-ope:" + options_.table));
+  }
+}
+
+void GenericClient::BackoffBeforeRetry(int attempt) {
+  uint64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(backoff_mu_);
+    delay = backoff_.NextDelayMicros(attempt);
+  }
+  if (delay > 0) {
+    OBS_COUNTER_ADD("client.backoff_micros", delay);
+    clock_->SleepMicros(delay);
   }
 }
 
@@ -112,8 +150,25 @@ Result<std::string> GenericClient::Get(uint64_t key) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   const std::string encoded = EncodeKey64(key);
   const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
-  MC_ASSIGN_OR_RETURN(FetchedPack fetched, FetchPackFor(partition, encoded));
-  auto value = fetched.pack.Find(encoded);
+  Result<FetchedPack> fetched = Status::Unavailable("get never attempted");
+  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
+    if (attempt > 0) {
+      OBS_COUNTER_INC("client.get.unavailable_retries");
+      BackoffBeforeRetry(attempt - 1);
+    }
+    fetched = FetchPackFor(partition, encoded);
+    if (fetched.ok() || !fetched.status().IsUnavailable()) {
+      break;  // only transient unavailability is worth retrying
+    }
+  }
+  if (!fetched.ok()) {
+    if (fetched.status().IsUnavailable()) {
+      return Status::Unavailable("get ran out of retries: " + fetched.status().message() +
+                                 " (key=" + std::to_string(key) + ")");
+    }
+    return fetched.status();
+  }
+  auto value = fetched->pack.Find(encoded);
   if (!value.has_value()) {
     return Status::NotFound("key not present in its pack");
   }
@@ -141,12 +196,26 @@ Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(ui
   // contiguous keys are spread across them.
   for (int p = 0; p < options_.hash_partitions; ++p) {
     const std::string partition = PartitionLabel(p);
-    MC_ASSIGN_OR_RETURN(auto rows, cluster_->ReadRange(options_.table, partition, slo, shi));
+    Result<std::vector<std::pair<std::string, Row>>> rows =
+        Status::Unavailable("range never attempted");
+    for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
+      if (attempt > 0) {
+        OBS_COUNTER_INC("client.get.unavailable_retries");
+        BackoffBeforeRetry(attempt - 1);
+      }
+      rows = cluster_->ReadRange(options_.table, partition, slo, shi);
+      if (rows.ok() || !rows.status().IsUnavailable()) {
+        break;
+      }
+    }
+    if (!rows.ok()) {
+      return rows.status();
+    }
 
-    std::vector<Pack> packs;
-    packs.reserve(rows.size() + 1);
+    std::vector<std::pair<std::string, Pack>> packs;  // (stored packID, pack)
+    packs.reserve(rows->size() + 1);
     bool need_floor = true;  // paper Figure 4, line 5
-    for (auto& [id, row] : rows) {
+    for (auto& [id, row] : *rows) {
       if (id == slo) {
         need_floor = false;
       }
@@ -155,24 +224,40 @@ Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(ui
         return cells.status();
       }
       MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells->first));
-      packs.push_back(std::move(pack));
+      packs.emplace_back(id, std::move(pack));
     }
     if (need_floor) {
       auto fetched = FetchPackFor(partition, klo);
       if (fetched.ok()) {
         // Skip if it duplicates a pack already in the result set.
         const bool duplicate =
-            !rows.empty() && fetched->pack_id >= slo && fetched->pack_id <= shi;
+            !rows->empty() && fetched->pack_id >= slo && fetched->pack_id <= shi;
         if (!duplicate) {
-          packs.push_back(std::move(fetched->pack));
+          packs.emplace_back(fetched->pack_id, std::move(fetched->pack));
         }
       } else if (!fetched.status().IsNotFound()) {
         return fetched.status();
       }
     }
-    for (const Pack& pack : packs) {
+    // A key is only emitted from its *authoritative* pack — the one a floor
+    // query would route it to (largest packID <= key). After an incomplete
+    // split (Figure 6, interrupted between steps 3 and 5) the left pack still
+    // holds stale copies of the right half; point reads never see them, and
+    // range reads must apply the same routing or they would surface stale
+    // values and resurrect deleted keys.
+    std::vector<std::string> ids;
+    ids.reserve(packs.size());
+    for (const auto& [id, pack] : packs) {
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (const auto& [id, pack] : packs) {
       for (const auto& entry : pack.entries()) {
         if (entry.key >= klo && entry.key <= khi) {
+          auto it = std::upper_bound(ids.begin(), ids.end(), StoredKeyFor(entry.key));
+          if (it == ids.begin() || *(it - 1) != id) {
+            continue;  // shadowed copy; the authoritative pack carries this key
+          }
           auto key = DecodeKey64(entry.key);
           if (!key.ok()) {
             return key.status();
@@ -202,14 +287,45 @@ Status GenericClient::SplitPack(std::string_view partition, const FetchedPack& f
   const Pack& left = halves.first;
   const Pack& right = halves.second;
 
+  // Bound on resolving one split step's ambiguous outcomes before handing
+  // the whole operation back to the outer retry loop.
+  constexpr int kSplitStepAttempts = 8;
+
   // Figure 6 step 3: INSERT right IF NOT EXISTS. Losing the race is fine —
-  // the winner inserted bytes identical to ours (deterministic split).
+  // the winner inserted bytes identical to ours (deterministic split). An
+  // ambiguous (Unavailable) outcome must be resolved before step 5, though:
+  // truncating the left pack while the right one does not exist would lose
+  // the tail keys.
   auto right_id = right.MinKey();
   if (!right_id.has_value()) {
     return Status::Internal("split produced empty right pack");
   }
-  Status s = InsertNewPack(partition, StoredKeyFor(*right_id), right);
-  if (!s.ok() && !s.IsConditionFailed() && !s.IsAlreadyExists()) {
+  const std::string right_stored = StoredKeyFor(*right_id);
+  Status s = Status::Ok();
+  bool right_in_place = false;
+  for (int attempt = 0; attempt < kSplitStepAttempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+    }
+    s = InsertNewPack(partition, right_stored, right);
+    if (s.ok() || s.IsConditionFailed() || s.IsAlreadyExists()) {
+      right_in_place = true;
+      break;
+    }
+    if (!s.IsUnavailable()) {
+      return s;
+    }
+    OBS_COUNTER_INC("client.lwt.ambiguous");
+    auto probe = cluster_->Read(options_.table, partition, right_stored);
+    if (probe.ok()) {
+      right_in_place = true;  // our ambiguous insert (or a peer's) landed
+      break;
+    }
+    if (!probe.status().IsNotFound() && !probe.status().IsUnavailable()) {
+      return probe.status();
+    }
+  }
+  if (!right_in_place) {
     return s;
   }
 
@@ -220,19 +336,49 @@ Status GenericClient::SplitPack(std::string_view partition, const FetchedPack& f
     return Status::Aborted("injected split failure");
   }
 
-  // Figure 6 step 5: UPDATE left IF hash = h. A failure means someone else
-  // completed the split (or updated the pack) first; the caller re-reads.
+  // Figure 6 step 5: UPDATE left IF hash = h, driven to completion across
+  // ambiguous outcomes — an abandoned truncation leaves the right half
+  // duplicated in this pack, where range queries could surface the stale
+  // copies.
   MC_ASSIGN_OR_RETURN(SealedPack sealed_left, crypter_.Seal(left));
-  s = cluster_->WriteIf(options_.table, partition, fetched.pack_id, PackRow(sealed_left),
-                        LwtCondition::CellEquals(std::string(kHashColumn), fetched.hash));
-  if (!s.ok() && !s.IsConditionFailed()) {
-    return s;
+  for (int attempt = 0; attempt < kSplitStepAttempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+    }
+    s = cluster_->WriteIf(options_.table, partition, fetched.pack_id, PackRow(sealed_left),
+                          LwtCondition::CellEquals(std::string(kHashColumn), fetched.hash));
+    // ConditionFailed: the pack changed under us. An oversized pack is only
+    // ever changed by truncation (every writer splits before mutating one),
+    // so another splitter — or our own ambiguously-applied attempt — already
+    // finished the job.
+    if (s.ok() || s.IsConditionFailed()) {
+      return Status::Ok();
+    }
+    if (!s.IsUnavailable()) {
+      return s;
+    }
+    OBS_COUNTER_INC("client.lwt.ambiguous");
+    auto row = cluster_->Read(options_.table, partition, fetched.pack_id);
+    if (!row.ok()) {
+      if (row.status().IsUnavailable()) {
+        continue;
+      }
+      return row.status();
+    }
+    auto cells = ExtractPackCells(*row);
+    if (!cells.ok()) {
+      return cells.status();
+    }
+    if (cells->second != fetched.hash) {
+      return Status::Ok();  // hash moved: the truncation (ours or a peer's) applied
+    }
   }
-  return Status::Ok();
+  return s;
 }
 
 Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& mutate,
-                                bool insert_if_new, bool* retry) {
+                                const std::function<bool(const Pack&)>& applied,
+                                bool insert_if_new, bool* retry, std::string* pack_id) {
   *retry = false;
   const std::string encoded = EncodeKey64(key);
   const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
@@ -253,12 +399,26 @@ Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& 
       return Status::Ok();
     }
     const std::string stored_id = StoredPackId(partition, fresh, encoded);
+    if (pack_id != nullptr) {
+      *pack_id = stored_id;
+    }
     Status s = InsertNewPack(partition, stored_id, fresh);
     if (s.IsConditionFailed() || s.IsAlreadyExists()) {
       *retry = true;  // another client created it first; re-read and merge in
       return Status::Ok();
     }
+    if (s.IsUnavailable()) {
+      // Ambiguous outcome of INSERT IF NOT EXISTS: the pack may or may not
+      // exist now. Re-reading (the retry) resolves it either way — if our
+      // insert landed, the next attempt finds the pack and verifies.
+      OBS_COUNTER_INC("client.lwt.ambiguous");
+      *retry = true;
+      return Status::Ok();
+    }
     return s;
+  }
+  if (pack_id != nullptr) {
+    *pack_id = fetched->pack_id;
   }
 
   // Paper Figure 5 line 4: split first when the pack is oversized, then
@@ -283,7 +443,65 @@ Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& 
     *retry = true;  // concurrent writer touched the pack; re-read (Figure 5)
     return Status::Ok();
   }
+  if (s.IsUnavailable()) {
+    // Ambiguous LWT outcome: the conditional update may have applied before
+    // the reported timeout. A blind retry could double-apply a non-idempotent
+    // mutation or duplicate a split, so re-read and verify by pack *content*
+    // (sealing is randomized — envelope bytes never match across attempts).
+    OBS_COUNTER_INC("client.lwt.ambiguous");
+    auto reread = FetchPackFor(partition, encoded);
+    if (reread.ok()) {
+      if (applied(reread->pack)) {
+        OBS_COUNTER_INC("client.lwt.ambiguous_applied");
+        return Status::Ok();  // our write landed; the lost ack was the fault
+      }
+      *retry = true;
+      return Status::Ok();
+    }
+    if (reread.status().IsNotFound() || reread.status().IsUnavailable()) {
+      *retry = true;  // can't tell yet; back off and try again
+      return Status::Ok();
+    }
+    return reread.status();
+  }
   return s;
+}
+
+Status GenericClient::MutateWithRetries(uint64_t key, const std::function<void(Pack*)>& mutate,
+                                        const std::function<bool(const Pack&)>& applied,
+                                        bool insert_if_new, std::string_view op_name) {
+  std::string pack_id;
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+    }
+    bool retry = false;
+    const Status s = TryMutate(key, mutate, applied, insert_if_new, &retry, &pack_id);
+    if (s.ok()) {
+      if (!retry) {
+        return Status::Ok();
+      }
+      last = Status::Ok();
+      OBS_COUNTER_INC("client.put.retries");
+      stats_.put_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!s.IsUnavailable()) {
+      return s;  // non-retryable (corruption, invalid argument, ...)
+    }
+    last = s;
+    OBS_COUNTER_INC("client.put.unavailable_retries");
+  }
+  OBS_COUNTER_INC("client.put.aborts");
+  const std::string where =
+      " (key=" + std::to_string(key) + ", pack=" + FormatPackId(pack_id) + ")";
+  if (!last.ok()) {
+    return Status::Unavailable(std::string(op_name) + " ran out of retries: " + last.message() +
+                               where);
+  }
+  return Status::Aborted(std::string(op_name) + " exceeded retry budget under contention" +
+                         where);
 }
 
 Status GenericClient::Put(uint64_t key, std::string_view value) {
@@ -291,36 +509,23 @@ Status GenericClient::Put(uint64_t key, std::string_view value) {
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
   const std::string encoded = EncodeKey64(key);
   const std::string val(value);
-  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
-    bool retry = false;
-    MC_RETURN_IF_ERROR(TryMutate(
-        key, [&](Pack* pack) { pack->Upsert(encoded, val); }, /*insert_if_new=*/true, &retry));
-    if (!retry) {
-      return Status::Ok();
-    }
-    OBS_COUNTER_INC("client.put.retries");
-    stats_.put_retries.fetch_add(1, std::memory_order_relaxed);
-  }
-  OBS_COUNTER_INC("client.put.aborts");
-  return Status::Aborted("put exceeded retry budget under contention");
+  return MutateWithRetries(
+      key, [&](Pack* pack) { pack->Upsert(encoded, val); },
+      [&](const Pack& pack) {
+        auto v = pack.Find(encoded);
+        return v.has_value() && *v == val;
+      },
+      /*insert_if_new=*/true, "put");
 }
 
 Status GenericClient::Delete(uint64_t key) {
   OBS_SPAN("client.delete");
   stats_.deletes.fetch_add(1, std::memory_order_relaxed);
   const std::string encoded = EncodeKey64(key);
-  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
-    bool retry = false;
-    MC_RETURN_IF_ERROR(TryMutate(
-        key, [&](Pack* pack) { pack->Erase(encoded); }, /*insert_if_new=*/false, &retry));
-    if (!retry) {
-      return Status::Ok();
-    }
-    OBS_COUNTER_INC("client.put.retries");
-    stats_.put_retries.fetch_add(1, std::memory_order_relaxed);
-  }
-  OBS_COUNTER_INC("client.put.aborts");
-  return Status::Aborted("delete exceeded retry budget under contention");
+  return MutateWithRetries(
+      key, [&](Pack* pack) { pack->Erase(encoded); },
+      [&](const Pack& pack) { return !pack.Find(encoded).has_value(); },
+      /*insert_if_new=*/false, "delete");
 }
 
 Status GenericClient::BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& rows) {

@@ -11,11 +11,14 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/common/backoff.h"
+#include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/core/key_codec.h"
 #include "src/core/options.h"
@@ -92,9 +95,26 @@ class GenericClient {
   // NotFound when the partition holds no pack at or below the key.
   Result<FetchedPack> FetchPackFor(std::string_view partition, std::string_view encoded_key);
 
-  // One write attempt; sets *retry when the caller should loop.
-  Status TryMutate(uint64_t key, const std::function<void(Pack*)>& mutate, bool insert_if_new,
-                   bool* retry);
+  // One write attempt; sets *retry when the caller should loop. `applied`
+  // answers "does this pack already reflect my mutation?" — consulted after
+  // an ambiguous (Unavailable) LWT outcome: the client re-reads and verifies
+  // instead of blind-retrying a conditional write that may have landed.
+  // `pack_id` (optional) receives the last pack this attempt touched, for
+  // error messages.
+  Status TryMutate(uint64_t key, const std::function<void(Pack*)>& mutate,
+                   const std::function<bool(const Pack&)>& applied, bool insert_if_new,
+                   bool* retry, std::string* pack_id);
+
+  // Shared retry loop of Put/Delete: TryMutate with exponential backoff and
+  // a bounded budget; exhaustion returns Aborted (contention) or Unavailable
+  // (faults), both naming the key and pack.
+  Status MutateWithRetries(uint64_t key, const std::function<void(Pack*)>& mutate,
+                           const std::function<bool(const Pack&)>& applied, bool insert_if_new,
+                           std::string_view op_name);
+
+  // Sleeps the backoff delay for the given 0-based retry ordinal via the
+  // cluster's clock.
+  void BackoffBeforeRetry(int attempt);
 
   // Runs the split protocol of Figure 6 on a fetched pack.
   Status SplitPack(std::string_view partition, const FetchedPack& fetched);
@@ -115,6 +135,11 @@ class GenericClient {
   std::optional<PackIdCipher> packid_cipher_;
   std::optional<OpeCipher> ope_;
   GenericClientStats stats_;
+  Clock* clock_;
+  // One client can serve many threads (benches do); the jitter RNG is the
+  // only mutable shared state on the retry path, so it gets its own lock.
+  std::mutex backoff_mu_;
+  Backoff backoff_;
   SplitFailPoint split_fail_point_ = SplitFailPoint::kNone;
 };
 

@@ -25,6 +25,9 @@ Status MiniCryptOptions::Validate() const {
     // argument (Figure 8) does not hold.
     return Status::InvalidArgument("epoch_micros must exceed t_delta + t_drift");
   }
+  if (retry_backoff_base_micros > retry_backoff_max_micros) {
+    return Status::InvalidArgument("retry_backoff_base_micros exceeds retry_backoff_max_micros");
+  }
   if (encrypt_pack_ids && packid_bucket_width == 0) {
     return Status::InvalidArgument("packid_bucket_width must be >= 1");
   }

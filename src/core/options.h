@@ -48,6 +48,15 @@ struct MiniCryptOptions {
   // Bound on put retries under contention before giving up with Aborted.
   int max_put_retries = 64;
 
+  // Exponential backoff between retries (contention and Unavailable alike).
+  // Sleeps route through the cluster's Clock, so tests on a SimulatedClock
+  // never wall-block. base == 0 disables backoff (the pre-hardening tight
+  // loop). Jitter is seeded: 0 picks a fixed default so runs reproduce; give
+  // each client of a multi-client test a distinct seed.
+  uint64_t retry_backoff_base_micros = 100;
+  uint64_t retry_backoff_max_micros = 20'000;
+  uint64_t retry_jitter_seed = 0;
+
   // Figure 10 ablation only: write packs back blindly instead of with
   // update-if. Still pays the extra read, but loses the lost-update
   // protection — the paper measures this variant to justify keeping the

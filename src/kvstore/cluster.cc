@@ -39,12 +39,14 @@ Cluster::Cluster(ClusterOptions options)
       paxos_locks_(std::make_unique<std::mutex[]>(kPaxosShards)),
       node_down_(static_cast<size_t>(options.node_count), false),
       hints_(static_cast<size_t>(options.node_count)) {
+  // Thread the shared injector down to each node's durability path.
+  options_.engine.fault_injector = options_.fault_injector;
   for (int i = 0; i < options_.node_count; ++i) {
     std::unique_ptr<Media> media;
     if (options_.media.has_value()) {
       MediaProfile profile = *options_.media;
       profile.latency_scale *= options_.latency_scale;
-      media = std::make_unique<SimulatedMedia>(profile, options_.clock);
+      media = std::make_unique<SimulatedMedia>(profile, options_.clock, options_.fault_injector);
     } else {
       media = std::make_unique<NullMedia>();
     }
@@ -129,6 +131,10 @@ Result<std::vector<Node*>> Cluster::ReplicasFor(std::string_view table,
   return out;
 }
 
+size_t Cluster::RequiredAcks(size_t replica_count) const {
+  return options_.consistency == Consistency::kQuorum ? replica_count / 2 + 1 : 1;
+}
+
 Status Cluster::Write(std::string_view table, std::string_view partition,
                       std::string_view clustering, const Row& update) {
   OBS_SPAN("cluster.write");
@@ -137,9 +143,23 @@ Status Cluster::Write(std::string_view table, std::string_view partition,
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
   (void)replicas;
 
-  // Stamp cells with a cluster-unique monotonic timestamp.
+  // Stamp cells with a cluster-unique monotonic timestamp. The kClockSkew
+  // point models a coordinator with a stale wall clock: the write is stamped
+  // behind the cluster-wide counter, so it can lose LWW to an older write —
+  // exactly the anomaly skew causes in Cassandra. Only plain writes skew;
+  // LWT timestamps come from Paxos ballots, which the skewed clock never
+  // reaches.
   Row stamped = update;
-  const uint64_t ts = NextTimestamp();
+  uint64_t ts = NextTimestamp();
+  FaultInjector* fi = options_.fault_injector;
+  if (fi != nullptr) {
+    uint64_t draw = 0;
+    if (fi->Fire(FaultPoint::kClockSkew, table, &draw)) {
+      const uint64_t skew = fi->ClockSkewSteps(draw);
+      ts = ts > skew ? ts - skew : 1;
+      OBS_COUNTER_INC("cluster.write.clock_skewed");
+    }
+  }
   size_t bytes = 0;
   for (auto& [name, cell] : stamped.cells) {
     cell.timestamp = ts;
@@ -149,7 +169,8 @@ Status Cluster::Write(std::string_view table, std::string_view partition,
 
   ChargeRtt(1);
   ChargeTransfer(bytes);
-  return ApplyToReplicas(table, replicas, engines, partition, clustering, stamped);
+  return ApplyToReplicas(table, replicas, engines, partition, clustering, stamped,
+                         RequiredAcks(engines.size()));
 }
 
 Status Cluster::WriteIf(std::string_view table, std::string_view partition,
@@ -166,13 +187,53 @@ Status Cluster::WriteIf(std::string_view table, std::string_view partition,
   // lightweight transaction "introduces further stress").
   ChargeRtt(1 + options_.lwt_extra_round_trips);
 
-  // Serialize on the row's Paxos lock; evaluate against the newest state at
-  // the first replica and apply to all on success.
+  // Serialize on the row's Paxos lock; evaluate against a QUORUM of live
+  // replicas merged by timestamp and apply to all on success. Reading one
+  // replica is not enough under faults: a replica that missed a write (it
+  // holds a hint) would feed stale state into the condition, and a later
+  // LWT could silently erase an acked write. Quorum reads intersect quorum
+  // writes, so the newest acked state always participates.
   const uint64_t shard =
       Fnv1a64(EncodeRowKey(partition, clustering) + std::string(table)) % kPaxosShards;
   std::lock_guard<std::mutex> paxos(paxos_locks_[shard]);
 
-  std::optional<Row> existing = engines.front()->Get(partition, clustering);
+  FaultInjector* fi = options_.fault_injector;
+  const size_t quorum = engines.size() / 2 + 1;
+  const std::vector<size_t> live = LiveIndexes(replicas);
+  if (live.size() < quorum) {
+    OBS_COUNTER_INC("cluster.lwt.unavailable");
+    return Status::Unavailable("LWT quorum unavailable: " + std::to_string(live.size()) + "/" +
+                               std::to_string(engines.size()) + " replicas live");
+  }
+  std::optional<Row> existing;
+  {
+    Row merged;
+    bool found = false;
+    size_t votes = 0;
+    for (size_t idx : live) {
+      if (votes == quorum) {
+        break;
+      }
+      if (fi != nullptr && fi->Fire(FaultPoint::kMediaReadError, table)) {
+        OBS_COUNTER_INC("cluster.read.replica_errors");
+        continue;
+      }
+      auto row = engines[idx]->Get(partition, clustering);
+      ++votes;
+      if (row.has_value()) {
+        merged.MergeNewer(*row);
+        found = true;
+      }
+    }
+    if (votes < quorum) {
+      OBS_COUNTER_INC("cluster.lwt.unavailable");
+      return Status::Unavailable("LWT condition read got " + std::to_string(votes) + "/" +
+                                 std::to_string(quorum) + " quorum votes");
+    }
+    if (found) {
+      existing = std::move(merged);
+    }
+  }
   bool pass = false;
   switch (condition.kind) {
     case LwtCondition::Kind::kNotExists:
@@ -207,22 +268,58 @@ Status Cluster::WriteIf(std::string_view table, std::string_view partition,
   }
   stats_.bytes_from_client.fetch_add(bytes, std::memory_order_relaxed);
   ChargeTransfer(bytes);
-  return ApplyToReplicas(table, replicas, engines, partition, clustering, stamped);
+  // LWT commits require a quorum regardless of the configured plain-write
+  // consistency (Cassandra's SERIAL path), or the next condition read could
+  // miss this write entirely.
+  MC_RETURN_IF_ERROR(
+      ApplyToReplicas(table, replicas, engines, partition, clustering, stamped, quorum));
+  if (fi != nullptr && fi->Fire(FaultPoint::kLwtAmbiguous, table)) {
+    // The classic ambiguous write: the update IS applied (and durable at a
+    // quorum), but the coordinator's ack is lost. Clients must re-read and
+    // verify, never blind-retry.
+    OBS_COUNTER_INC("cluster.lwt.ambiguous");
+    return Status::Unavailable("injected: LWT applied but coordinator timed out");
+  }
+  return Status::Ok();
 }
 
-StorageEngine* Cluster::PickReadReplica(const std::vector<Node*>& replicas,
-                                        const std::vector<StorageEngine*>& engines) {
-  const uint64_t n = read_rr_.fetch_add(1, std::memory_order_relaxed);
-  // Prefer the round-robin choice; fall forward past down replicas.
-  std::lock_guard<std::mutex> lock(down_mu_);
-  for (size_t step = 0; step < engines.size(); ++step) {
-    const size_t i = (n + step) % engines.size();
+std::vector<size_t> Cluster::LiveIndexesLocked(const std::vector<Node*>& replicas) const {
+  std::vector<size_t> live;
+  live.reserve(replicas.size());
+  for (size_t i = 0; i < replicas.size(); ++i) {
     const auto node_id = static_cast<size_t>(replicas[i]->id());
     if (node_id >= node_down_.size() || !node_down_[node_id]) {
-      return engines[i];
+      live.push_back(i);
     }
   }
-  return engines[n % engines.size()];  // everything down: fail like a timeout would
+  return live;
+}
+
+std::vector<size_t> Cluster::LiveIndexes(const std::vector<Node*>& replicas) const {
+  std::lock_guard<std::mutex> lock(down_mu_);
+  return LiveIndexesLocked(replicas);
+}
+
+Result<StorageEngine*> Cluster::PickLiveEngine(std::string_view table,
+                                               const std::vector<Node*>& replicas,
+                                               const std::vector<StorageEngine*>& engines) {
+  const std::vector<size_t> live = LiveIndexes(replicas);
+  if (live.empty()) {
+    return Status::Unavailable("no live replica for read");
+  }
+  FaultInjector* fi = options_.fault_injector;
+  const uint64_t n = read_rr_.fetch_add(1, std::memory_order_relaxed);
+  // Prefer the round-robin choice; fall forward past replicas whose read
+  // fails at the media layer.
+  for (size_t step = 0; step < live.size(); ++step) {
+    const size_t i = live[(n + step) % live.size()];
+    if (fi != nullptr && fi->Fire(FaultPoint::kMediaReadError, table)) {
+      OBS_COUNTER_INC("cluster.read.replica_errors");
+      continue;
+    }
+    return engines[i];
+  }
+  return Status::Unavailable("read failed on every live replica");
 }
 
 void Cluster::SetNodeDown(int node, bool down) {
@@ -269,28 +366,193 @@ void Cluster::ReplayHintsLocked(int node) {
       }
       engine = target->EngineFor(hint.table, server_compression);
     }
-    (void)engine->Apply(hint.partition, hint.clustering, hint.update);
+    const Status s =
+        hint.partition_tombstone_ts != 0
+            ? engine->ApplyPartitionTombstone(hint.partition, hint.partition_tombstone_ts)
+            : engine->Apply(hint.partition, hint.clustering, hint.update);
+    if (s.ok()) {
+      OBS_COUNTER_INC("cluster.hints.replayed");
+    } else {
+      // Replay can itself hit an injected durability fault; keep the hint so
+      // a later replay (post-heal quiesce) delivers it. Dropping it here
+      // would silently diverge the replica.
+      OBS_COUNTER_INC("cluster.hints.requeued");
+      hints_[static_cast<size_t>(node)].push_back(std::move(hint));
+    }
   }
+}
+
+void Cluster::ChaosTick() {
+  FaultInjector* fi = options_.fault_injector;
+  if (fi == nullptr || nodes_.empty()) {
+    return;
+  }
+  uint64_t draw = 0;
+  if (!fi->Fire(FaultPoint::kNodeFlap, {}, &draw)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(down_mu_);
+  const auto node = static_cast<size_t>(draw % nodes_.size());
+  if (node_down_[node]) {
+    node_down_[node] = false;
+    OBS_COUNTER_INC("cluster.flap.up");
+    ReplayHintsLocked(static_cast<int>(node));
+    return;
+  }
+  // Never take down a majority: quorum reads/writes must stay possible or
+  // the whole run degenerates to Unavailable.
+  size_t down = 0;
+  for (const bool d : node_down_) {
+    down += d ? 1 : 0;
+  }
+  if ((down + 1) * 2 > node_down_.size()) {
+    return;
+  }
+  node_down_[node] = true;
+  OBS_COUNTER_INC("cluster.flap.down");
+}
+
+void Cluster::HealAllNodes() {
+  std::lock_guard<std::mutex> lock(down_mu_);
+  for (size_t node = 0; node < node_down_.size(); ++node) {
+    if (node_down_[node]) {
+      node_down_[node] = false;
+      ReplayHintsLocked(static_cast<int>(node));
+    }
+  }
+}
+
+void Cluster::ReplayAllHints() {
+  std::lock_guard<std::mutex> lock(down_mu_);
+  for (size_t node = 0; node < hints_.size(); ++node) {
+    if (!node_down_[node] && !hints_[node].empty()) {
+      ReplayHintsLocked(static_cast<int>(node));
+    }
+  }
+}
+
+std::vector<int> Cluster::ReplicaNodesFor(std::string_view partition) const {
+  return ring_.Replicas(partition, options_.replication_factor);
+}
+
+Result<std::vector<std::pair<std::string, Row>>> Cluster::DebugPartitionRows(
+    int node, std::string_view table, std::string_view partition) {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return Status::InvalidArgument("no such node: " + std::to_string(node));
+  }
+  std::vector<std::pair<std::string, Row>> out;
+  StorageEngine* engine = nodes_[static_cast<size_t>(node)]->FindEngine(table);
+  if (engine == nullptr) {
+    return out;  // node never saw a write for this table
+  }
+  const std::string hi(64, '\xff');
+  MC_RETURN_IF_ERROR(engine->Scan(partition, "", hi, 0,
+                                  [&](std::string_view clustering, const Row& row) {
+                                    out.emplace_back(std::string(clustering), row);
+                                    return true;
+                                  }));
+  return out;
 }
 
 Status Cluster::ApplyToReplicas(std::string_view table, const std::vector<Node*>& replicas,
                                 const std::vector<StorageEngine*>& engines,
                                 std::string_view partition, std::string_view clustering,
-                                const Row& stamped) {
+                                const Row& stamped, size_t required_acks) {
+  FaultInjector* fi = options_.fault_injector;
   std::lock_guard<std::mutex> lock(down_mu_);
   OBS_COUNTER_ADD("cluster.replica.fanout", engines.size());
+  size_t acks = 0;
   for (size_t i = 0; i < engines.size(); ++i) {
     const auto node_id = static_cast<size_t>(replicas[i]->id());
+    bool hint = false;
     if (node_id < node_down_.size() && node_down_[node_id]) {
+      hint = true;
+    } else if (fi != nullptr && fi->Fire(FaultPoint::kReplicaDrop, table)) {
+      // Coordinator->replica message lost; Cassandra queues a hint exactly
+      // as it does for a down node.
+      OBS_COUNTER_INC("cluster.replica.dropped");
+      hint = true;
+    } else {
+      if (fi != nullptr) {
+        uint64_t draw = 0;
+        if (fi->Fire(FaultPoint::kReplicaDelay, table, &draw)) {
+          OBS_COUNTER_INC("cluster.replica.delayed");
+          options_.clock->SleepMicros(fi->LatencySpikeMicros(draw));
+        }
+      }
+      if (fi != nullptr && fi->Fire(FaultPoint::kMediaWriteError, table)) {
+        OBS_COUNTER_INC("cluster.replica.write_errors");
+        hint = true;
+      } else {
+        const Status s = engines[i]->Apply(partition, clustering, stamped);
+        if (s.ok()) {
+          ++acks;
+        } else {
+          // Commit-log (fsync) failure: the replica rejected the mutation;
+          // park it as a hint like a transient outage.
+          OBS_COUNTER_INC("cluster.replica.apply_errors");
+          hint = true;
+        }
+      }
+    }
+    if (hint) {
       // Hinted handoff: queue the timestamped mutation for replay.
       OBS_COUNTER_INC("cluster.hints.queued");
       hints_[node_id].push_back(Hint{std::string(table), std::string(partition),
                                      std::string(clustering), stamped});
-      continue;
     }
-    MC_RETURN_IF_ERROR(engines[i]->Apply(partition, clustering, stamped));
+  }
+  if (acks < required_acks) {
+    // The ambiguous failure mode: some replicas may hold the write (and the
+    // rest will get it via hints), but the client must not treat it as acked.
+    OBS_COUNTER_INC("cluster.write.underacked");
+    return Status::Unavailable("write acked by " + std::to_string(acks) + "/" +
+                               std::to_string(required_acks) + " required replicas");
   }
   return Status::Ok();
+}
+
+namespace {
+// True when `have` is missing a cell of `merged` or holds an older copy
+// (timestamp ties with different content also repair, so the deterministic
+// tie-break winner propagates).
+bool RowNeedsRepair(const Row& have, const Row& merged) {
+  for (const auto& [name, cell] : merged.cells) {
+    auto it = have.cells.find(name);
+    if (it == have.cells.end() || it->second.timestamp < cell.timestamp ||
+        (it->second.timestamp == cell.timestamp && !(it->second == cell))) {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+size_t Cluster::RepairContacted(std::string_view table, const std::vector<Node*>& replicas,
+                                const std::vector<StorageEngine*>& engines,
+                                const std::vector<size_t>& contacted, std::string_view partition,
+                                std::string_view clustering, const Row& merged) {
+  size_t holders = 0;
+  for (size_t idx : contacted) {
+    auto have = engines[idx]->Get(partition, clustering);
+    if (have.has_value() && !RowNeedsRepair(*have, merged)) {
+      ++holders;
+      continue;
+    }
+    if (engines[idx]->Apply(partition, clustering, merged).ok()) {
+      OBS_COUNTER_INC("cluster.read.repairs");
+      ++holders;
+    } else {
+      // The replica rejected the repair (injected commit-log fault): park it
+      // as a hint, like any other failed replica write.
+      const auto node_id = static_cast<size_t>(replicas[idx]->id());
+      std::lock_guard<std::mutex> lock(down_mu_);
+      OBS_COUNTER_INC("cluster.hints.queued");
+      hints_[node_id].push_back(
+          Hint{std::string(table), std::string(partition), std::string(clustering), merged});
+    }
+  }
+  return holders;
 }
 
 Result<Row> Cluster::Read(std::string_view table, std::string_view partition,
@@ -305,19 +567,43 @@ Result<Row> Cluster::Read(std::string_view table, std::string_view partition,
   Row merged;
   bool found = false;
   if (options_.consistency == Consistency::kQuorum) {
+    FaultInjector* fi = options_.fault_injector;
     const size_t ask = engines.size() / 2 + 1;
-    for (size_t i = 0; i < ask; ++i) {
-      auto row = engines[i]->Get(partition, clustering);
-      if (i > 0) {
+    const std::vector<size_t> live = LiveIndexes(replicas);
+    size_t votes = 0;
+    std::vector<size_t> contacted;
+    for (size_t idx : live) {
+      if (votes == ask) {
+        break;
+      }
+      if (fi != nullptr && fi->Fire(FaultPoint::kMediaReadError, table)) {
+        OBS_COUNTER_INC("cluster.read.replica_errors");
+        continue;
+      }
+      auto row = engines[idx]->Get(partition, clustering);
+      if (votes > 0) {
         ChargeRtt(1);  // extra replica hop under QUORUM
       }
+      ++votes;
+      contacted.push_back(idx);
       if (row.has_value()) {
         merged.MergeNewer(*row);
         found = true;
       }
     }
+    if (votes < ask) {
+      OBS_COUNTER_INC("cluster.read.unavailable");
+      return Status::Unavailable("quorum read got " + std::to_string(votes) + "/" +
+                                 std::to_string(ask) + " votes");
+    }
+    if (found &&
+        RepairContacted(table, replicas, engines, contacted, partition, clustering, merged) < ask) {
+      OBS_COUNTER_INC("cluster.read.unavailable");
+      return Status::Unavailable("read repair could not restore a quorum");
+    }
   } else {
-    auto row = PickReadReplica(replicas, engines)->Get(partition, clustering);
+    MC_ASSIGN_OR_RETURN(StorageEngine * engine, PickLiveEngine(table, replicas, engines));
+    auto row = engine->Get(partition, clustering);
     if (row.has_value()) {
       merged = std::move(*row);
       found = true;
@@ -346,17 +632,73 @@ Result<std::pair<std::string, Row>> Cluster::ReadFloor(std::string_view table,
   (void)replicas;
   ChargeRtt(1);
 
-  auto result = PickReadReplica(replicas, engines)->Floor(partition, clustering);
-  if (!result.has_value()) {
-    return Status::NotFound();
+  std::string floor_id;
+  Row merged;
+  if (options_.consistency == Consistency::kQuorum) {
+    // Per-replica floors can disagree when a replica missed the insert of a
+    // newer pack (it still holds a hint): take the largest floor across a
+    // quorum, merge that row across the contacted replicas, and read-repair
+    // the stale ones — a floor that silently fell back to an older pack
+    // would route the client to stale data.
+    FaultInjector* fi = options_.fault_injector;
+    const size_t ask = engines.size() / 2 + 1;
+    const std::vector<size_t> live = LiveIndexes(replicas);
+    size_t votes = 0;
+    std::vector<size_t> contacted;
+    bool found = false;
+    for (size_t idx : live) {
+      if (votes == ask) {
+        break;
+      }
+      if (fi != nullptr && fi->Fire(FaultPoint::kMediaReadError, table)) {
+        OBS_COUNTER_INC("cluster.read.replica_errors");
+        continue;
+      }
+      auto result = engines[idx]->Floor(partition, clustering);
+      if (votes > 0) {
+        ChargeRtt(1);  // extra replica hop under QUORUM
+      }
+      ++votes;
+      contacted.push_back(idx);
+      if (result.has_value() && (!found || result->first > floor_id)) {
+        floor_id = result->first;
+        found = true;
+      }
+    }
+    if (votes < ask) {
+      OBS_COUNTER_INC("cluster.read.unavailable");
+      return Status::Unavailable("quorum floor read got " + std::to_string(votes) + "/" +
+                                 std::to_string(ask) + " votes");
+    }
+    if (!found) {
+      return Status::NotFound();
+    }
+    for (size_t idx : contacted) {
+      auto row = engines[idx]->Get(partition, floor_id);
+      if (row.has_value()) {
+        merged.MergeNewer(*row);
+      }
+    }
+    if (RepairContacted(table, replicas, engines, contacted, partition, floor_id, merged) < ask) {
+      OBS_COUNTER_INC("cluster.read.unavailable");
+      return Status::Unavailable("floor read repair could not restore a quorum");
+    }
+  } else {
+    MC_ASSIGN_OR_RETURN(StorageEngine * engine, PickLiveEngine(table, replicas, engines));
+    auto result = engine->Floor(partition, clustering);
+    if (!result.has_value()) {
+      return Status::NotFound();
+    }
+    floor_id = result->first;
+    merged = std::move(result->second);
   }
   size_t bytes = 0;
-  for (const auto& [name, cell] : result->second.cells) {
+  for (const auto& [name, cell] : merged.cells) {
     bytes += cell.value.size();
   }
   stats_.bytes_to_client.fetch_add(bytes, std::memory_order_relaxed);
   ChargeTransfer(bytes);
-  return std::make_pair(result->first, std::move(result->second));
+  return std::make_pair(std::move(floor_id), std::move(merged));
 }
 
 Result<std::vector<std::pair<std::string, Row>>> Cluster::ReadRange(std::string_view table,
@@ -372,11 +714,61 @@ Result<std::vector<std::pair<std::string, Row>>> Cluster::ReadRange(std::string_
   ChargeRtt(1);
 
   std::vector<std::pair<std::string, Row>> out;
-  MC_RETURN_IF_ERROR(PickReadReplica(replicas, engines)->Scan(
-      partition, lo, hi, limit, [&](std::string_view clustering, const Row& row) {
-        out.emplace_back(std::string(clustering), row);
-        return true;
-      }));
+  if (options_.consistency == Consistency::kQuorum) {
+    // Union the scans of a quorum, merging rows per clustering key, then
+    // read-repair the contacted replicas so everything returned is durable
+    // on a quorum (same rationale as Read/ReadFloor).
+    FaultInjector* fi = options_.fault_injector;
+    const size_t ask = engines.size() / 2 + 1;
+    const std::vector<size_t> live = LiveIndexes(replicas);
+    size_t votes = 0;
+    std::vector<size_t> contacted;
+    std::map<std::string, Row> merged;
+    for (size_t idx : live) {
+      if (votes == ask) {
+        break;
+      }
+      if (fi != nullptr && fi->Fire(FaultPoint::kMediaReadError, table)) {
+        OBS_COUNTER_INC("cluster.read.replica_errors");
+        continue;
+      }
+      const Status s =
+          engines[idx]->Scan(partition, lo, hi, limit, [&](std::string_view c, const Row& row) {
+            merged[std::string(c)].MergeNewer(row);
+            return true;
+          });
+      if (!s.ok()) {
+        continue;  // replica scan failed; try the next live one
+      }
+      if (votes > 0) {
+        ChargeRtt(1);  // extra replica hop under QUORUM
+      }
+      ++votes;
+      contacted.push_back(idx);
+    }
+    if (votes < ask) {
+      OBS_COUNTER_INC("cluster.read.unavailable");
+      return Status::Unavailable("quorum range read got " + std::to_string(votes) + "/" +
+                                 std::to_string(ask) + " votes");
+    }
+    for (auto& [clustering, row] : merged) {
+      if (RepairContacted(table, replicas, engines, contacted, partition, clustering, row) < ask) {
+        OBS_COUNTER_INC("cluster.read.unavailable");
+        return Status::Unavailable("range read repair could not restore a quorum");
+      }
+      out.emplace_back(clustering, std::move(row));
+      if (limit != 0 && out.size() == limit) {
+        break;
+      }
+    }
+  } else {
+    MC_ASSIGN_OR_RETURN(StorageEngine * engine, PickLiveEngine(table, replicas, engines));
+    MC_RETURN_IF_ERROR(
+        engine->Scan(partition, lo, hi, limit, [&](std::string_view clustering, const Row& row) {
+          out.emplace_back(std::string(clustering), row);
+          return true;
+        }));
+  }
   size_t bytes = 0;
   for (const auto& [clustering, row] : out) {
     for (const auto& [name, cell] : row.cells) {
@@ -392,11 +784,31 @@ Status Cluster::DeletePartition(std::string_view table, std::string_view partiti
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
   std::vector<StorageEngine*> engines;
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
-  (void)replicas;
   ChargeRtt(1);
   const uint64_t ts = NextTimestamp();
-  for (StorageEngine* engine : engines) {
-    MC_RETURN_IF_ERROR(engine->ApplyPartitionTombstone(partition, ts));
+  std::lock_guard<std::mutex> lock(down_mu_);
+  size_t acks = 0;
+  const size_t required = RequiredAcks(engines.size());
+  for (size_t i = 0; i < engines.size(); ++i) {
+    const auto node_id = static_cast<size_t>(replicas[i]->id());
+    bool hint = node_id < node_down_.size() && node_down_[node_id];
+    if (!hint) {
+      const Status s = engines[i]->ApplyPartitionTombstone(partition, ts);
+      if (s.ok()) {
+        ++acks;
+      } else {
+        hint = true;
+      }
+    }
+    if (hint) {
+      OBS_COUNTER_INC("cluster.hints.queued");
+      Hint h{std::string(table), std::string(partition), "", Row{}, ts};
+      hints_[node_id].push_back(std::move(h));
+    }
+  }
+  if (acks < required) {
+    return Status::Unavailable("partition delete acked by " + std::to_string(acks) + "/" +
+                               std::to_string(required) + " required replicas");
   }
   return Status::Ok();
 }
@@ -413,7 +825,8 @@ Status Cluster::DeleteRow(std::string_view table, std::string_view partition,
   for (const auto& column : columns) {
     tombstones.cells[column] = Cell{"", ts, true};
   }
-  return ApplyToReplicas(table, replicas, engines, partition, clustering, tombstones);
+  return ApplyToReplicas(table, replicas, engines, partition, clustering, tombstones,
+                         RequiredAcks(engines.size()));
 }
 
 size_t Cluster::TableAtRestBytes(std::string_view table) {

@@ -19,6 +19,7 @@
 #include "src/common/status.h"
 #include "src/common/thread_util.h"
 #include "src/kvstore/block_cache.h"
+#include "src/kvstore/fault_injector.h"
 #include "src/kvstore/media.h"
 #include "src/kvstore/ring.h"
 #include "src/kvstore/row.h"
@@ -66,6 +67,11 @@ struct ClusterOptions {
   std::optional<MediaProfile> media;  // nullopt -> zero-latency NullMedia
 
   Clock* clock = SystemClock::Get();
+
+  // Optional deterministic fault injector (not owned; must outlive the
+  // cluster). Consulted at every fault point: replica reads/writes, media
+  // latency, commit-log appends, LWT acks, node flaps, and LWW clock skew.
+  FaultInjector* fault_injector = nullptr;
 
   // Zero-latency, single-node profile for unit tests.
   static ClusterOptions ForTest();
@@ -145,6 +151,30 @@ class Cluster {
   // Hints waiting for a node (introspection for tests).
   size_t PendingHints(int node) const;
 
+  // One step of injector-driven chaos: draws the kNodeFlap point and, when it
+  // fires, toggles a deterministically chosen node — never taking down a
+  // majority, so quorum operations stay possible. Chaos harnesses call this
+  // between operations.
+  void ChaosTick();
+
+  // Brings every node back up (replaying its hints on the way).
+  void HealAllNodes();
+
+  // Drains every hint queue, including hints parked for live nodes whose
+  // apply failed under injected faults. Call after healing to quiesce.
+  void ReplayAllHints();
+
+  // --- Chaos-harness introspection ---------------------------------------------
+
+  // Node ids holding a replica of `partition` (ring order).
+  std::vector<int> ReplicaNodesFor(std::string_view partition) const;
+
+  // Every visible row of `partition` on one node's replica, bypassing the
+  // coordinator (no latency charges, no failover) — invariant checks compare
+  // these across replicas.
+  Result<std::vector<std::pair<std::string, Row>>> DebugPartitionRows(
+      int node, std::string_view table, std::string_view partition);
+
   // --- Introspection ----------------------------------------------------------
 
   const ClusterStats& stats() const { return stats_; }
@@ -174,19 +204,46 @@ class Cluster {
   Result<std::vector<Node*>> ReplicasFor(std::string_view table, std::string_view partition,
                                          std::vector<StorageEngine*>* engines);
 
-  // Round-robin selection among a partition's replicas for CL=ONE reads
-  // (models Cassandra's load-balancing snitch; writes go to all replicas
-  // synchronously, so any replica is up to date).
-  StorageEngine* PickReadReplica(const std::vector<Node*>& replicas,
-                                 const std::vector<StorageEngine*>& engines);
+  // Indexes into `replicas` whose node is currently up. Caller holds down_mu_.
+  std::vector<size_t> LiveIndexesLocked(const std::vector<Node*>& replicas) const;
 
-  // Applies `update` to every live replica engine; queues hints for down
-  // ones. `engines` and `replicas` are parallel arrays from ReplicasFor.
+  // Same, taking the lock (snapshot; a node may flap right after).
+  std::vector<size_t> LiveIndexes(const std::vector<Node*>& replicas) const;
+
+  // Round-robin selection among a partition's live replicas for CL=ONE reads
+  // (models Cassandra's load-balancing snitch; writes go to all replicas
+  // synchronously, so any replica is up to date). Fails over past injected
+  // media read errors; Unavailable when no live replica can serve.
+  Result<StorageEngine*> PickLiveEngine(std::string_view table,
+                                        const std::vector<Node*>& replicas,
+                                        const std::vector<StorageEngine*>& engines);
+
+  // Applies `update` to every live replica engine; queues hints for down or
+  // failing ones. Unavailable (with hints already queued — the classic
+  // ambiguous write) when fewer than `required_acks` replicas persisted it.
+  // `engines` and `replicas` are parallel arrays from ReplicasFor.
   Status ApplyToReplicas(std::string_view table, const std::vector<Node*>& replicas,
                          const std::vector<StorageEngine*>& engines, std::string_view partition,
-                         std::string_view clustering, const Row& stamped);
+                         std::string_view clustering, const Row& stamped, size_t required_acks);
 
-  // Replays queued hints to a node that has come back.
+  // Blocking read repair (Cassandra's monotonic quorum reads, standing in
+  // for its Paxos round repair): writes `merged` back to each replica in
+  // `contacted` holding an older or missing copy, queueing a hint when the
+  // apply fails. Returns how many contacted replicas end up holding the
+  // merged row. Quorum reads must leave every row they return durable on a
+  // quorum before answering — otherwise a client verifying an ambiguous LWT
+  // could ack state seen on a single replica, which a later writer reading a
+  // disjoint quorum would silently overwrite.
+  size_t RepairContacted(std::string_view table, const std::vector<Node*>& replicas,
+                         const std::vector<StorageEngine*>& engines,
+                         const std::vector<size_t>& contacted, std::string_view partition,
+                         std::string_view clustering, const Row& merged);
+
+  // Acks a plain write needs under the configured consistency level.
+  size_t RequiredAcks(size_t replica_count) const;
+
+  // Replays queued hints to a node; hints whose apply fails (injected
+  // commit-log faults) are re-queued for the next replay.
   void ReplayHintsLocked(int node);
 
   ClusterOptions options_;
@@ -201,6 +258,9 @@ class Cluster {
     std::string partition;
     std::string clustering;
     Row update;  // cells already timestamped
+    // Nonzero: this hint is a whole-partition tombstone at this timestamp
+    // (clustering/update unused).
+    uint64_t partition_tombstone_ts = 0;
   };
   mutable std::mutex down_mu_;
   std::vector<bool> node_down_;

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/common/coding.h"
+#include "src/kvstore/fault_injector.h"
 #include "src/obs/metrics.h"
 
 namespace minicrypt {
@@ -72,13 +73,17 @@ Status FileLogSink::Truncate() {
   return Status::Ok();
 }
 
-CommitLog::CommitLog(std::unique_ptr<LogSink> sink, Media* media)
-    : sink_(std::move(sink)), media_(media) {}
+CommitLog::CommitLog(std::unique_ptr<LogSink> sink, Media* media, FaultInjector* fault_injector)
+    : sink_(std::move(sink)), media_(media), fault_injector_(fault_injector) {}
 
 Status CommitLog::Append(std::string_view encoded_key, const Row& update) {
   // The span covers framing plus the sequential media write — the per-update
   // durability (fsync-equivalent) charge on the write path.
   OBS_SPAN("commitlog.append");
+  if (fault_injector_ != nullptr && fault_injector_->Fire(FaultPoint::kCommitLogAppend)) {
+    OBS_COUNTER_INC("commitlog.append.injected_failures");
+    return Status::Unavailable("injected commit-log fsync failure");
+  }
   std::string payload;
   PutLengthPrefixed(&payload, encoded_key);
   EncodeRow(update, &payload);

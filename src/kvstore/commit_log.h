@@ -16,6 +16,8 @@
 
 namespace minicrypt {
 
+class FaultInjector;
+
 // Destination for log bytes. The engine charges the media model separately;
 // the sink is only about durability of the bytes.
 class LogSink {
@@ -52,8 +54,11 @@ class FileLogSink : public LogSink {
 
 class CommitLog {
  public:
-  // `media` may be nullptr (no latency charging).
-  CommitLog(std::unique_ptr<LogSink> sink, Media* media);
+  // `media` may be nullptr (no latency charging). `fault_injector` (optional)
+  // makes Append fail at the kCommitLogAppend point — the fsync-equivalent
+  // durability failure; the engine then rejects the whole mutation.
+  CommitLog(std::unique_ptr<LogSink> sink, Media* media,
+            FaultInjector* fault_injector = nullptr);
 
   // Appends one record: the row update applied at `encoded_key`.
   Status Append(std::string_view encoded_key, const Row& update);
@@ -68,6 +73,7 @@ class CommitLog {
  private:
   std::unique_ptr<LogSink> sink_;
   Media* media_;
+  FaultInjector* fault_injector_;
 };
 
 }  // namespace minicrypt

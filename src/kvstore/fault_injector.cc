@@ -1,0 +1,176 @@
+#include "src/kvstore/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace minicrypt {
+
+namespace {
+
+constexpr std::string_view kPointNames[kFaultPointCount] = {
+    "media_read_error", "media_write_error", "media_latency",
+    "commitlog_append", "lwt_ambiguous",     "replica_drop",
+    "replica_delay",    "node_flap",         "clock_skew",
+};
+
+// SplitMix64 finalizer: a cheap bijective mix with full avalanche, so the
+// (seed, point, ordinal) -> decision mapping has no visible structure.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+double Unit(uint64_t draw) {
+  return static_cast<double>(draw >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view FaultPointName(FaultPoint point) {
+  return kPointNames[static_cast<int>(point)];
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {
+  for (int i = 0; i < kFaultPointCount; ++i) {
+    points_[static_cast<size_t>(i)].trip_counter = MetricsRegistry::Instance().GetCounter(
+        "fault." + std::string(kPointNames[i]) + ".trips");
+  }
+}
+
+void FaultInjector::SetRate(FaultPoint point, double rate) {
+  if (rate < 0.0) {
+    rate = 0.0;
+  }
+  if (rate > 1.0) {
+    rate = 1.0;
+  }
+  points_[static_cast<size_t>(point)].rate.store(rate, std::memory_order_relaxed);
+}
+
+double FaultInjector::Rate(FaultPoint point) const {
+  return points_[static_cast<size_t>(point)].rate.load(std::memory_order_relaxed);
+}
+
+void FaultInjector::Script(FaultPoint point, uint64_t nth, std::string context_substr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scripts_.push_back(ScriptEntry{point, nth, std::move(context_substr)});
+  have_scripts_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Heal() {
+  for (auto& state : points_) {
+    state.rate.store(0.0, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  scripts_.clear();
+  have_scripts_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::ScriptFires(FaultPoint point, std::string_view context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ScriptEntry& entry : scripts_) {
+    if (entry.done || entry.point != point) {
+      continue;
+    }
+    if (!entry.context_substr.empty() &&
+        context.find(entry.context_substr) == std::string_view::npos) {
+      continue;
+    }
+    if (++entry.matched == entry.nth) {
+      entry.done = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::Fire(FaultPoint point, std::string_view context, uint64_t* draw) {
+  PointState& state = points_[static_cast<size_t>(point)];
+  // 1-based evaluation ordinal; the only cross-thread coordination needed.
+  const uint64_t k = state.evaluations.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t decision =
+      Mix(seed_ ^ Mix((static_cast<uint64_t>(point) + 1) * 0x100000001B3ULL + k));
+  if (draw != nullptr) {
+    // An independent stream so sizing a fault never perturbs fire decisions.
+    *draw = Mix(decision ^ 0xD6E8FEB86659FD93ULL);
+  }
+  bool fired = Unit(decision) < state.rate.load(std::memory_order_relaxed);
+  if (!fired && have_scripts_.load(std::memory_order_acquire)) {
+    fired = ScriptFires(point, context);
+  }
+  if (!fired) {
+    return false;
+  }
+  state.trips.fetch_add(1, std::memory_order_relaxed);
+  state.trip_counter->Increment();
+  if (record_schedule_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fired_ordinals_[static_cast<size_t>(point)].push_back(k);
+  }
+  return true;
+}
+
+uint64_t FaultInjector::LatencySpikeMicros(uint64_t draw) const {
+  const uint64_t base = latency_spike_base_micros_;
+  if (base == 0) {
+    return 0;
+  }
+  return base + draw % (3 * base + 1);  // spikes in [base, 4*base]
+}
+
+uint64_t FaultInjector::ClockSkewSteps(uint64_t draw) const {
+  if (clock_skew_max_steps_ == 0) {
+    return 0;
+  }
+  return 1 + draw % clock_skew_max_steps_;
+}
+
+uint64_t FaultInjector::trips(FaultPoint point) const {
+  return points_[static_cast<size_t>(point)].trips.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::evaluations(FaultPoint point) const {
+  return points_[static_cast<size_t>(point)].evaluations.load(std::memory_order_relaxed);
+}
+
+std::string FaultInjector::ScheduleString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (int i = 0; i < kFaultPointCount; ++i) {
+    out.append(kPointNames[i]);
+    out.push_back(':');
+    // Sort so the string is insensitive to which thread recorded first.
+    std::vector<uint64_t> fired = fired_ordinals_[static_cast<size_t>(i)];
+    std::sort(fired.begin(), fired.end());
+    for (size_t j = 0; j < fired.size(); ++j) {
+      if (j > 0) {
+        out.push_back(',');
+      }
+      out.append(std::to_string(fired[j]));
+    }
+    out.push_back(';');
+  }
+  return out;
+}
+
+std::string FaultInjector::Summary() const {
+  std::string out;
+  for (int i = 0; i < kFaultPointCount; ++i) {
+    if (i > 0) {
+      out.push_back(' ');
+    }
+    const auto& state = points_[static_cast<size_t>(i)];
+    out.append(kPointNames[i]);
+    out.push_back(':');
+    out.append(std::to_string(state.trips.load(std::memory_order_relaxed)));
+    out.push_back('/');
+    out.append(std::to_string(state.evaluations.load(std::memory_order_relaxed)));
+  }
+  return out;
+}
+
+}  // namespace minicrypt

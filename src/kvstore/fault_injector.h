@@ -1,0 +1,135 @@
+// Deterministic fault injection for the kvstore substrate.
+//
+// The cluster (and the layers under it: media, commit log) consults one
+// injector at every fault point. Whether the k-th evaluation of a point fires
+// is a pure function of (seed, point, k), so a schedule replays exactly from
+// its seed regardless of how threads interleave — each thread just claims
+// ordinals from a per-point atomic counter. Single-threaded runs are fully
+// deterministic end to end; that is what the seed-reproducibility test pins.
+//
+// Faults are specified probabilistically (per-point rate) or as a script
+// ("fail the 3rd LWT on table t"). Per-point trip counters are exported
+// through the src/obs metrics registry as fault.<point>.trips.
+
+#ifndef MINICRYPT_SRC_KVSTORE_FAULT_INJECTOR_H_
+#define MINICRYPT_SRC_KVSTORE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minicrypt {
+
+class Counter;
+
+// Every place the substrate asks "does this operation fail here?".
+enum class FaultPoint : int {
+  kMediaReadError = 0,   // replica fails to serve a read (bad sector / timeout)
+  kMediaWriteError,      // replica fails to persist a write
+  kMediaLatency,         // latency spike inside SimulatedMedia
+  kCommitLogAppend,      // fsync-equivalent failure in CommitLog::Append
+  kLwtAmbiguous,         // LWT applies, then the coordinator reports a timeout
+  kReplicaDrop,          // coordinator->replica message lost
+  kReplicaDelay,         // coordinator->replica message delayed
+  kNodeFlap,             // node down/up toggle (drawn in Cluster::ChaosTick)
+  kClockSkew,            // LWW timestamp skew on plain writes
+};
+
+inline constexpr int kFaultPointCount = 9;
+
+std::string_view FaultPointName(FaultPoint point);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  uint64_t seed() const { return seed_; }
+
+  // --- Configuration ----------------------------------------------------------
+
+  // Probability in [0, 1] that an evaluation of `point` fires.
+  void SetRate(FaultPoint point, double rate);
+  double Rate(FaultPoint point) const;
+
+  // Scripted mode: fire on the `nth` (1-based) evaluation of `point` whose
+  // context contains `context_substr` (empty matches every evaluation).
+  // Scripts fire exactly once and compose with rates (either may trip).
+  void Script(FaultPoint point, uint64_t nth, std::string context_substr = "");
+
+  // Zeroes every rate and drops pending scripts so in-flight work completes
+  // cleanly. Counters and the recorded schedule survive for post-run asserts.
+  void Heal();
+
+  // --- The fault points' entry ----------------------------------------------
+
+  // True when this evaluation of `point` fires. `context` is a free-form
+  // label (table name, "node=2", ...) matched by scripts. When `draw` is
+  // non-null it receives a deterministic per-evaluation value for sizing the
+  // fault (latency spike length, skew amount) — stable whether or not the
+  // evaluation fires.
+  bool Fire(FaultPoint point, std::string_view context = {}, uint64_t* draw = nullptr);
+
+  // Magnitude mappers for the draw handed out by Fire.
+  uint64_t LatencySpikeMicros(uint64_t draw) const;
+  uint64_t ClockSkewSteps(uint64_t draw) const;
+
+  void set_latency_spike_base_micros(uint64_t v) { latency_spike_base_micros_ = v; }
+  void set_clock_skew_max_steps(uint64_t v) { clock_skew_max_steps_ = v; }
+
+  // --- Introspection ----------------------------------------------------------
+
+  uint64_t trips(FaultPoint point) const;
+  uint64_t evaluations(FaultPoint point) const;
+
+  // When enabled, Fire records the ordinal of every evaluation that fired.
+  void set_record_schedule(bool on) { record_schedule_.store(on, std::memory_order_relaxed); }
+
+  // "media_read_error:3,17,42;..." — the full fired schedule (requires
+  // recording). Two runs from one seed must produce identical strings.
+  std::string ScheduleString() const;
+
+  // "media_read_error:3/120 ..." trips/evaluations per point, for logs.
+  std::string Summary() const;
+
+ private:
+  struct PointState {
+    std::atomic<uint64_t> evaluations{0};
+    std::atomic<uint64_t> trips{0};
+    std::atomic<double> rate{0.0};
+    Counter* trip_counter = nullptr;  // interned obs counter, never null
+  };
+
+  struct ScriptEntry {
+    FaultPoint point;
+    uint64_t nth;
+    std::string context_substr;
+    uint64_t matched = 0;
+    bool done = false;
+  };
+
+  bool ScriptFires(FaultPoint point, std::string_view context);
+
+  const uint64_t seed_;
+  std::array<PointState, kFaultPointCount> points_;
+
+  uint64_t latency_spike_base_micros_ = 2000;
+  uint64_t clock_skew_max_steps_ = 64;
+
+  std::atomic<bool> record_schedule_{false};
+  std::atomic<bool> have_scripts_{false};
+
+  mutable std::mutex mu_;
+  std::vector<ScriptEntry> scripts_;
+  std::array<std::vector<uint64_t>, kFaultPointCount> fired_ordinals_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_FAULT_INJECTOR_H_

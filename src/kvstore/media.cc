@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/kvstore/fault_injector.h"
 #include "src/obs/metrics.h"
 
 namespace minicrypt {
@@ -44,8 +45,24 @@ MediaProfile MediaProfile::Ssd(double latency_scale) {
   return p;
 }
 
-SimulatedMedia::SimulatedMedia(MediaProfile profile, Clock* clock)
-    : profile_(profile), clock_(clock), queue_(profile.queue_depth) {}
+SimulatedMedia::SimulatedMedia(MediaProfile profile, Clock* clock, FaultInjector* fault_injector)
+    : profile_(profile),
+      clock_(clock),
+      fault_injector_(fault_injector),
+      queue_(profile.queue_depth) {}
+
+uint64_t SimulatedMedia::SpikeMicros() {
+  if (fault_injector_ == nullptr) {
+    return 0;
+  }
+  uint64_t draw = 0;
+  if (!fault_injector_->Fire(FaultPoint::kMediaLatency, {}, &draw)) {
+    return 0;
+  }
+  const uint64_t spike = fault_injector_->LatencySpikeMicros(draw);
+  OBS_COUNTER_ADD("media.latency.injected_micros", spike);
+  return spike;
+}
 
 uint64_t SimulatedMedia::Charge(uint64_t micros) {
   const auto scaled = static_cast<uint64_t>(std::llround(
@@ -67,7 +84,7 @@ void SimulatedMedia::Read(size_t bytes) {
       static_cast<double>(bytes) / profile_.bytes_per_micro_read);
   // The charge IS the simulated device: it must sleep and account busy time
   // whether or not metrics are enabled. Only the histogram record is gated.
-  const uint64_t charged = Charge(profile_.seek_micros + transfer);
+  const uint64_t charged = Charge(profile_.seek_micros + transfer + SpikeMicros());
   OBS_HISTOGRAM_RECORD("media.read", charged);
 }
 
@@ -79,7 +96,7 @@ void SimulatedMedia::Write(size_t bytes, bool sequential) {
   const auto transfer = static_cast<uint64_t>(
       static_cast<double>(bytes) / profile_.bytes_per_micro_write);
   const uint64_t charged =
-      Charge(sequential ? transfer : profile_.seek_micros + transfer);
+      Charge((sequential ? transfer : profile_.seek_micros + transfer) + SpikeMicros());
   OBS_HISTOGRAM_RECORD("media.write", charged);
 }
 

@@ -20,6 +20,8 @@
 
 namespace minicrypt {
 
+class FaultInjector;
+
 struct MediaStats {
   std::atomic<uint64_t> reads{0};
   std::atomic<uint64_t> read_bytes{0};
@@ -78,7 +80,10 @@ struct MediaProfile {
 // of the device's queue slots.
 class SimulatedMedia : public Media {
  public:
-  SimulatedMedia(MediaProfile profile, Clock* clock = SystemClock::Get());
+  // `fault_injector` (optional) adds kMediaLatency spikes on top of the
+  // modelled service time.
+  SimulatedMedia(MediaProfile profile, Clock* clock = SystemClock::Get(),
+                 FaultInjector* fault_injector = nullptr);
 
   void Read(size_t bytes) override;
   void Write(size_t bytes, bool sequential) override;
@@ -89,8 +94,12 @@ class SimulatedMedia : public Media {
   // Returns the scaled micros actually charged (for stage attribution).
   uint64_t Charge(uint64_t micros);
 
+  // Injected latency spike for this access, 0 when none fires.
+  uint64_t SpikeMicros();
+
   MediaProfile profile_;
   Clock* clock_;
+  FaultInjector* fault_injector_;
   Semaphore queue_;
 };
 

@@ -4,12 +4,28 @@
 
 namespace minicrypt {
 
+namespace {
+
+// Cassandra's deterministic timestamp tie-break: tombstones beat live cells,
+// otherwise the lexically greater value wins. Order-insensitive, so replicas
+// that apply the same mutations in different orders (hint replay after a
+// clock-skewed write) still converge to identical cells.
+bool TieBreakWins(const Cell& incoming, const Cell& existing) {
+  if (incoming.tombstone != existing.tombstone) {
+    return incoming.tombstone;
+  }
+  return incoming.value > existing.value;
+}
+
+}  // namespace
+
 void Row::MergeNewer(const Row& other) {
   for (const auto& [name, cell] : other.cells) {
     auto it = cells.find(name);
     if (it == cells.end()) {
       cells.emplace(name, cell);
-    } else if (cell.timestamp > it->second.timestamp) {
+    } else if (cell.timestamp > it->second.timestamp ||
+               (cell.timestamp == it->second.timestamp && TieBreakWins(cell, it->second))) {
       it->second = cell;
     }
   }

@@ -34,8 +34,9 @@ struct Row {
   bool empty() const { return cells.empty(); }
 
   // Merge `other` into this row cell-by-cell, keeping the newer timestamp.
-  // Ties go to `other` only if its value differs and tombstone is set — in
-  // practice timestamps are unique per cluster so ties do not arise.
+  // Timestamp ties resolve deterministically (Cassandra's rule: tombstone
+  // beats live, then greater value wins), so merge order never matters —
+  // required for replica convergence when injected clock skew creates ties.
   void MergeNewer(const Row& other);
 
   // True when every cell is a tombstone (the row reads as deleted).

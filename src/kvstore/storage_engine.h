@@ -28,11 +28,17 @@
 
 namespace minicrypt {
 
+class FaultInjector;
+
 struct StorageEngineOptions {
   size_t memtable_flush_bytes = 4 * 1024 * 1024;
   int compaction_trigger = 8;  // full compaction when this many SSTables exist
   SstableOptions sstable;
   bool enable_commit_log = true;
+  // Shared fault injector (not owned; may be null). The engine hands it to
+  // its commit log; the Cluster copies its own injector in here so every
+  // replica's durability path sees the same schedule.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class StorageEngine {

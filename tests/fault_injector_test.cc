@@ -1,0 +1,174 @@
+// Unit tests for the deterministic fault-injection layer: seed determinism,
+// rate boundaries, scripted faults, Heal semantics, counters, and the
+// magnitude mappers. docs/TESTING.md describes the subsystem.
+
+#include "src/kvstore/fault_injector.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+
+namespace minicrypt {
+namespace {
+
+std::vector<bool> FireSequence(FaultInjector* injector, FaultPoint point, int n) {
+  std::vector<bool> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(injector->Fire(point));
+  }
+  return out;
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultInjector a(0x1234);
+  FaultInjector b(0x1234);
+  a.SetRate(FaultPoint::kMediaReadError, 0.3);
+  b.SetRate(FaultPoint::kMediaReadError, 0.3);
+  EXPECT_EQ(FireSequence(&a, FaultPoint::kMediaReadError, 500),
+            FireSequence(&b, FaultPoint::kMediaReadError, 500));
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultInjector a(0x1234);
+  FaultInjector b(0x1235);
+  a.SetRate(FaultPoint::kMediaReadError, 0.3);
+  b.SetRate(FaultPoint::kMediaReadError, 0.3);
+  EXPECT_NE(FireSequence(&a, FaultPoint::kMediaReadError, 500),
+            FireSequence(&b, FaultPoint::kMediaReadError, 500));
+}
+
+TEST(FaultInjector, PointsHaveIndependentStreams) {
+  FaultInjector a(0x99);
+  FaultInjector b(0x99);
+  a.SetRate(FaultPoint::kMediaReadError, 0.5);
+  b.SetRate(FaultPoint::kMediaWriteError, 0.5);
+  EXPECT_NE(FireSequence(&a, FaultPoint::kMediaReadError, 500),
+            FireSequence(&b, FaultPoint::kMediaWriteError, 500));
+}
+
+TEST(FaultInjector, RateZeroNeverFiresRateOneAlwaysFires) {
+  FaultInjector injector(7);
+  injector.SetRate(FaultPoint::kCommitLogAppend, 0.0);
+  injector.SetRate(FaultPoint::kReplicaDrop, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(injector.Fire(FaultPoint::kCommitLogAppend));
+    EXPECT_TRUE(injector.Fire(FaultPoint::kReplicaDrop));
+  }
+  EXPECT_EQ(injector.trips(FaultPoint::kCommitLogAppend), 0u);
+  EXPECT_EQ(injector.trips(FaultPoint::kReplicaDrop), 200u);
+  EXPECT_EQ(injector.evaluations(FaultPoint::kCommitLogAppend), 200u);
+}
+
+TEST(FaultInjector, RateRoughlyMatchesFrequency) {
+  FaultInjector injector(42);
+  injector.SetRate(FaultPoint::kMediaLatency, 0.25);
+  int fired = 0;
+  for (int i = 0; i < 4000; ++i) {
+    fired += injector.Fire(FaultPoint::kMediaLatency) ? 1 : 0;
+  }
+  EXPECT_GT(fired, 4000 * 0.25 * 0.7);
+  EXPECT_LT(fired, 4000 * 0.25 * 1.3);
+}
+
+TEST(FaultInjector, ScriptFiresOnNthMatchingEvaluationExactlyOnce) {
+  FaultInjector injector(1);
+  injector.Script(FaultPoint::kLwtAmbiguous, 3, "mc_data");
+  // Evaluations on a different context never count toward the script.
+  EXPECT_FALSE(injector.Fire(FaultPoint::kLwtAmbiguous, "other_table"));
+  EXPECT_FALSE(injector.Fire(FaultPoint::kLwtAmbiguous, "mc_data"));  // match #1
+  EXPECT_FALSE(injector.Fire(FaultPoint::kLwtAmbiguous, "mc_data"));  // match #2
+  EXPECT_FALSE(injector.Fire(FaultPoint::kLwtAmbiguous, "other_table"));
+  EXPECT_TRUE(injector.Fire(FaultPoint::kLwtAmbiguous, "mc_data"));   // match #3: fires
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector.Fire(FaultPoint::kLwtAmbiguous, "mc_data"));
+  }
+  EXPECT_EQ(injector.trips(FaultPoint::kLwtAmbiguous), 1u);
+}
+
+TEST(FaultInjector, EmptyScriptContextMatchesEverything) {
+  FaultInjector injector(1);
+  injector.Script(FaultPoint::kNodeFlap, 2);
+  EXPECT_FALSE(injector.Fire(FaultPoint::kNodeFlap, "anything"));
+  EXPECT_TRUE(injector.Fire(FaultPoint::kNodeFlap));
+}
+
+TEST(FaultInjector, HealStopsFaultsButKeepsCounters) {
+  FaultInjector injector(5);
+  injector.SetRate(FaultPoint::kMediaWriteError, 1.0);
+  injector.Script(FaultPoint::kNodeFlap, 1);
+  EXPECT_TRUE(injector.Fire(FaultPoint::kMediaWriteError));
+  injector.Heal();
+  EXPECT_DOUBLE_EQ(injector.Rate(FaultPoint::kMediaWriteError), 0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.Fire(FaultPoint::kMediaWriteError));
+    EXPECT_FALSE(injector.Fire(FaultPoint::kNodeFlap));  // script dropped too
+  }
+  EXPECT_EQ(injector.trips(FaultPoint::kMediaWriteError), 1u);
+  EXPECT_EQ(injector.evaluations(FaultPoint::kMediaWriteError), 101u);
+}
+
+TEST(FaultInjector, ScheduleStringReplaysFromSeed) {
+  auto run = [](uint64_t seed) {
+    FaultInjector injector(seed);
+    injector.set_record_schedule(true);
+    injector.SetRate(FaultPoint::kMediaReadError, 0.2);
+    injector.SetRate(FaultPoint::kReplicaDelay, 0.1);
+    for (int i = 0; i < 300; ++i) {
+      injector.Fire(FaultPoint::kMediaReadError);
+      injector.Fire(FaultPoint::kReplicaDelay);
+    }
+    return injector.ScheduleString();
+  };
+  const std::string first = run(0xABCDEF);
+  EXPECT_EQ(first, run(0xABCDEF));
+  EXPECT_NE(first, run(0xABCDF0));
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(FaultInjector, TripsExportedThroughMetricsRegistry) {
+  Counter* trips =
+      MetricsRegistry::Instance().GetCounter("fault.replica_drop.trips");
+  const uint64_t before = trips->Value();
+  FaultInjector injector(11);
+  injector.SetRate(FaultPoint::kReplicaDrop, 1.0);
+  for (int i = 0; i < 25; ++i) {
+    injector.Fire(FaultPoint::kReplicaDrop);
+  }
+  EXPECT_EQ(trips->Value(), before + 25);
+}
+
+TEST(FaultInjector, DrawIsDeterministicAndMagnitudesStayInRange) {
+  FaultInjector a(0xFEED);
+  FaultInjector b(0xFEED);
+  a.SetRate(FaultPoint::kMediaLatency, 1.0);
+  b.SetRate(FaultPoint::kMediaLatency, 1.0);
+  a.set_latency_spike_base_micros(1000);
+  a.set_clock_skew_max_steps(16);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t da = 0;
+    uint64_t db = 0;
+    ASSERT_TRUE(a.Fire(FaultPoint::kMediaLatency, {}, &da));
+    ASSERT_TRUE(b.Fire(FaultPoint::kMediaLatency, {}, &db));
+    EXPECT_EQ(da, db);
+    const uint64_t spike = a.LatencySpikeMicros(da);
+    EXPECT_GE(spike, 1000u);
+    EXPECT_LE(spike, 4000u);
+    const uint64_t steps = a.ClockSkewSteps(da);
+    EXPECT_GE(steps, 1u);
+    EXPECT_LE(steps, 16u);
+  }
+}
+
+TEST(FaultInjector, NamesAreStable) {
+  EXPECT_EQ(FaultPointName(FaultPoint::kMediaReadError), "media_read_error");
+  EXPECT_EQ(FaultPointName(FaultPoint::kClockSkew), "clock_skew");
+  const FaultInjector injector(3);
+  EXPECT_EQ(injector.seed(), 3u);
+}
+
+}  // namespace
+}  // namespace minicrypt

@@ -106,5 +106,190 @@ TEST(FaultTolerance, MiniCryptClientUnaffectedByOutage) {
   cluster.SetNodeDown(2, false);
 }
 
+ClusterOptions QuorumThreeNodes() {
+  ClusterOptions o = ThreeNodes();
+  o.consistency = Consistency::kQuorum;
+  return o;
+}
+
+TEST(FaultTolerance, HintsSurviveDownUpDownFlaps) {
+  Cluster cluster(ThreeNodes());
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  cluster.SetNodeDown(2, true);
+  ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("a")).ok());
+  EXPECT_EQ(cluster.PendingHints(2), 1u);
+  cluster.SetNodeDown(2, false);  // first recovery replays
+  EXPECT_EQ(cluster.PendingHints(2), 0u);
+  cluster.SetNodeDown(2, true);  // second outage
+  ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(2), ValueRow("b")).ok());
+  ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("a2")).ok());
+  EXPECT_EQ(cluster.PendingHints(2), 2u);
+  cluster.SetNodeDown(2, false);
+  EXPECT_EQ(cluster.PendingHints(2), 0u);
+  // Node 2 alone must now serve both epochs' writes.
+  cluster.SetNodeDown(0, true);
+  cluster.SetNodeDown(1, true);
+  auto r1 = cluster.Read("t", "p", EncodeKey64(1));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->cells.at("v").value, "a2");
+  auto r2 = cluster.Read("t", "p", EncodeKey64(2));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->cells.at("v").value, "b");
+  cluster.SetNodeDown(0, false);
+  cluster.SetNodeDown(1, false);
+}
+
+TEST(FaultTolerance, HintDrainPreservesLwwOrder) {
+  Cluster cluster(ThreeNodes());
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  cluster.SetNodeDown(2, true);
+  // Three stacked hints for the same row; replay must land on the newest.
+  ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("v1")).ok());
+  ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("v2")).ok());
+  ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("v3")).ok());
+  EXPECT_EQ(cluster.PendingHints(2), 3u);
+  cluster.SetNodeDown(2, false);
+  cluster.SetNodeDown(0, true);
+  cluster.SetNodeDown(1, true);
+  auto row = cluster.Read("t", "p", EncodeKey64(1));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->cells.at("v").value, "v3");
+  cluster.SetNodeDown(0, false);
+  cluster.SetNodeDown(1, false);
+  // A post-recovery write must not be shadowed by anything replayed earlier.
+  ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("v4")).ok());
+  cluster.SetNodeDown(0, true);
+  cluster.SetNodeDown(1, true);
+  row = cluster.Read("t", "p", EncodeKey64(1));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->cells.at("v").value, "v4");
+  cluster.SetNodeDown(0, false);
+  cluster.SetNodeDown(1, false);
+}
+
+TEST(FaultTolerance, QuorumAckedWriteSurvivesPermanentReplicaLoss) {
+  Cluster cluster(QuorumThreeNodes());
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  // Write while node 2 is down: acked by the {0, 1} quorum, hinted to 2.
+  cluster.SetNodeDown(2, true);
+  ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("durable")).ok());
+  cluster.SetNodeDown(2, false);  // hint replay catches node 2 up
+  // Now lose one of the original ackers forever. The surviving quorum {1, 2}
+  // must still return the write.
+  cluster.SetNodeDown(0, true);
+  auto row = cluster.Read("t", "p", EncodeKey64(1));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->cells.at("v").value, "durable");
+}
+
+TEST(FaultTolerance, QuorumOpsUnavailableWithMajorityDown) {
+  Cluster cluster(QuorumThreeNodes());
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+  cluster.SetNodeDown(1, true);
+  cluster.SetNodeDown(2, true);
+  // The classic ambiguous write: one replica persisted it, the coordinator
+  // reports Unavailable because the quorum did not.
+  const Status s = cluster.Write("t", "p", EncodeKey64(1), ValueRow("maybe"));
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_TRUE(cluster.Read("t", "p", EncodeKey64(1)).status().IsUnavailable());
+  const Status lwt =
+      cluster.WriteIf("t", "p", EncodeKey64(2), ValueRow("lwt"), LwtCondition::NotExists());
+  EXPECT_TRUE(lwt.IsUnavailable()) << lwt.ToString();
+  // Recovery drains the hints; the under-acked write converges everywhere.
+  cluster.SetNodeDown(1, false);
+  cluster.SetNodeDown(2, false);
+  EXPECT_EQ(cluster.PendingHints(1), 0u);
+  EXPECT_EQ(cluster.PendingHints(2), 0u);
+  auto row = cluster.Read("t", "p", EncodeKey64(1));
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->cells.at("v").value, "maybe");
+}
+
+// Regression for the ambiguous-LWT hardening (fixed injector seed): when an
+// LWT applies but the coordinator reports a timeout, the client must re-read
+// and verify instead of erroring out or blind-retrying. Reverting the
+// re-read-and-verify path in GenericClient::TryMutate fails this test.
+TEST(FaultTolerance, AmbiguousLwtPutAndDeleteAreIdempotent) {
+  FaultInjector injector(0xA11CE);
+  ClusterOptions copts = ThreeNodes();
+  copts.fault_injector = &injector;
+  Cluster cluster(copts);
+  const SymmetricKey key = SymmetricKey::FromSeed("tenant");
+  MiniCryptOptions options;
+  options.pack_rows = 8;
+  options.hash_partitions = 1;
+  GenericClient client(&cluster, options, key);
+  ASSERT_TRUE(client.CreateTable().ok());
+
+  // Ambiguous INSERT IF NOT EXISTS of the very first pack.
+  injector.Script(FaultPoint::kLwtAmbiguous, 1);
+  ASSERT_TRUE(client.Put(1, "first").ok());
+  EXPECT_EQ(injector.trips(FaultPoint::kLwtAmbiguous), 1u);
+
+  // Ambiguous conditional update of an existing pack.
+  injector.Script(FaultPoint::kLwtAmbiguous, 1);
+  ASSERT_TRUE(client.Put(1, "second").ok());
+  EXPECT_EQ(injector.trips(FaultPoint::kLwtAmbiguous), 2u);
+  auto v = client.Get(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, "second");
+
+  // No duplicate or resurrected rows anywhere in the keyspace.
+  auto rows = client.GetRange(0, 1000);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0].first, 1u);
+  EXPECT_EQ((*rows)[0].second, "second");
+
+  // Ambiguous delete: the key must stay deleted, not resurrect on retry.
+  injector.Script(FaultPoint::kLwtAmbiguous, 1);
+  ASSERT_TRUE(client.Delete(1).ok());
+  EXPECT_EQ(injector.trips(FaultPoint::kLwtAmbiguous), 3u);
+  EXPECT_TRUE(client.Get(1).status().IsNotFound());
+}
+
+// A replica that missed a write (the coordinator dropped the message and
+// queued a hint) must not serve that staleness into a quorum read: the
+// coordinator merges past it and synchronously writes the merged row back
+// (blocking read repair). Without this, a client verifying an ambiguous LWT
+// could ack a write visible on a single replica — which a later writer
+// reading a disjoint quorum would silently erase. Reverting
+// Cluster::RepairContacted fails the per-replica assertions below.
+TEST(FaultTolerance, QuorumReadRepairsReplicaThatMissedAWrite) {
+  FaultInjector injector(0xBEEF);
+  ClusterOptions copts = QuorumThreeNodes();
+  copts.fault_injector = &injector;
+  Cluster cluster(copts);
+  ASSERT_TRUE(cluster.CreateTable("t").ok());
+
+  // Drop the coordinator->replica message for the first replica of "p": the
+  // node stays up but never sees the row; a hint is queued.
+  injector.Script(FaultPoint::kReplicaDrop, 1, "t");
+  Row row;
+  row.cells["v"] = Cell{"val", 0, false};
+  ASSERT_TRUE(cluster.WriteIf("t", "p", EncodeKey64(7), row, LwtCondition::NotExists()).ok());
+  ASSERT_EQ(injector.trips(FaultPoint::kReplicaDrop), 1u);
+
+  // One quorum floor read contacts the stale replica, merges past it, and
+  // repairs it before answering.
+  auto fl = cluster.ReadFloor("t", "p", EncodeKey64(9));
+  ASSERT_TRUE(fl.ok()) << fl.status().ToString();
+  EXPECT_EQ(fl->first, EncodeKey64(7));
+  EXPECT_EQ(fl->second.cells.at("v").value, "val");
+
+  for (int node : cluster.ReplicaNodesFor("p")) {
+    auto rows = cluster.DebugPartitionRows(node, "t", "p");
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    bool has = false;
+    for (const auto& [id, r] : *rows) {
+      auto v = r.cells.find("v");
+      if (id == EncodeKey64(7) && v != r.cells.end() && v->second.value == "val") {
+        has = true;
+      }
+    }
+    EXPECT_TRUE(has) << "node " << node << " still missing the row after read repair";
+  }
+}
+
 }  // namespace
 }  // namespace minicrypt

@@ -280,6 +280,42 @@ TEST_F(GenericClientTest, ClientCrashMidSplitIsRecoverable) {
   }
 }
 
+// While a crashed split leaves the right half duplicated in the original
+// pack, range queries must route every key to its authoritative pack (the
+// one a floor query would pick) — otherwise they surface stale values and
+// resurrect deleted keys from the shadowed copy.
+TEST_F(GenericClientTest, RangeQueryIgnoresStaleShadowsAfterCrashedSplit) {
+  options_.pack_rows = 4;
+  options_.hash_partitions = 1;
+  GenericClient writer(&cluster_, options_, key_);
+  MiniCryptOptions big = options_;
+  big.pack_rows = 16;
+  GenericClient loader(&cluster_, big, key_);
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  for (uint64_t k = 0; k < 8; ++k) {
+    rows.emplace_back(k, "v" + std::to_string(k));
+  }
+  ASSERT_TRUE(loader.BulkLoad(rows).ok());
+
+  writer.set_split_fail_point(GenericClient::SplitFailPoint::kAfterRightInsert);
+  EXPECT_TRUE(writer.Put(3, "during-crash").IsAborted());
+  writer.set_split_fail_point(GenericClient::SplitFailPoint::kNone);
+
+  // Mutate only right-half keys so the stale left pack stays untouched:
+  // update one key and delete another. Both route to the new right pack,
+  // leaving outdated copies shadowed in the original.
+  ASSERT_TRUE(writer.Put(6, "fresh").ok());
+  ASSERT_TRUE(writer.Delete(7).ok());
+
+  auto range = writer.GetRange(0, 7);
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  ASSERT_EQ(range->size(), 7u) << "range leaked shadowed duplicates";
+  for (uint64_t k = 0; k < 7; ++k) {
+    EXPECT_EQ((*range)[k].first, k);
+    EXPECT_EQ((*range)[k].second, k == 6 ? "fresh" : "v" + std::to_string(k));
+  }
+}
+
 TEST_F(GenericClientTest, ConcurrentSplittersProduceOneConsistentOutcome) {
   options_.pack_rows = 4;
   options_.hash_partitions = 1;

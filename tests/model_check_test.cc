@@ -3,14 +3,29 @@
 // exactly (packs, splits, partitions and codecs are all invisible at the API
 // level); multi-threaded sequences must converge to a state where every key
 // has a value one of the writers actually wrote.
+//
+// The ModelCheckChaos suite runs the same workload under deterministic fault
+// injection (docs/TESTING.md): media errors, latency spikes, commit-log
+// failures, ambiguous LWTs, replica drops/delays, node flaps, and clock skew,
+// then heals, quiesces, and checks the durability/integrity/convergence
+// invariants. Override MC_CHAOS_SEED / MC_CHAOS_ITERS to replay or extend.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <optional>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "src/common/clock.h"
+#include "src/common/coding.h"
 #include "src/common/random.h"
 #include "src/core/generic_client.h"
+#include "src/crypto/crypto.h"
+#include "src/kvstore/fault_injector.h"
 
 namespace minicrypt {
 namespace {
@@ -166,6 +181,393 @@ TEST(ModelCheckConcurrent, WritersConvergeToWrittenValues) {
       EXPECT_TRUE(some_final_delete) << "key " << k << " vanished without a final delete";
     }
   }
+}
+
+// --- Chaos harness -----------------------------------------------------------
+
+uint64_t ChaosSeed() {
+  if (const char* env = std::getenv("MC_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0x5EEDC0DEULL;
+}
+
+int ChaosIters() {
+  if (const char* env = std::getenv("MC_CHAOS_ITERS")) {
+    return std::atoi(env);
+  }
+  return 220;
+}
+
+// Every fault point at a nonzero rate. Rates are tuned so a few hundred ops
+// see each fault several times while the bounded retry budget still wins.
+void ArmAllFaultPoints(FaultInjector* injector) {
+  injector->SetRate(FaultPoint::kMediaReadError, 0.02);
+  injector->SetRate(FaultPoint::kMediaWriteError, 0.01);
+  injector->SetRate(FaultPoint::kMediaLatency, 0.05);
+  injector->SetRate(FaultPoint::kCommitLogAppend, 0.008);
+  injector->SetRate(FaultPoint::kLwtAmbiguous, 0.01);
+  injector->SetRate(FaultPoint::kReplicaDrop, 0.02);
+  injector->SetRate(FaultPoint::kReplicaDelay, 0.05);
+  injector->SetRate(FaultPoint::kNodeFlap, 0.02);
+  injector->SetRate(FaultPoint::kClockSkew, 0.2);
+  injector->set_latency_spike_base_micros(200);
+  injector->set_clock_skew_max_steps(32);
+}
+
+ClusterOptions ChaosClusterOptions(SimulatedClock* clock, FaultInjector* injector) {
+  ClusterOptions copts = ClusterOptions::ForTest();
+  copts.node_count = 3;
+  copts.replication_factor = 3;
+  copts.consistency = Consistency::kQuorum;
+  copts.clock = clock;
+  copts.fault_injector = injector;
+  // Real (but light) media so kMediaLatency has a surface; all charges are
+  // virtual-clock advances.
+  MediaProfile media;
+  media.seek_micros = 20;
+  media.bytes_per_micro_read = 500.0;
+  media.bytes_per_micro_write = 500.0;
+  media.queue_depth = 8;
+  copts.media = media;
+  // Small memtables + eager compaction so flush/compaction/media paths run.
+  copts.engine.memtable_flush_bytes = 32 * 1024;
+  copts.engine.compaction_trigger = 4;
+  return copts;
+}
+
+MiniCryptOptions ChaosClientOptions(uint64_t jitter_seed) {
+  MiniCryptOptions options;
+  options.pack_rows = 4;  // frequent splits
+  options.hash_partitions = 2;
+  options.max_put_retries = 96;
+  options.retry_backoff_base_micros = 50;
+  options.retry_backoff_max_micros = 4'000;
+  options.retry_jitter_seed = jitter_seed;
+  return options;
+}
+
+Row SideValueRow(std::string value) {
+  Row row;
+  row.cells["v"] = Cell{std::move(value), 0, false};
+  return row;
+}
+
+// One client op as the reference model sees it.
+struct ChaosOp {
+  bool is_delete = false;
+  std::string value;
+};
+
+// Per-(thread, key) history: the last acknowledged op plus every unacked
+// (ambiguous) op issued after it. Any of these may be the key's final state;
+// anything older cannot be (it is followed by an op that definitely applied).
+struct KeyTrack {
+  std::optional<ChaosOp> last_acked;
+  std::vector<ChaosOp> unacked;
+};
+using ThreadTrack = std::map<uint64_t, KeyTrack>;
+
+void RecordOp(ThreadTrack* track, uint64_t key, bool is_delete, const std::string& value,
+              const Status& s) {
+  KeyTrack& kt = (*track)[key];
+  if (s.ok()) {
+    kt.last_acked = ChaosOp{is_delete, value};
+    kt.unacked.clear();
+  } else if (s.IsUnavailable() || s.IsAborted()) {
+    kt.unacked.push_back(ChaosOp{is_delete, value});
+  } else {
+    ADD_FAILURE() << "unexpected status for key " << key << ": " << s.ToString();
+  }
+}
+
+// Invariant (b): on every replica of every data partition, each stored pack
+// must round-trip (hash matches, decryption + decompression succeed), hold
+// no key below its packID, and be internally sorted. Keys at or beyond the
+// *next* packID are permitted: an interrupted split (paper Figure 6, between
+// steps 3 and 5) or a hint-replayed under-replicated pack leaves stale
+// duplicates of a later pack's range behind. Those copies are harmless —
+// floor routing (and the range query's authoritative-pack dedup) never
+// surfaces them — and always stale-or-equal, since any write newer than the
+// covering pack would have been routed to that pack. Because the audit's
+// anti-entropy sweep re-touches every pack, no pack may remain oversized,
+// which bounds how long such duplicates can survive under real traffic.
+void CheckPackIntegrity(Cluster* cluster, const PackCrypter& crypter,
+                        const MiniCryptOptions& options) {
+  for (int p = 0; p < options.hash_partitions; ++p) {
+    const std::string partition = PartitionLabel(p);
+    for (int node : cluster->ReplicaNodesFor(partition)) {
+      auto rows = cluster->DebugPartitionRows(node, options.table, partition);
+      ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+      for (size_t i = 0; i < rows->size(); ++i) {
+        const auto& [id, row] = (*rows)[i];
+        auto v = row.cells.find("v");
+        auto h = row.cells.find("h");
+        ASSERT_TRUE(v != row.cells.end() && h != row.cells.end())
+            << "pack row missing cells (node " << node << ", partition " << partition << ")";
+        EXPECT_EQ(Sha256(v->second.value), h->second.value)
+            << "stored hash does not match envelope (node " << node << ")";
+        auto pack = crypter.Open(v->second.value);
+        ASSERT_TRUE(pack.ok()) << "pack fails decryption on node " << node << ": "
+                               << pack.status().ToString();
+        const auto& entries = pack->entries();
+        EXPECT_LE(entries.size(), options.EffectiveMaxKeys())
+            << "pack " << i << " still oversized after the anti-entropy sweep (node " << node
+            << ", partition " << partition << ")";
+        for (size_t j = 0; j < entries.size(); ++j) {
+          EXPECT_GE(entries[j].key, id) << "key below its packID on node " << node;
+          if (j > 0) {
+            EXPECT_LT(entries[j - 1].key, entries[j].key) << "pack not sorted on node " << node;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Invariant (d): after heal + hint replay, all replicas of a partition hold
+// byte-identical rows (values, timestamps, tombstone flags).
+std::string SerializeReplica(Cluster* cluster, int node, std::string_view table,
+                             std::string_view partition) {
+  auto rows = cluster->DebugPartitionRows(node, table, partition);
+  if (!rows.ok()) {
+    return "error: " + rows.status().ToString();
+  }
+  std::string out;
+  for (const auto& [id, row] : *rows) {
+    out += id;
+    out += '\x01';
+    for (const auto& [name, cell] : row.cells) {
+      out += name;
+      out += '\x02';
+      out += cell.value;
+      out += '\x02';
+      out += std::to_string(cell.timestamp);
+      out += '\x02';
+      out += cell.tombstone ? '1' : '0';
+      out += '\x03';
+    }
+    out += '\x04';
+  }
+  return out;
+}
+
+void CheckReplicaConvergence(Cluster* cluster, std::string_view table,
+                             std::string_view partition) {
+  const std::vector<int> nodes = cluster->ReplicaNodesFor(partition);
+  ASSERT_FALSE(nodes.empty());
+  const std::string reference = SerializeReplica(cluster, nodes[0], table, partition);
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_EQ(reference, SerializeReplica(cluster, nodes[i], table, partition))
+        << "replicas " << nodes[0] << " and " << nodes[i] << " diverged on " << table << "/"
+        << partition;
+  }
+}
+
+TEST(ModelCheckChaos, InvariantsHoldUnderFire) {
+  const uint64_t seed = ChaosSeed();
+  const int iters = ChaosIters();
+  std::fprintf(stderr, "[chaos] seed=0x%llx iters=%d (set MC_CHAOS_SEED to replay)\n",
+               static_cast<unsigned long long>(seed), iters);
+
+  SimulatedClock clock;
+  FaultInjector injector(seed);
+  ArmAllFaultPoints(&injector);
+
+  Cluster cluster(ChaosClusterOptions(&clock, &injector));
+  const SymmetricKey key = SymmetricKey::FromSeed("chaos");
+  const MiniCryptOptions base_options = ChaosClientOptions(seed + 1);
+
+  GenericClient setup(&cluster, base_options, key);
+  ASSERT_TRUE(setup.CreateTable().ok());
+  ASSERT_TRUE(cluster.CreateTable("side").ok());
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeyspace = 96;
+  std::vector<ThreadTrack> tracks(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MiniCryptOptions options = ChaosClientOptions(seed ^ (0x9E3779B97F4A7C15ULL * (t + 1)));
+      GenericClient worker(&cluster, options, key);
+      ThreadTrack& track = tracks[static_cast<size_t>(t)];
+      Rng rng(seed + 100 + static_cast<uint64_t>(t));
+      for (int op = 0; op < iters; ++op) {
+        if (op % 4 == 0) {
+          cluster.ChaosTick();
+        }
+        const uint64_t k = rng.Uniform(kKeyspace);
+        const int kind = static_cast<int>(rng.Uniform(100));
+        if (kind < 50) {  // put
+          const std::string value =
+              "t" + std::to_string(t) + "#" + std::to_string(op);
+          RecordOp(&track, k, /*is_delete=*/false, value, worker.Put(k, value));
+        } else if (kind < 65) {  // delete
+          RecordOp(&track, k, /*is_delete=*/true, "", worker.Delete(k));
+        } else if (kind < 85) {  // get: status admissibility only (racy value)
+          const Status s = worker.Get(k).status();
+          EXPECT_TRUE(s.ok() || s.IsNotFound() || s.IsUnavailable() || s.IsAborted())
+              << s.ToString();
+        } else if (kind < 92) {  // narrow range
+          const Status s = worker.GetRange(k, k + 8).status();
+          EXPECT_TRUE(s.ok() || s.IsUnavailable() || s.IsAborted()) << s.ToString();
+        } else {  // plain (non-LWT) write on a side table: exercises kClockSkew
+          const std::string ck = EncodeKey64(1000 * static_cast<uint64_t>(t) + rng.Uniform(8));
+          const Status s = cluster.Write("side", "sp", ck, SideValueRow("s" + std::to_string(op)));
+          EXPECT_TRUE(s.ok() || s.IsUnavailable()) << s.ToString();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  // Heal, quiesce, and audit.
+  injector.Heal();
+  cluster.HealAllNodes();
+  cluster.ReplayAllHints();
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.PendingHints(n), 0u) << "node " << n << " still has hints after heal";
+  }
+  SCOPED_TRACE("chaos seed 0x" + std::to_string(seed) + " — rerun with MC_CHAOS_SEED");
+
+  // Invariants (a) + (c): every acked write durable; final value admissible.
+  GenericClient reader(&cluster, base_options, key);
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    ASSERT_TRUE(got.ok() || got.status().IsNotFound())
+        << "key " << k << ": " << got.status().ToString();
+    bool acked_put_candidate = false;
+    bool delete_candidate = false;
+    bool value_matches_candidate = false;
+    bool touched = false;
+    for (const ThreadTrack& track : tracks) {
+      auto it = track.find(k);
+      if (it == track.end()) {
+        continue;
+      }
+      touched = true;
+      const KeyTrack& kt = it->second;
+      std::vector<const ChaosOp*> candidates;
+      if (kt.last_acked.has_value()) {
+        candidates.push_back(&*kt.last_acked);
+      }
+      for (const ChaosOp& op : kt.unacked) {
+        candidates.push_back(&op);
+      }
+      if (kt.last_acked.has_value() && !kt.last_acked->is_delete) {
+        acked_put_candidate = true;
+      }
+      for (const ChaosOp* op : candidates) {
+        if (op->is_delete) {
+          delete_candidate = true;
+        } else if (got.ok() && *got == op->value) {
+          value_matches_candidate = true;
+        }
+      }
+    }
+    if (!touched) {
+      EXPECT_TRUE(got.status().IsNotFound()) << "untouched key " << k << " has a value";
+    } else if (got.ok()) {
+      EXPECT_TRUE(value_matches_candidate)
+          << "key " << k << " holds '" << *got << "', which no thread could have written last";
+    } else {
+      // NotFound: fine unless an acked put is necessarily the final op.
+      EXPECT_TRUE(delete_candidate || !acked_put_candidate)
+          << "key " << k << " lost an acknowledged put";
+    }
+  }
+
+  // Anti-entropy pass: one benign mutate per key re-touches every pack,
+  // completing any split abandoned when a thread exhausted its retry budget
+  // mid-outage (such a pack would otherwise keep a stale, shadowed copy of
+  // its right half — legal for reads, but flagged by the strict integrity
+  // check below). Values are rewritten verbatim, so the semantic state the
+  // audit above checked is unchanged.
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    if (got.ok()) {
+      ASSERT_TRUE(reader.Put(k, *got).ok());
+    } else {
+      ASSERT_TRUE(got.status().IsNotFound()) << got.status().ToString();
+      const Status s = reader.Delete(k);
+      ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+    }
+  }
+
+  // Invariant (b): pack integrity on every replica.
+  const PackCrypter crypter(base_options, key);
+  CheckPackIntegrity(&cluster, crypter, base_options);
+
+  // Invariant (d): replicas converge after hint replay.
+  for (int p = 0; p < base_options.hash_partitions; ++p) {
+    CheckReplicaConvergence(&cluster, base_options.table, PartitionLabel(p));
+  }
+  CheckReplicaConvergence(&cluster, "side", "sp");
+
+  // The run must actually have exercised the fault points.
+  for (const FaultPoint point :
+       {FaultPoint::kMediaReadError, FaultPoint::kMediaWriteError, FaultPoint::kMediaLatency,
+        FaultPoint::kCommitLogAppend, FaultPoint::kLwtAmbiguous, FaultPoint::kReplicaDrop,
+        FaultPoint::kReplicaDelay, FaultPoint::kNodeFlap, FaultPoint::kClockSkew}) {
+    EXPECT_GT(injector.trips(point), 0u)
+        << FaultPointName(point) << " never fired; " << injector.Summary();
+  }
+}
+
+// Satellite: same seed => identical fault schedule and identical final state.
+// A failing chaos run can therefore be replayed exactly via MC_CHAOS_SEED.
+std::pair<std::string, std::string> RunSingleThreadedChaos(uint64_t seed, int ops) {
+  SimulatedClock clock;
+  FaultInjector injector(seed);
+  injector.set_record_schedule(true);
+  ArmAllFaultPoints(&injector);
+
+  Cluster cluster(ChaosClusterOptions(&clock, &injector));
+  const SymmetricKey key = SymmetricKey::FromSeed("chaos-repro");
+  const MiniCryptOptions options = ChaosClientOptions(seed + 7);
+  GenericClient client(&cluster, options, key);
+  EXPECT_TRUE(client.CreateTable().ok());
+
+  constexpr uint64_t kKeyspace = 48;
+  Rng rng(seed);
+  for (int op = 0; op < ops; ++op) {
+    if (op % 3 == 0) {
+      cluster.ChaosTick();
+    }
+    const uint64_t k = rng.Uniform(kKeyspace);
+    const int kind = static_cast<int>(rng.Uniform(10));
+    if (kind < 6) {
+      (void)client.Put(k, "v" + std::to_string(op));
+    } else if (kind < 8) {
+      (void)client.Delete(k);
+    } else {
+      (void)client.Get(k);
+    }
+  }
+  injector.Heal();
+  cluster.HealAllNodes();
+  cluster.ReplayAllHints();
+
+  std::string state;
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = client.Get(k);
+    state += got.ok() ? *got : "~";
+    state += ';';
+  }
+  return {injector.ScheduleString(), state};
+}
+
+TEST(ModelCheckChaos, SameSeedReplaysScheduleAndState) {
+  const auto first = RunSingleThreadedChaos(0xD5EED, 160);
+  const auto second = RunSingleThreadedChaos(0xD5EED, 160);
+  EXPECT_EQ(first.first, second.first) << "fault schedule not reproducible";
+  EXPECT_EQ(first.second, second.second) << "final state not reproducible";
+  EXPECT_FALSE(first.first.empty());
+
+  const auto other = RunSingleThreadedChaos(0xD5EEE, 160);
+  EXPECT_NE(first.first, other.first) << "different seeds produced identical schedules";
 }
 
 }  // namespace
