@@ -33,13 +33,17 @@ uint64_t JitterSeedFor(const MiniCryptOptions& options, std::string_view client_
 }  // namespace
 
 AppendClient::AppendClient(Cluster* cluster, const MiniCryptOptions& options,
-                           const SymmetricKey& key, std::string client_id, Clock* clock)
+                           const SymmetricKey& key, std::string client_id, Clock* clock,
+                           std::shared_ptr<PackCache> cache)
     : cluster_(cluster),
       options_(options),
       meta_table_(EmService::MetaTable(options)),
       crypter_(options, key),
       client_id_(std::move(client_id)),
       clock_(clock),
+      cache_(cache != nullptr ? std::move(cache)
+                              : PackCache::FromOptions(options.cache_capacity_bytes,
+                                                       options.cache_ttl_micros, clock)),
       backoff_(options.retry_backoff_base_micros, options.retry_backoff_max_micros,
                JitterSeedFor(options, client_id_)) {}
 
@@ -132,17 +136,75 @@ Result<std::string> AppendClient::ProbeEpoch(uint64_t epoch, std::string_view en
   return crypter_.OpenValue(it->second.value);
 }
 
-Result<std::string> AppendClient::ProbeMergedPacks(std::string_view encoded_key) {
-  OBS_SPAN("pack.fetch");
-  MC_ASSIGN_OR_RETURN(auto found, cluster_->ReadFloor(options_.table,
-                                                      EpochPartition(kMergedEpoch),
-                                                      encoded_key));
-  auto v = found.second.cells.find(kValueColumn);
-  if (v == found.second.cells.end()) {
+Result<std::shared_ptr<const Pack>> AppendClient::OpenMergedPack(std::string_view pack_id,
+                                                                 const Row& row) {
+  auto v = row.cells.find(kValueColumn);
+  if (v == row.cells.end()) {
     return Status::Corruption("pack row missing value cell");
   }
+  auto h = row.cells.find(kHashColumn);
+  const bool use_cache = cache_ != nullptr && h != row.cells.end();
+  const std::string partition = EpochPartition(kMergedEpoch);
+  if (use_cache) {
+    if (auto pack = cache_->ValidateAndGet(options_.table, partition, pack_id, h->second.value)) {
+      return pack;  // identical bytes by hash: skip the decrypt + decompress
+    }
+  }
   MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(v->second.value));
-  auto value = pack.Find(encoded_key);
+  auto shared = std::make_shared<const Pack>(std::move(pack));
+  if (use_cache) {
+    cache_->Put(options_.table, partition, pack_id, shared, h->second.value);
+  }
+  return shared;
+}
+
+Result<std::string> AppendClient::ProbeMergedPacks(std::string_view encoded_key) {
+  const std::string partition = EpochPartition(kMergedEpoch);
+  if (cache_ != nullptr) {
+    // TTL fast path: only positive hits may be served without a probe — a
+    // TTL-fresh pack can legitimately lack a key merged after it was cached.
+    if (auto fresh = cache_->Floor(options_.table, partition, encoded_key, /*only_fresh=*/true)) {
+      if (auto value = fresh->second.pack->Find(encoded_key)) {
+        cache_->RecordTtlServe();
+        return std::string(*value);
+      }
+    }
+    if (auto candidate = cache_->Floor(options_.table, partition, encoded_key,
+                                       /*only_fresh=*/false)) {
+      auto probe = cluster_->ReadFloorCell(options_.table, partition, encoded_key, kHashColumn);
+      if (probe.ok()) {
+        auto pack = cache_->ValidateAndGet(options_.table, partition, probe->first, probe->second);
+        if (pack == nullptr) {
+          OBS_SPAN("pack.fetch");
+          auto row = cluster_->Read(options_.table, partition, probe->first);
+          if (row.ok()) {
+            MC_ASSIGN_OR_RETURN(pack, OpenMergedPack(probe->first, *row));
+          } else if (!row.status().IsNotFound()) {
+            return row.status();
+          }  // NotFound: a replica raced the probe; fall back to the full floor
+        }
+        if (pack != nullptr) {
+          auto value = pack->Find(encoded_key);
+          if (!value.has_value()) {
+            return Status::NotFound();
+          }
+          return std::string(*value);
+        }
+      } else if (probe.status().IsNotFound()) {
+        // No merged pack at or below the key (the candidate outlived a table
+        // drop, or the floor row lacks the hash cell): the probe's NotFound
+        // is the answer.
+        cache_->Invalidate(options_.table, partition, candidate->first);
+        return Status::NotFound();
+      } else {
+        return probe.status();
+      }
+    }
+  }
+  OBS_SPAN("pack.fetch");
+  MC_ASSIGN_OR_RETURN(auto found, cluster_->ReadFloor(options_.table, partition, encoded_key));
+  MC_ASSIGN_OR_RETURN(auto pack, OpenMergedPack(found.first, found.second));
+  auto value = pack->Find(encoded_key);
   if (!value.has_value()) {
     return Status::NotFound();
   }
@@ -223,13 +285,13 @@ Result<std::vector<std::pair<uint64_t, std::string>>> AppendClient::GetRange(uin
                                                           EpochPartition(kMergedEpoch), klo,
                                                           khi));
   bool need_floor = pack_rows.empty() || pack_rows.front().first != klo;
-  std::vector<Pack> packs;
+  std::vector<std::shared_ptr<const Pack>> packs;
   for (const auto& [id, row] : pack_rows) {
     auto v = row.cells.find(kValueColumn);
     if (v == row.cells.end()) {
       continue;
     }
-    MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(v->second.value));
+    MC_ASSIGN_OR_RETURN(auto pack, OpenMergedPack(id, row));
     packs.push_back(std::move(pack));
   }
   if (need_floor) {
@@ -237,15 +299,15 @@ Result<std::vector<std::pair<uint64_t, std::string>>> AppendClient::GetRange(uin
     if (floor.ok()) {
       auto v = floor->second.cells.find(kValueColumn);
       if (v != floor->second.cells.end()) {
-        MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(v->second.value));
+        MC_ASSIGN_OR_RETURN(auto pack, OpenMergedPack(floor->first, floor->second));
         packs.push_back(std::move(pack));
       }
     } else if (!floor.status().IsNotFound()) {
       return floor.status();
     }
   }
-  for (const Pack& pack : packs) {
-    for (const auto& entry : pack.entries()) {
+  for (const auto& pack : packs) {
+    for (const auto& entry : pack->entries()) {
       if (entry.key >= klo && entry.key <= khi) {
         MC_ASSIGN_OR_RETURN(uint64_t k, DecodeKey64(entry.key));
         merged.emplace(k, entry.value);
@@ -379,6 +441,13 @@ Status AppendClient::MergeEpoch(uint64_t epoch) {
                           std::string(*pack.MinKey()), row, LwtCondition::NotExists());
     if (!s.ok() && !s.IsConditionFailed()) {
       return s;
+    }
+    if (s.ok() && cache_ != nullptr) {
+      // Our insert was acked, so the stored envelope hash is ours. A lost
+      // race (ConditionFailed) wrote identical rows under a different
+      // randomized seal — never cache our hash for those.
+      cache_->Put(options_.table, EpochPartition(kMergedEpoch), std::string(*pack.MinKey()),
+                  std::make_shared<const Pack>(pack), sealed.hash);
     }
     OBS_COUNTER_INC("append.merge.packs_written");
     OBS_COUNTER_ADD("append.merge.keys", pack.size());

@@ -21,6 +21,7 @@
 #include "src/core/append/em_service.h"
 #include "src/core/append/epoch.h"
 #include "src/core/options.h"
+#include "src/core/pack_cache.h"
 #include "src/core/pack_crypter.h"
 #include "src/crypto/crypto.h"
 #include "src/kvstore/cluster.h"
@@ -40,8 +41,12 @@ struct AppendClientStats {
 
 class AppendClient {
  public:
+  // When `cache` is null and options.cache_capacity_bytes > 0, the client
+  // builds a private decrypted-pack cache for its merged-pack (epoch 0)
+  // reads; pass one explicitly to share it across clients.
   AppendClient(Cluster* cluster, const MiniCryptOptions& options, const SymmetricKey& key,
-               std::string client_id, Clock* clock = SystemClock::Get());
+               std::string client_id, Clock* clock = SystemClock::Get(),
+               std::shared_ptr<PackCache> cache = nullptr);
   ~AppendClient();
 
   // Registers the client (heartbeat row) and synchronizes c_epoch with
@@ -76,6 +81,7 @@ class AppendClient {
   const AppendClientStats& stats() const { return stats_; }
   uint64_t local_epoch() const { return c_epoch_.load(std::memory_order_acquire); }
   const std::string& id() const { return client_id_; }
+  const std::shared_ptr<PackCache>& pack_cache() const { return cache_; }
 
  private:
   // Merges one epoch this client is responsible for (paper §6.1.4).
@@ -87,8 +93,13 @@ class AppendClient {
   // Direct single-row probe of (epoch, key).
   Result<std::string> ProbeEpoch(uint64_t epoch, std::string_view encoded_key);
 
-  // Pack lookup in epoch 0 (GENERIC-style floor query).
+  // Pack lookup in epoch 0 (GENERIC-style floor query). With the cache on,
+  // revalidates a cached pack by a version-only floor probe before serving.
   Result<std::string> ProbeMergedPacks(std::string_view encoded_key);
+
+  // Opens a merged-pack row already in hand, reusing a cached pack when its
+  // hash cell matches and filling the cache otherwise.
+  Result<std::shared_ptr<const Pack>> OpenMergedPack(std::string_view pack_id, const Row& row);
 
   Status SyncEpoch();
   Status SyncEpochOnce();
@@ -104,6 +115,7 @@ class AppendClient {
   PackCrypter crypter_;
   std::string client_id_;
   Clock* clock_;
+  std::shared_ptr<PackCache> cache_;  // nullptr = caching off
   // Heartbeat/merge threads share the client with the caller's data path.
   std::mutex backoff_mu_;
   Backoff backoff_;

@@ -54,9 +54,16 @@ constexpr uint64_t kDefaultJitterSeed = 0x6D696E6963727970ULL;  // "minicryp"
 
 GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
                              const SymmetricKey& key)
+    : GenericClient(cluster, options, key,
+                    PackCache::FromOptions(options.cache_capacity_bytes, options.cache_ttl_micros,
+                                           cluster->options().clock)) {}
+
+GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
+                             const SymmetricKey& key, std::shared_ptr<PackCache> cache)
     : cluster_(cluster),
       options_(options),
       crypter_(options, key),
+      cache_(std::move(cache)),
       clock_(cluster->options().clock),
       backoff_(options.retry_backoff_base_micros, options.retry_backoff_max_micros,
                options.retry_jitter_seed != 0 ? options.retry_jitter_seed : kDefaultJitterSeed) {
@@ -92,6 +99,9 @@ std::string GenericClient::StoredKeyFor(std::string_view encoded_key) const {
 }
 
 Status GenericClient::CreateTable() {
+  // (Re)creating the table starts a fresh measurement window: counters always
+  // describe work against the current incarnation of the table.
+  stats_.Reset();
   // Client-encrypted tables gain nothing from server-side compression.
   return cluster_->CreateTable(options_.table, /*server_compression=*/false);
 }
@@ -140,9 +150,130 @@ Result<GenericClient::FetchedPack> GenericClient::FetchPackFor(std::string_view 
   MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells.first));
   FetchedPack out;
   out.pack_id = std::move(stored_id);
-  out.pack = std::move(pack);
+  out.pack = std::make_shared<const Pack>(std::move(pack));
   out.hash = std::string(cells.second);
   return out;
+}
+
+Result<GenericClient::FetchedPack> GenericClient::FetchPackCached(std::string_view partition,
+                                                                  std::string_view encoded_key,
+                                                                  bool allow_ttl) {
+  // PRF-bucket mode has no floor order for the probe to route on; the cache
+  // only serves the floor-addressed modes.
+  if (cache_ == nullptr || packid_cipher_.has_value()) {
+    return FetchPackFor(partition, encoded_key);
+  }
+  const std::string stored = StoredKeyFor(encoded_key);
+  if (allow_ttl) {
+    auto fresh = cache_->Floor(options_.table, partition, stored, /*only_fresh=*/true);
+    if (fresh.has_value()) {
+      cache_->RecordTtlServe();
+      FetchedPack out;
+      out.pack_id = std::move(fresh->first);
+      out.pack = fresh->second.pack;
+      out.hash = std::move(fresh->second.hash);
+      out.ttl_fresh = true;
+      return out;
+    }
+  }
+  auto candidate = cache_->Floor(options_.table, partition, stored, /*only_fresh=*/false);
+  if (!candidate.has_value()) {
+    // Nothing cached near this key: a full floor fetch both answers the read
+    // and seeds the cache (no probe round trip wasted on a sure miss).
+    MC_ASSIGN_OR_RETURN(FetchedPack fetched, FetchPackFor(partition, encoded_key));
+    cache_->Put(options_.table, partition, fetched.pack_id, fetched.pack, fetched.hash);
+    return fetched;
+  }
+  // Version probe: ask the server floor for the hash cell only — ~40 bytes
+  // on the wire instead of the envelope.
+  auto probe = cluster_->ReadFloorCell(options_.table, partition, stored, kHashColumn);
+  if (!probe.ok()) {
+    if (probe.status().IsNotFound()) {
+      // The server has no floor although we cached one — stale beyond repair
+      // (e.g. the table was dropped and re-created). Drop the candidate.
+      cache_->Invalidate(options_.table, partition, candidate->first);
+    }
+    return probe.status();
+  }
+  if (auto pack = cache_->ValidateAndGet(options_.table, partition, probe->first, probe->second)) {
+    FetchedPack out;
+    out.pack_id = std::move(probe->first);
+    out.pack = std::move(pack);
+    out.hash = std::move(probe->second);
+    return out;
+  }
+  // Cache miss (or version skew): the probe already routed us to the owning
+  // packID, so read that row directly instead of paying a second floor.
+  OBS_SPAN("pack.fetch");
+  auto row = cluster_->Read(options_.table, partition, probe->first);
+  if (!row.ok()) {
+    if (!row.status().IsNotFound()) {
+      return row.status();
+    }
+    // A CL=ONE replica that missed the newest insert can advertise a floor it
+    // cannot serve; fall back to the full floor path.
+    MC_ASSIGN_OR_RETURN(FetchedPack fetched, FetchPackFor(partition, encoded_key));
+    cache_->Put(options_.table, partition, fetched.pack_id, fetched.pack, fetched.hash);
+    return fetched;
+  }
+  MC_ASSIGN_OR_RETURN(auto cells, ExtractPackCells(*row));
+  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells.first));
+  FetchedPack out;
+  out.pack_id = std::move(probe->first);
+  out.pack = std::make_shared<const Pack>(std::move(pack));
+  out.hash = std::string(cells.second);  // may be newer than the probe; that's fine
+  cache_->Put(options_.table, partition, out.pack_id, out.pack, out.hash);
+  return out;
+}
+
+Result<GenericClient::FetchedPack> GenericClient::FetchWithRetries(std::string_view partition,
+                                                                   std::string_view encoded_key,
+                                                                   bool allow_ttl) {
+  Result<FetchedPack> fetched = Status::Unavailable("fetch never attempted");
+  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
+    if (attempt > 0) {
+      OBS_COUNTER_INC("client.get.unavailable_retries");
+      BackoffBeforeRetry(attempt - 1);
+    }
+    fetched = FetchPackCached(partition, encoded_key, allow_ttl);
+    if (fetched.ok() || !fetched.status().IsUnavailable()) {
+      break;  // only transient unavailability is worth retrying
+    }
+  }
+  return fetched;
+}
+
+Result<std::shared_ptr<const Pack>> GenericClient::OpenPackCached(std::string_view partition,
+                                                                  std::string_view pack_id,
+                                                                  std::string_view envelope,
+                                                                  std::string_view hash) {
+  const bool use_cache = cache_ != nullptr && !packid_cipher_.has_value();
+  if (use_cache) {
+    if (auto pack = cache_->ValidateAndGet(options_.table, partition, pack_id, hash)) {
+      return pack;  // identical bytes by hash: skip the decrypt + decompress
+    }
+  }
+  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(envelope));
+  auto shared = std::make_shared<const Pack>(std::move(pack));
+  if (use_cache) {
+    cache_->Put(options_.table, partition, pack_id, shared, std::string(hash));
+  }
+  return shared;
+}
+
+void GenericClient::CacheAfterWrite(std::string_view partition, std::string_view pack_id,
+                                    const Pack& pack, const std::string& hash) {
+  if (cache_ == nullptr || packid_cipher_.has_value()) {
+    return;
+  }
+  cache_->Put(options_.table, partition, pack_id, std::make_shared<const Pack>(pack), hash);
+}
+
+void GenericClient::CacheInvalidate(std::string_view partition, std::string_view pack_id) {
+  if (cache_ == nullptr || packid_cipher_.has_value()) {
+    return;
+  }
+  cache_->Invalidate(options_.table, partition, pack_id);
 }
 
 Result<std::string> GenericClient::Get(uint64_t key) {
@@ -150,16 +281,11 @@ Result<std::string> GenericClient::Get(uint64_t key) {
   stats_.gets.fetch_add(1, std::memory_order_relaxed);
   const std::string encoded = EncodeKey64(key);
   const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
-  Result<FetchedPack> fetched = Status::Unavailable("get never attempted");
-  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
-    if (attempt > 0) {
-      OBS_COUNTER_INC("client.get.unavailable_retries");
-      BackoffBeforeRetry(attempt - 1);
-    }
-    fetched = FetchPackFor(partition, encoded);
-    if (fetched.ok() || !fetched.status().IsUnavailable()) {
-      break;  // only transient unavailability is worth retrying
-    }
+  auto fetched = FetchWithRetries(partition, encoded, /*allow_ttl=*/true);
+  if (fetched.ok() && fetched->ttl_fresh && !fetched->pack->Find(encoded).has_value()) {
+    // A TTL-fresh pack may predate a split that moved this key to a newer
+    // pack: confirm the miss against the server before reporting NotFound.
+    fetched = FetchWithRetries(partition, encoded, /*allow_ttl=*/false);
   }
   if (!fetched.ok()) {
     if (fetched.status().IsUnavailable()) {
@@ -168,11 +294,123 @@ Result<std::string> GenericClient::Get(uint64_t key) {
     }
     return fetched.status();
   }
-  auto value = fetched->pack.Find(encoded);
+  auto value = fetched->pack->Find(encoded);
   if (!value.has_value()) {
     return Status::NotFound("key not present in its pack");
   }
   return std::string(*value);
+}
+
+std::vector<Result<std::string>> GenericClient::MultiGet(const std::vector<uint64_t>& keys) {
+  OBS_SPAN("client.multiget");
+  stats_.multigets.fetch_add(1, std::memory_order_relaxed);
+  OBS_COUNTER_INC("client.multiget.batches");
+  OBS_COUNTER_ADD("client.multiget.keys", keys.size());
+  std::vector<Result<std::string>> out(keys.size(), Status::Internal("multiget slot unresolved"));
+  if (keys.empty()) {
+    return out;
+  }
+
+  // Unique keys -> the input slots they fill, so duplicates share one lookup.
+  std::map<uint64_t, std::vector<size_t>> slots;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    slots[keys[i]].push_back(i);
+  }
+  auto resolve = [&](uint64_t key, const Result<std::string>& r) {
+    for (size_t slot : slots[key]) {
+      out[slot] = r;
+    }
+  };
+
+  if (packid_cipher_.has_value()) {
+    // Static-bucket mode: every key of one bucket lives in the same pack row,
+    // so the batch groups by (partition, bucket) and reads each row once.
+    std::map<std::pair<std::string, uint64_t>, std::vector<uint64_t>> groups;
+    for (const auto& [key, unused] : slots) {
+      const std::string encoded = EncodeKey64(key);
+      groups[{PartitionForKey(encoded, options_.hash_partitions), packid_cipher_->BucketFor(key)}]
+          .push_back(key);
+    }
+    for (const auto& [group, gkeys] : groups) {
+      OBS_COUNTER_INC("client.multiget.packs_fetched");
+      auto fetched = FetchWithRetries(group.first, EncodeKey64(gkeys.front()), /*allow_ttl=*/false);
+      for (const uint64_t k : gkeys) {
+        if (!fetched.ok()) {
+          resolve(k, fetched.status());
+          continue;
+        }
+        auto v = fetched->pack->Find(EncodeKey64(k));
+        resolve(k, v.has_value() ? Result<std::string>(std::string(*v))
+                                 : Status::NotFound("key not present in its pack"));
+      }
+    }
+    return out;
+  }
+
+  // Floor-addressed modes: group unique keys by partition, then resolve each
+  // partition's keys from largest to smallest with iterated floor fetches.
+  // The pack owning the largest unresolved key is authoritative for every
+  // unresolved key down to its packID — floor(k_max) = P means no pack lies
+  // in (P.id, k_max] — so one fetch + decrypt serves the whole group.
+  std::map<std::string, std::vector<uint64_t>> by_partition;  // values ascending
+  for (const auto& [key, unused] : slots) {
+    by_partition[PartitionForKey(EncodeKey64(key), options_.hash_partitions)].push_back(key);
+  }
+  for (const auto& [partition, pkeys] : by_partition) {
+    size_t remaining = pkeys.size();
+    while (remaining > 0) {
+      const uint64_t top = pkeys[remaining - 1];
+      const std::string encoded_top = EncodeKey64(top);
+      auto fetched = FetchWithRetries(partition, encoded_top, /*allow_ttl=*/true);
+      if (fetched.ok() && fetched->ttl_fresh && !fetched->pack->Find(encoded_top).has_value()) {
+        fetched = FetchWithRetries(partition, encoded_top, /*allow_ttl=*/false);
+      }
+      if (!fetched.ok()) {
+        if (fetched.status().IsNotFound()) {
+          // No pack at or below `top` in this partition: every smaller key
+          // necessarily misses too (matches what sequential Gets would say).
+          while (remaining > 0) {
+            resolve(pkeys[--remaining], Status::NotFound("no pack at or below key"));
+          }
+        } else {
+          // Hard or exhausted-transient failure; it would hit every remaining
+          // key of this partition the same way.
+          while (remaining > 0) {
+            resolve(pkeys[--remaining], fetched.status());
+          }
+        }
+        break;
+      }
+      OBS_COUNTER_INC("client.multiget.packs_fetched");
+      // Serve every unresolved key this pack is authoritative for.
+      while (remaining > 0 &&
+             StoredKeyFor(EncodeKey64(pkeys[remaining - 1])) >= fetched->pack_id) {
+        const uint64_t k = pkeys[remaining - 1];
+        const std::string encoded = EncodeKey64(k);
+        auto v = fetched->pack->Find(encoded);
+        if (!v.has_value() && fetched->ttl_fresh) {
+          // Same guard as Get: confirm a TTL-fresh miss for this key against
+          // the server (the key may have moved to a newer pack).
+          auto confirm = FetchWithRetries(partition, encoded, /*allow_ttl=*/false);
+          if (confirm.ok()) {
+            auto cv = confirm->pack->Find(encoded);
+            resolve(k, cv.has_value() ? Result<std::string>(std::string(*cv))
+                                      : Status::NotFound("key not present in its pack"));
+          } else if (confirm.status().IsNotFound()) {
+            resolve(k, Status::NotFound("no pack at or below key"));
+          } else {
+            resolve(k, confirm.status());
+          }
+          --remaining;
+          continue;
+        }
+        resolve(k, v.has_value() ? Result<std::string>(std::string(*v))
+                                 : Status::NotFound("key not present in its pack"));
+        --remaining;
+      }
+    }
+  }
+  return out;
 }
 
 Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(uint64_t low,
@@ -212,7 +450,8 @@ Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(ui
       return rows.status();
     }
 
-    std::vector<std::pair<std::string, Pack>> packs;  // (stored packID, pack)
+    // (stored packID, pack); packs are shared with the cache when it's on.
+    std::vector<std::pair<std::string, std::shared_ptr<const Pack>>> packs;
     packs.reserve(rows->size() + 1);
     bool need_floor = true;  // paper Figure 4, line 5
     for (auto& [id, row] : *rows) {
@@ -223,11 +462,11 @@ Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(ui
       if (!cells.ok()) {
         return cells.status();
       }
-      MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells->first));
+      MC_ASSIGN_OR_RETURN(auto pack, OpenPackCached(partition, id, cells->first, cells->second));
       packs.emplace_back(id, std::move(pack));
     }
     if (need_floor) {
-      auto fetched = FetchPackFor(partition, klo);
+      auto fetched = FetchPackCached(partition, klo, /*allow_ttl=*/false);
       if (fetched.ok()) {
         // Skip if it duplicates a pack already in the result set.
         const bool duplicate =
@@ -252,7 +491,7 @@ Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(ui
     }
     std::sort(ids.begin(), ids.end());
     for (const auto& [id, pack] : packs) {
-      for (const auto& entry : pack.entries()) {
+      for (const auto& entry : pack->entries()) {
         if (entry.key >= klo && entry.key <= khi) {
           auto it = std::upper_bound(ids.begin(), ids.end(), StoredKeyFor(entry.key));
           if (it == ids.begin() || *(it - 1) != id) {
@@ -275,15 +514,23 @@ Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(ui
 Status GenericClient::InsertNewPack(std::string_view partition, std::string_view pack_id,
                                     const Pack& pack) {
   MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(pack));
-  return cluster_->WriteIf(options_.table, partition, pack_id, PackRow(sealed),
-                           LwtCondition::NotExists());
+  const Status s = cluster_->WriteIf(options_.table, partition, pack_id, PackRow(sealed),
+                                     LwtCondition::NotExists());
+  if (s.ok()) {
+    // Only an acked insert may be cached: sealing is randomized, so a lost
+    // race means the stored envelope hash is a peer's, not ours.
+    CacheAfterWrite(partition, pack_id, pack, sealed.hash);
+  } else if (s.IsUnavailable()) {
+    CacheInvalidate(partition, pack_id);  // ambiguous: unknown stored version
+  }
+  return s;
 }
 
 Status GenericClient::SplitPack(std::string_view partition, const FetchedPack& fetched) {
   OBS_SPAN("pack.split");
   OBS_COUNTER_INC("client.splits");
   stats_.splits.fetch_add(1, std::memory_order_relaxed);
-  MC_ASSIGN_OR_RETURN(auto halves, fetched.pack.SplitDeterministic());
+  MC_ASSIGN_OR_RETURN(auto halves, fetched.pack->SplitDeterministic());
   const Pack& left = halves.first;
   const Pack& right = halves.second;
 
@@ -351,13 +598,21 @@ Status GenericClient::SplitPack(std::string_view partition, const FetchedPack& f
     // ever changed by truncation (every writer splits before mutating one),
     // so another splitter — or our own ambiguously-applied attempt — already
     // finished the job.
-    if (s.ok() || s.IsConditionFailed()) {
+    if (s.ok()) {
+      CacheAfterWrite(partition, fetched.pack_id, left, sealed_left.hash);
+      return Status::Ok();
+    }
+    if (s.IsConditionFailed()) {
+      // A peer truncated it with their own (randomized) seal: our cached
+      // pre-split image is stale.
+      CacheInvalidate(partition, fetched.pack_id);
       return Status::Ok();
     }
     if (!s.IsUnavailable()) {
       return s;
     }
     OBS_COUNTER_INC("client.lwt.ambiguous");
+    CacheInvalidate(partition, fetched.pack_id);
     auto row = cluster_->Read(options_.table, partition, fetched.pack_id);
     if (!row.ok()) {
       if (row.status().IsUnavailable()) {
@@ -383,7 +638,7 @@ Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& 
   const std::string encoded = EncodeKey64(key);
   const std::string partition = PartitionForKey(encoded, options_.hash_partitions);
 
-  auto fetched = FetchPackFor(partition, encoded);
+  auto fetched = FetchPackCached(partition, encoded, /*allow_ttl=*/false);
   if (!fetched.ok()) {
     if (!fetched.status().IsNotFound()) {
       return fetched.status();
@@ -423,24 +678,38 @@ Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& 
 
   // Paper Figure 5 line 4: split first when the pack is oversized, then
   // retry the original operation.
-  if (!packid_cipher_.has_value() && fetched->pack.size() > options_.EffectiveMaxKeys()) {
+  if (!packid_cipher_.has_value() && fetched->pack->size() > options_.EffectiveMaxKeys()) {
     MC_RETURN_IF_ERROR(SplitPack(partition, *fetched));
     *retry = true;
     return Status::Ok();
   }
 
-  Pack updated = fetched->pack;
+  Pack updated = *fetched->pack;
   mutate(&updated);
   MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(updated));
   if (options_.blind_pack_writes) {
     // Figure 10 ablation: read-modify-blind-write (no update-if, no safety).
-    return cluster_->Write(options_.table, partition, fetched->pack_id, PackRow(sealed));
+    const Status s =
+        cluster_->Write(options_.table, partition, fetched->pack_id, PackRow(sealed));
+    if (s.ok()) {
+      CacheAfterWrite(partition, fetched->pack_id, updated, sealed.hash);
+    } else {
+      CacheInvalidate(partition, fetched->pack_id);
+    }
+    return s;
   }
   const Status s =
       cluster_->WriteIf(options_.table, partition, fetched->pack_id, PackRow(sealed),
                         LwtCondition::CellEquals(std::string(kHashColumn), fetched->hash));
+  if (s.ok()) {
+    // Acked LWT: the server now stores exactly `updated` under sealed.hash.
+    CacheAfterWrite(partition, fetched->pack_id, updated, sealed.hash);
+    return s;
+  }
   if (s.IsConditionFailed()) {
-    *retry = true;  // concurrent writer touched the pack; re-read (Figure 5)
+    // A concurrent writer moved the pack: our cached image is stale.
+    CacheInvalidate(partition, fetched->pack_id);
+    *retry = true;  // re-read (Figure 5)
     return Status::Ok();
   }
   if (s.IsUnavailable()) {
@@ -448,10 +717,13 @@ Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& 
     // the reported timeout. A blind retry could double-apply a non-idempotent
     // mutation or duplicate a split, so re-read and verify by pack *content*
     // (sealing is randomized — envelope bytes never match across attempts).
+    // The cache entry is dropped either way: we cannot know which version the
+    // server holds.
     OBS_COUNTER_INC("client.lwt.ambiguous");
-    auto reread = FetchPackFor(partition, encoded);
+    CacheInvalidate(partition, fetched->pack_id);
+    auto reread = FetchPackCached(partition, encoded, /*allow_ttl=*/false);
     if (reread.ok()) {
-      if (applied(reread->pack)) {
+      if (applied(*reread->pack)) {
         OBS_COUNTER_INC("client.lwt.ambiguous_applied");
         return Status::Ok();  // our write landed; the lost ack was the fault
       }
@@ -492,6 +764,9 @@ Status GenericClient::MutateWithRetries(uint64_t key, const std::function<void(P
     }
     last = s;
     OBS_COUNTER_INC("client.put.unavailable_retries");
+    // Same convention as the contention path above: every scheduled retry
+    // counts, whatever forced it (see GenericClientStats::put_retries).
+    stats_.put_retries.fetch_add(1, std::memory_order_relaxed);
   }
   OBS_COUNTER_INC("client.put.aborts");
   const std::string where =

@@ -23,6 +23,7 @@
 #include "src/core/key_codec.h"
 #include "src/core/options.h"
 #include "src/core/pack.h"
+#include "src/core/pack_cache.h"
 #include "src/core/pack_crypter.h"
 #include "src/crypto/crypto.h"
 #include "src/crypto/ope.h"
@@ -30,21 +31,44 @@
 
 namespace minicrypt {
 
-// Per-client counters, exposed for tests and benches.
+// Per-client counters, exposed for tests and benches. CreateTable() resets
+// them: it marks the start of a fresh client session over the table, so
+// counters always describe work since the table was (re)created.
 struct GenericClientStats {
   std::atomic<uint64_t> gets{0};
   std::atomic<uint64_t> puts{0};
   std::atomic<uint64_t> deletes{0};
+  // Extra attempts of the mutate loop beyond the first, counted identically
+  // for contention (ConditionFailed / lost insert race / split-first) and
+  // transient-unavailability retries. One put that succeeds on attempt N
+  // contributes exactly N-1 here, whatever forced the loop.
   std::atomic<uint64_t> put_retries{0};
   std::atomic<uint64_t> splits{0};
   std::atomic<uint64_t> range_queries{0};
+  std::atomic<uint64_t> multigets{0};
+
+  void Reset() {
+    gets.store(0, std::memory_order_relaxed);
+    puts.store(0, std::memory_order_relaxed);
+    deletes.store(0, std::memory_order_relaxed);
+    put_retries.store(0, std::memory_order_relaxed);
+    splits.store(0, std::memory_order_relaxed);
+    range_queries.store(0, std::memory_order_relaxed);
+    multigets.store(0, std::memory_order_relaxed);
+  }
 };
 
 class GenericClient {
  public:
   // `cluster` outlives the client. All clients of one customer must share the
-  // same key and options.
+  // same key and options. When options.cache_capacity_bytes > 0 the client
+  // builds a private decrypted-pack cache.
   GenericClient(Cluster* cluster, const MiniCryptOptions& options, const SymmetricKey& key);
+
+  // Same, but sharing a pack cache with other clients of the same customer
+  // (pass nullptr to force caching off regardless of the options).
+  GenericClient(Cluster* cluster, const MiniCryptOptions& options, const SymmetricKey& key,
+                std::shared_ptr<PackCache> cache);
 
   // Creates the backing table (idempotent; first client calls this).
   Status CreateTable();
@@ -56,6 +80,13 @@ class GenericClient {
 
   // get(low, high): range query over packIDs (Figure 4). Inclusive bounds.
   Result<std::vector<std::pair<uint64_t, std::string>>> GetRange(uint64_t low, uint64_t high);
+
+  // Batched get: one result per input key, aligned with `keys` (duplicates
+  // allowed; a missing key yields NotFound in its slot). Keys are grouped by
+  // their owning pack so one fetch + decrypt serves every key of the group —
+  // with the pack cache on, a whole group can be served without touching the
+  // envelope at all.
+  std::vector<Result<std::string>> MultiGet(const std::vector<uint64_t>& keys);
 
   // put(key, val): read-modify-write-if loop with split-on-oversize
   // (Figures 5 and 6).
@@ -77,6 +108,10 @@ class GenericClient {
   const GenericClientStats& stats() const { return stats_; }
   const MiniCryptOptions& options() const { return options_; }
 
+  // The decrypted-pack cache this client consults; nullptr when caching is
+  // off. Share it across clients by passing it to their constructors.
+  const std::shared_ptr<PackCache>& pack_cache() const { return cache_; }
+
   // Test hooks: fail-points that abort a split at a chosen step, modelling a
   // client crash (paper §5.2's failure analysis).
   enum class SplitFailPoint { kNone, kAfterRightInsert };
@@ -87,13 +122,33 @@ class GenericClient {
 
   struct FetchedPack {
     std::string pack_id;  // stored clustering key (may be PRF output)
-    Pack pack;
-    std::string hash;     // envelope hash (update-if token)
+    std::shared_ptr<const Pack> pack;
+    std::string hash;       // envelope hash (update-if token)
+    bool ttl_fresh = false;  // served from the cache without a server probe
   };
 
   // Fetches the pack that should contain `encoded_key` within `partition`.
   // NotFound when the partition holds no pack at or below the key.
   Result<FetchedPack> FetchPackFor(std::string_view partition, std::string_view encoded_key);
+
+  // Cache-aware variant: serves from the pack cache after a version-only
+  // floor probe (or, with `allow_ttl`, straight from a TTL-fresh entry), and
+  // falls back to FetchPackFor + cache fill. Identical semantics to
+  // FetchPackFor when caching is off or packIDs are PRF-encrypted.
+  Result<FetchedPack> FetchPackCached(std::string_view partition, std::string_view encoded_key,
+                                      bool allow_ttl);
+
+  // FetchPackCached wrapped in the bounded Unavailable-retry loop shared by
+  // the read paths.
+  Result<FetchedPack> FetchWithRetries(std::string_view partition, std::string_view encoded_key,
+                                       bool allow_ttl);
+
+  // Opens an envelope already in hand (range reads), reusing a cached pack
+  // when its hash matches and filling the cache otherwise.
+  Result<std::shared_ptr<const Pack>> OpenPackCached(std::string_view partition,
+                                                     std::string_view pack_id,
+                                                     std::string_view envelope,
+                                                     std::string_view hash);
 
   // One write attempt; sets *retry when the caller should loop. `applied`
   // answers "does this pack already reflect my mutation?" — consulted after
@@ -129,11 +184,18 @@ class GenericClient {
   // server indexes: identity normally, the OPE image in ope_pack_ids mode.
   std::string StoredKeyFor(std::string_view encoded_key) const;
 
+  // Cache bookkeeping after a mutation of `pack_id`: Put() the post-image on
+  // an acked LWT, Invalidate() on a lost race or ambiguous outcome.
+  void CacheAfterWrite(std::string_view partition, std::string_view pack_id, const Pack& pack,
+                       const std::string& hash);
+  void CacheInvalidate(std::string_view partition, std::string_view pack_id);
+
   Cluster* cluster_;
   MiniCryptOptions options_;
   PackCrypter crypter_;
   std::optional<PackIdCipher> packid_cipher_;
   std::optional<OpeCipher> ope_;
+  std::shared_ptr<PackCache> cache_;  // nullptr = caching off
   GenericClientStats stats_;
   Clock* clock_;
   // One client can serve many threads (benches do); the jitter RNG is the

@@ -31,6 +31,9 @@ Status MiniCryptOptions::Validate() const {
   if (encrypt_pack_ids && packid_bucket_width == 0) {
     return Status::InvalidArgument("packid_bucket_width must be >= 1");
   }
+  if (cache_ttl_micros > 0 && cache_capacity_bytes == 0) {
+    return Status::InvalidArgument("cache_ttl_micros requires cache_capacity_bytes > 0");
+  }
   if (encrypt_pack_ids && ope_pack_ids) {
     return Status::InvalidArgument("choose one of encrypt_pack_ids / ope_pack_ids");
   }

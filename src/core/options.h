@@ -45,6 +45,16 @@ struct MiniCryptOptions {
   // the server. Mutually exclusive with encrypt_pack_ids.
   bool ope_pack_ids = false;
 
+  // Client-side decrypted-pack cache (src/core/pack_cache.h). 0 disables it.
+  // Cached packs are served only after a version-only floor probe confirms
+  // the stored envelope hash, so the default (ttl 0) is fully coherent.
+  size_t cache_capacity_bytes = 0;
+
+  // With a nonzero TTL, an entry validated within the last `cache_ttl_micros`
+  // may be served without probing the server at all — zero round trips, but
+  // reads may then be up to one TTL stale. 0 = probe on every read.
+  uint64_t cache_ttl_micros = 0;
+
   // Bound on put retries under contention before giving up with Aborted.
   int max_put_retries = 64;
 

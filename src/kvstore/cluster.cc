@@ -626,6 +626,38 @@ Result<std::pair<std::string, Row>> Cluster::ReadFloor(std::string_view table,
                                                        std::string_view clustering) {
   ScopedSpan read_span(ReadLatencyFor(options_.consistency));
   OBS_SPAN("cluster.read_floor");
+  MC_ASSIGN_OR_RETURN(auto floor, ReadFloorInternal(table, partition, clustering));
+  size_t bytes = 0;
+  for (const auto& [name, cell] : floor.second.cells) {
+    bytes += cell.value.size();
+  }
+  stats_.bytes_to_client.fetch_add(bytes, std::memory_order_relaxed);
+  ChargeTransfer(bytes);
+  return floor;
+}
+
+Result<std::pair<std::string, std::string>> Cluster::ReadFloorCell(std::string_view table,
+                                                                   std::string_view partition,
+                                                                   std::string_view clustering,
+                                                                   std::string_view column) {
+  ScopedSpan read_span(ReadLatencyFor(options_.consistency));
+  OBS_SPAN("cluster.read_floor.version");
+  MC_ASSIGN_OR_RETURN(auto floor, ReadFloorInternal(table, partition, clustering));
+  auto cell = floor.second.cells.find(std::string(column));
+  if (cell == floor.second.cells.end() || cell->second.tombstone) {
+    return Status::NotFound("floor row lacks column " + std::string(column));
+  }
+  // Only the floor key and the requested cell cross the wire — that is the
+  // whole point of the probe.
+  const size_t bytes = floor.first.size() + cell->second.value.size();
+  stats_.bytes_to_client.fetch_add(bytes, std::memory_order_relaxed);
+  ChargeTransfer(bytes);
+  return std::make_pair(std::move(floor.first), std::move(cell->second.value));
+}
+
+Result<std::pair<std::string, Row>> Cluster::ReadFloorInternal(std::string_view table,
+                                                               std::string_view partition,
+                                                               std::string_view clustering) {
   stats_.reads.fetch_add(1, std::memory_order_relaxed);
   std::vector<StorageEngine*> engines;
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
@@ -692,12 +724,6 @@ Result<std::pair<std::string, Row>> Cluster::ReadFloor(std::string_view table,
     floor_id = result->first;
     merged = std::move(result->second);
   }
-  size_t bytes = 0;
-  for (const auto& [name, cell] : merged.cells) {
-    bytes += cell.value.size();
-  }
-  stats_.bytes_to_client.fetch_add(bytes, std::memory_order_relaxed);
-  ChargeTransfer(bytes);
   return std::make_pair(std::move(floor_id), std::move(merged));
 }
 

@@ -124,6 +124,17 @@ class Cluster {
                                                 std::string_view partition,
                                                 std::string_view clustering);
 
+  // Version probe: same floor routing as ReadFloor, but ships only the named
+  // column of the floor row back to the client instead of the whole row.
+  // Returns (floor clustering key, cell value). Clients use this to
+  // revalidate a cached pack — the "h" envelope-hash cell is ~40 bytes while
+  // the envelope itself can be tens of KB. NotFound when the partition has no
+  // floor row or the floor row lacks the column.
+  Result<std::pair<std::string, std::string>> ReadFloorCell(std::string_view table,
+                                                            std::string_view partition,
+                                                            std::string_view clustering,
+                                                            std::string_view column);
+
   // Ascending scan of lo <= clustering <= hi. limit 0 = unbounded.
   Result<std::vector<std::pair<std::string, Row>>> ReadRange(std::string_view table,
                                                              std::string_view partition,
@@ -238,6 +249,14 @@ class Cluster {
                          const std::vector<StorageEngine*>& engines,
                          const std::vector<size_t>& contacted, std::string_view partition,
                          std::string_view clustering, const Row& merged);
+
+  // Shared body of ReadFloor / ReadFloorCell: floor routing, quorum voting,
+  // row merge and read repair. Charges RTTs but NOT the client transfer —
+  // the public wrappers charge what they actually ship (whole row vs one
+  // cell).
+  Result<std::pair<std::string, Row>> ReadFloorInternal(std::string_view table,
+                                                        std::string_view partition,
+                                                        std::string_view clustering);
 
   // Acks a plain write needs under the configured consistency level.
   size_t RequiredAcks(size_t replica_count) const;

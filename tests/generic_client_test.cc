@@ -423,6 +423,162 @@ TEST_F(GenericClientTest, OpePackIdsModeSupportsEverythingIncludingRanges) {
   }
 }
 
+TEST_F(GenericClientTest, MultiGetMatchesSequentialGetsAcrossPacks) {
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  for (uint64_t k = 0; k < 300; ++k) {
+    rows.emplace_back(k, "m" + std::to_string(k));
+  }
+  ASSERT_TRUE(client_->BulkLoad(rows).ok());  // pack_rows=4: many packs
+
+  // A batch that spans pack (and partition) boundaries in arbitrary order.
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < 300; k += 13) {
+    keys.push_back(k);
+  }
+  keys.push_back(299);
+  keys.push_back(0);
+  auto out = client_->MultiGet(keys);
+  ASSERT_EQ(out.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto expect = client_->Get(keys[i]);
+    ASSERT_TRUE(out[i].ok()) << "key " << keys[i];
+    EXPECT_EQ(*out[i], *expect) << "key " << keys[i];
+  }
+  EXPECT_EQ(client_->stats().multigets.load(), 1u);
+}
+
+TEST_F(GenericClientTest, MultiGetDuplicateAndMissingKeys) {
+  ASSERT_TRUE(client_->Put(100, "x").ok());
+  ASSERT_TRUE(client_->Put(200, "y").ok());
+
+  // Empty batch: empty result, nothing fetched.
+  EXPECT_TRUE(client_->MultiGet({}).empty());
+
+  // Duplicates share one lookup but each slot gets its own answer; keys
+  // below the smallest pack and absent from their pack are both NotFound,
+  // exactly like sequential Gets.
+  std::vector<uint64_t> keys = {100, 5, 100, 150, 200, 200, 99999};
+  auto out = client_->MultiGet(keys);
+  ASSERT_EQ(out.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto expect = client_->Get(keys[i]);
+    ASSERT_EQ(out[i].ok(), expect.ok()) << "key " << keys[i];
+    if (expect.ok()) {
+      EXPECT_EQ(*out[i], *expect) << "key " << keys[i];
+    } else {
+      EXPECT_TRUE(out[i].status().IsNotFound()) << "key " << keys[i];
+    }
+  }
+}
+
+// A crashed split leaves the right half duplicated in the original pack;
+// MultiGet's descending floor descent must route every key to the pack a
+// sequential Get would pick, never the stale shadow.
+TEST_F(GenericClientTest, MultiGetAfterCrashedSplitMatchesSequentialGets) {
+  options_.pack_rows = 4;
+  options_.hash_partitions = 1;
+  GenericClient writer(&cluster_, options_, key_);
+  MiniCryptOptions big = options_;
+  big.pack_rows = 16;
+  GenericClient loader(&cluster_, big, key_);
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  for (uint64_t k = 0; k < 8; ++k) {
+    rows.emplace_back(k, "v" + std::to_string(k));
+  }
+  ASSERT_TRUE(loader.BulkLoad(rows).ok());
+
+  writer.set_split_fail_point(GenericClient::SplitFailPoint::kAfterRightInsert);
+  EXPECT_TRUE(writer.Put(3, "during-crash").IsAborted());
+  writer.set_split_fail_point(GenericClient::SplitFailPoint::kNone);
+  // Mutations routed to the new right pack leave shadowed stale copies in
+  // the original; key 9 has never existed.
+  ASSERT_TRUE(writer.Put(6, "fresh").ok());
+  ASSERT_TRUE(writer.Delete(7).ok());
+
+  std::vector<uint64_t> keys = {0, 1, 2, 3, 4, 5, 6, 7, 9};
+  auto out = writer.MultiGet(keys);
+  ASSERT_EQ(out.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto expect = writer.Get(keys[i]);
+    ASSERT_EQ(out[i].ok(), expect.ok()) << "key " << keys[i];
+    if (expect.ok()) {
+      EXPECT_EQ(*out[i], *expect) << "key " << keys[i];
+    } else {
+      EXPECT_TRUE(out[i].status().IsNotFound()) << "key " << keys[i];
+    }
+  }
+}
+
+TEST_F(GenericClientTest, MultiGetEncryptedPackIdsMode) {
+  MiniCryptOptions enc = options_;
+  enc.table = "enc_mget";
+  enc.encrypt_pack_ids = true;
+  enc.packid_bucket_width = 10;
+  GenericClient client(&cluster_, enc, key_);
+  ASSERT_TRUE(client.CreateTable().ok());
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  for (uint64_t k = 0; k < 60; ++k) {
+    rows.emplace_back(k, "e" + std::to_string(k));
+  }
+  ASSERT_TRUE(client.BulkLoad(rows).ok());
+
+  // One batch over several buckets, with duplicates and a key from an empty
+  // bucket (bucket 10 was never written).
+  std::vector<uint64_t> keys = {3, 17, 17, 42, 59, 105};
+  auto out = client.MultiGet(keys);
+  ASSERT_EQ(out.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto expect = client.Get(keys[i]);
+    ASSERT_EQ(out[i].ok(), expect.ok()) << "key " << keys[i];
+    if (expect.ok()) {
+      EXPECT_EQ(*out[i], *expect) << "key " << keys[i];
+    } else {
+      EXPECT_TRUE(out[i].status().IsNotFound()) << "key " << keys[i];
+    }
+  }
+}
+
+// Pins the stats contract: CreateTable starts a fresh counter epoch, and
+// put_retries counts every scheduled retry under one convention whether the
+// trigger was contention, a split, or a transient Unavailable.
+TEST_F(GenericClientTest, StatsResetOnCreateTableAndUnifiedPutRetries) {
+  ASSERT_TRUE(client_->Put(1, "a").ok());
+  ASSERT_TRUE(client_->Put(2, "b").ok());
+  (void)client_->Get(1);
+  (void)client_->MultiGet({1, 2});
+  EXPECT_GT(client_->stats().puts.load(), 0u);
+  EXPECT_GT(client_->stats().gets.load(), 0u);
+  EXPECT_GT(client_->stats().multigets.load(), 0u);
+
+  // Re-creating the table wipes the data *and* the counters.
+  ASSERT_TRUE(client_->CreateTable().ok());
+  EXPECT_EQ(client_->stats().puts.load(), 0u);
+  EXPECT_EQ(client_->stats().gets.load(), 0u);
+  EXPECT_EQ(client_->stats().multigets.load(), 0u);
+  EXPECT_EQ(client_->stats().put_retries.load(), 0u);
+  EXPECT_EQ(client_->stats().splits.load(), 0u);
+
+  // Force a split-then-retry: an oversized pack makes the next Put split
+  // first and go around the mutate loop again. That scheduled retry must
+  // land in put_retries (the same counter contention retries use).
+  options_.table = "stats_retry";
+  options_.pack_rows = 4;
+  options_.hash_partitions = 1;
+  MiniCryptOptions big = options_;
+  big.pack_rows = 16;
+  GenericClient loader(&cluster_, big, key_);
+  ASSERT_TRUE(loader.CreateTable().ok());
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  for (uint64_t k = 0; k < 8; ++k) {
+    rows.emplace_back(k, "v" + std::to_string(k));
+  }
+  ASSERT_TRUE(loader.BulkLoad(rows).ok());
+  GenericClient writer(&cluster_, options_, key_);
+  ASSERT_TRUE(writer.Put(3, "post-split").ok());
+  EXPECT_GT(writer.stats().splits.load(), 0u);
+  EXPECT_GE(writer.stats().put_retries.load(), 1u);
+}
+
 TEST_F(GenericClientTest, OptionsValidation) {
   MiniCryptOptions bad;
   bad.pack_rows = 0;

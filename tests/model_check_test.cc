@@ -364,11 +364,22 @@ void CheckReplicaConvergence(Cluster* cluster, std::string_view table,
   }
 }
 
-TEST(ModelCheckChaos, InvariantsHoldUnderFire) {
+// Shared body for the chaos invariant suite. With `shared_cache` set, every
+// worker (and the audit reader) routes reads through one process-wide
+// decrypted-pack cache in fully-coherent mode (ttl=0), and the run checks a
+// fifth invariant on top of the four fault-tolerance ones:
+//
+// Invariant (e), staleness: a read must never return a value older than the
+// reader's own previously acknowledged write to the same key. Values carry a
+// "t<thread>#<op>" tag, so whenever a Get returns a value this thread wrote,
+// its op number must be >= the thread's last acked op on that key. With
+// ttl=0 the version probe revalidates against the server floor on every
+// cached read, so this holds even while other threads rewrite the pack.
+void RunInvariantsUnderFire(bool shared_cache) {
   const uint64_t seed = ChaosSeed();
   const int iters = ChaosIters();
-  std::fprintf(stderr, "[chaos] seed=0x%llx iters=%d (set MC_CHAOS_SEED to replay)\n",
-               static_cast<unsigned long long>(seed), iters);
+  std::fprintf(stderr, "[chaos] seed=0x%llx iters=%d cache=%d (set MC_CHAOS_SEED to replay)\n",
+               static_cast<unsigned long long>(seed), iters, shared_cache ? 1 : 0);
 
   SimulatedClock clock;
   FaultInjector injector(seed);
@@ -377,6 +388,11 @@ TEST(ModelCheckChaos, InvariantsHoldUnderFire) {
   Cluster cluster(ChaosClusterOptions(&clock, &injector));
   const SymmetricKey key = SymmetricKey::FromSeed("chaos");
   const MiniCryptOptions base_options = ChaosClientOptions(seed + 1);
+
+  std::shared_ptr<PackCache> cache;
+  if (shared_cache) {
+    cache = std::make_shared<PackCache>(/*capacity_bytes=*/4u << 20, /*ttl_micros=*/0, &clock);
+  }
 
   GenericClient setup(&cluster, base_options, key);
   ASSERT_TRUE(setup.CreateTable().ok());
@@ -389,8 +405,12 @@ TEST(ModelCheckChaos, InvariantsHoldUnderFire) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       MiniCryptOptions options = ChaosClientOptions(seed ^ (0x9E3779B97F4A7C15ULL * (t + 1)));
-      GenericClient worker(&cluster, options, key);
+      GenericClient worker(&cluster, options, key, cache);
       ThreadTrack& track = tracks[static_cast<size_t>(t)];
+      // Invariant (e) bookkeeping: op number of this thread's last acked
+      // put/delete per key. Unacked (ambiguous) ops don't advance it.
+      std::map<uint64_t, int> own_acked_op;
+      const std::string own_tag = "t" + std::to_string(t) + "#";
       Rng rng(seed + 100 + static_cast<uint64_t>(t));
       for (int op = 0; op < iters; ++op) {
         if (op % 4 == 0) {
@@ -401,13 +421,31 @@ TEST(ModelCheckChaos, InvariantsHoldUnderFire) {
         if (kind < 50) {  // put
           const std::string value =
               "t" + std::to_string(t) + "#" + std::to_string(op);
-          RecordOp(&track, k, /*is_delete=*/false, value, worker.Put(k, value));
+          const Status s = worker.Put(k, value);
+          RecordOp(&track, k, /*is_delete=*/false, value, s);
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
         } else if (kind < 65) {  // delete
-          RecordOp(&track, k, /*is_delete=*/true, "", worker.Delete(k));
-        } else if (kind < 85) {  // get: status admissibility only (racy value)
-          const Status s = worker.Get(k).status();
+          const Status s = worker.Delete(k);
+          RecordOp(&track, k, /*is_delete=*/true, "", s);
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
+        } else if (kind < 85) {  // get: status admissibility + own-write staleness
+          auto got = worker.Get(k);
+          const Status s = got.status();
           EXPECT_TRUE(s.ok() || s.IsNotFound() || s.IsUnavailable() || s.IsAborted())
               << s.ToString();
+          if (got.ok() && got->rfind(own_tag, 0) == 0) {
+            const int read_op = std::atoi(got->c_str() + own_tag.size());
+            auto acked = own_acked_op.find(k);
+            if (acked != own_acked_op.end()) {
+              EXPECT_GE(read_op, acked->second)
+                  << "stale read: key " << k << " returned own value '" << *got
+                  << "' older than this thread's acked op " << acked->second;
+            }
+          }
         } else if (kind < 92) {  // narrow range
           const Status s = worker.GetRange(k, k + 8).status();
           EXPECT_TRUE(s.ok() || s.IsUnavailable() || s.IsAborted()) << s.ToString();
@@ -433,7 +471,9 @@ TEST(ModelCheckChaos, InvariantsHoldUnderFire) {
   SCOPED_TRACE("chaos seed 0x" + std::to_string(seed) + " — rerun with MC_CHAOS_SEED");
 
   // Invariants (a) + (c): every acked write durable; final value admissible.
-  GenericClient reader(&cluster, base_options, key);
+  // The audit reader shares the cache too: with ttl=0 its reads must agree
+  // with an uncached reader, so the audit itself re-verifies coherence.
+  GenericClient reader(&cluster, base_options, key, cache);
   for (uint64_t k = 0; k < kKeyspace; ++k) {
     auto got = reader.Get(k);
     ASSERT_TRUE(got.ok() || got.status().IsNotFound())
@@ -514,6 +554,20 @@ TEST(ModelCheckChaos, InvariantsHoldUnderFire) {
     EXPECT_GT(injector.trips(point), 0u)
         << FaultPointName(point) << " never fired; " << injector.Summary();
   }
+
+  // A cache-enabled chaos run that never hit (or never invalidated) the
+  // cache would vacuously pass; require that both paths actually ran.
+  if (shared_cache) {
+    const PackCacheStats cs = cache->Stats();
+    EXPECT_GT(cs.hits, 0u) << "chaos run never served from the shared cache";
+    EXPECT_GT(cs.invalidations + cs.misses, 0u);
+  }
+}
+
+TEST(ModelCheckChaos, InvariantsHoldUnderFire) { RunInvariantsUnderFire(/*shared_cache=*/false); }
+
+TEST(ModelCheckChaos, InvariantsHoldUnderFireWithSharedCache) {
+  RunInvariantsUnderFire(/*shared_cache=*/true);
 }
 
 // Satellite: same seed => identical fault schedule and identical final state.
