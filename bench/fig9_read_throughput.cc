@@ -137,6 +137,43 @@ int Main() {
   const double cache_speedup = cache_off_ops > 0 ? cache_on_ops / cache_off_ops : 0.0;
   std::printf("# cache speedup: %.1fx at hit rate %.2f\n", cache_speedup, cache_hit_rate);
 
+  // --- Checksum-verification overhead guard ----------------------------------
+  // SSTable format v2 re-verifies every block's CRC32 on each fetch, cached
+  // copies included (docs/FORMATS.md). That must stay in the noise on the
+  // read path: same uniform workload with verification off vs on, in the
+  // in-memory regime where the CRC is the largest relative cost (out of
+  // memory, media latency dwarfs it). Gate: < 5% ops/s regression.
+  std::printf("\n# checksum verification overhead: uniform point reads, ssd\n");
+  std::printf("%-10s %-12s\n", "verify", "ops/s");
+  const double crc_raw_mb = 8 * scale;
+  const auto crc_row_count = static_cast<uint64_t>(crc_raw_mb * 1024 * 1024 / 1100.0);
+  const auto crc_rows = ConvivaRows(crc_row_count);
+  double crc_off_ops = 0, crc_on_ops = 0;
+  for (const bool verify : {false, true}) {
+    ClusterOptions copts = PaperCluster(MediaKind::kSsd, cache_per_node);
+    copts.engine.sstable.verify_checksums = verify;
+    Cluster cluster(copts);
+    MiniCryptOptions options;
+    options.pack_rows = 50;
+    MiniCryptFacade facade(&cluster, options, key);
+    PreloadAndWarm(facade, cluster, options, crc_rows);
+
+    DriverConfig config;
+    config.threads = 12;
+    config.warmup_micros = 300'000;
+    config.run_micros = static_cast<uint64_t>(1'200'000 * scale);
+    const DriverResult r = RunClosedLoop(config, [&](int thread, uint64_t index) {
+      thread_local UniformChooser chooser(crc_row_count, 0x7c5 + static_cast<uint64_t>(thread));
+      return facade.Get(chooser.Next()).ok();
+    });
+    (verify ? crc_on_ops : crc_off_ops) = r.throughput_ops_s;
+    std::printf("%-10s %-12.0f\n", verify ? "on" : "off", r.throughput_ops_s);
+    std::fflush(stdout);
+  }
+  const double crc_regression = crc_off_ops > 0 ? 1.0 - crc_on_ops / crc_off_ops : 1.0;
+  std::printf("# checksum overhead: %+.1f%% ops/s (off=%.0f on=%.0f, gate <5%%)\n",
+              crc_regression * 100.0, crc_off_ops, crc_on_ops);
+
   // Shape checks (paper §8.1.1): once the baseline spills out of memory,
   // MiniCrypt holds a large advantage; the collapse is sharper on disk; the
   // vanilla curve sits between baseline and MiniCrypt at the large end.
@@ -162,15 +199,17 @@ int Main() {
   std::printf("# baseline collapse factor: disk=%.1fx ssd=%.1fx\n", disk_drop, ssd_drop);
   const bool beats_vanilla = vanilla_gain > 1.5;
   const bool cache_pass = cache_speedup >= 2.0 && cache_hit_rate >= 0.8;
+  const bool crc_pass = crc_regression < 0.05;
   const bool pass = disk_gain > 5.0 && ssd_gain > 1.5 && beats_vanilla &&
-                    disk_drop > ssd_drop && baseline_wins_small && cache_pass;
+                    disk_drop > ssd_drop && baseline_wins_small && cache_pass && crc_pass;
   std::printf(
       "# shape-check: minicrypt-wins-out-of-memory=%s beats-vanilla=%s "
       "disk-cliff-sharper-than-ssd=%s baseline-wins-in-memory=%s "
-      "cache-2x-zipfian=%s\n",
+      "cache-2x-zipfian=%s checksum-overhead-under-5pct=%s\n",
       (disk_gain > 5.0 && ssd_gain > 1.5) ? "PASS" : "FAIL",
       beats_vanilla ? "PASS" : "FAIL", disk_drop > ssd_drop ? "PASS" : "FAIL",
-      baseline_wins_small ? "PASS" : "FAIL", cache_pass ? "PASS" : "FAIL");
+      baseline_wins_small ? "PASS" : "FAIL", cache_pass ? "PASS" : "FAIL",
+      crc_pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }
 

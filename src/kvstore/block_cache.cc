@@ -99,6 +99,16 @@ void BlockCache::EraseOwner(uint64_t owner) {
   }
 }
 
+void BlockCache::Clear() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+    shard.bytes = 0;
+  }
+}
+
 BlockCacheStats BlockCache::Stats() const {
   BlockCacheStats out;
   for (const auto& shard_ptr : shards_) {

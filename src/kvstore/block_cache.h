@@ -39,6 +39,10 @@ class BlockCache {
   // compaction).
   void EraseOwner(uint64_t owner);
 
+  // Drops everything (a node crash wipes its RAM). Hit/miss/eviction counters
+  // survive — they describe history, not contents.
+  void Clear();
+
   BlockCacheStats Stats() const;
   size_t capacity_bytes() const { return capacity_; }
 

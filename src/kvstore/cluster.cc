@@ -1,6 +1,9 @@
 #include "src/kvstore/cluster.h"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <set>
 
 #include "src/kvstore/bloom.h"
 #include "src/kvstore/node.h"
@@ -219,8 +222,13 @@ Status Cluster::WriteIf(std::string_view table, std::string_view partition,
         continue;
       }
       auto row = engines[idx]->Get(partition, clustering);
+      if (!row.ok() && !row.status().IsNotFound()) {
+        // Corruption counts as a replica-local failure: no vote, fail over.
+        OBS_COUNTER_INC("cluster.read.replica_errors");
+        continue;
+      }
       ++votes;
-      if (row.has_value()) {
+      if (row.ok()) {
         merged.MergeNewer(*row);
         found = true;
       }
@@ -300,9 +308,9 @@ std::vector<size_t> Cluster::LiveIndexes(const std::vector<Node*>& replicas) con
   return LiveIndexesLocked(replicas);
 }
 
-Result<StorageEngine*> Cluster::PickLiveEngine(std::string_view table,
-                                               const std::vector<Node*>& replicas,
-                                               const std::vector<StorageEngine*>& engines) {
+Status Cluster::ReadOne(std::string_view table, const std::vector<Node*>& replicas,
+                        const std::vector<StorageEngine*>& engines,
+                        const std::function<Status(StorageEngine*)>& op) {
   const std::vector<size_t> live = LiveIndexes(replicas);
   if (live.empty()) {
     return Status::Unavailable("no live replica for read");
@@ -310,16 +318,24 @@ Result<StorageEngine*> Cluster::PickLiveEngine(std::string_view table,
   FaultInjector* fi = options_.fault_injector;
   const uint64_t n = read_rr_.fetch_add(1, std::memory_order_relaxed);
   // Prefer the round-robin choice; fall forward past replicas whose read
-  // fails at the media layer.
+  // fails at the media layer or answers Corruption. A bad block never
+  // reaches the client as data — the worst case is every copy bad, and that
+  // surfaces as the error below, not as bytes.
+  Status last = Status::Unavailable("read failed on every live replica");
   for (size_t step = 0; step < live.size(); ++step) {
     const size_t i = live[(n + step) % live.size()];
     if (fi != nullptr && fi->Fire(FaultPoint::kMediaReadError, table)) {
       OBS_COUNTER_INC("cluster.read.replica_errors");
       continue;
     }
-    return engines[i];
+    const Status s = op(engines[i]);
+    if (s.ok() || s.IsNotFound()) {
+      return s;
+    }
+    OBS_COUNTER_INC("cluster.read.replica_errors");
+    last = s;
   }
-  return Status::Unavailable("read failed on every live replica");
+  return last;
 }
 
 void Cluster::SetNodeDown(int node, bool down) {
@@ -526,6 +542,20 @@ bool RowNeedsRepair(const Row& have, const Row& merged) {
   }
   return false;
 }
+
+// Content hash of a raw row: two rows hash equal iff their at-rest encodings
+// (cells, values, timestamps, tombstone flags) match.
+uint64_t RowContentHash(const Row& row) {
+  std::string buf;
+  EncodeRow(row, &buf);
+  return Fnv1a64(buf);
+}
+
+// Order-sensitive hash fold for Merkle leaves and interior nodes.
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
 }  // namespace
 
 size_t Cluster::RepairContacted(std::string_view table, const std::vector<Node*>& replicas,
@@ -535,10 +565,13 @@ size_t Cluster::RepairContacted(std::string_view table, const std::vector<Node*>
   size_t holders = 0;
   for (size_t idx : contacted) {
     auto have = engines[idx]->Get(partition, clustering);
-    if (have.has_value() && !RowNeedsRepair(*have, merged)) {
+    if (have.ok() && !RowNeedsRepair(*have, merged)) {
       ++holders;
       continue;
     }
+    // NotFound and Corruption both fall through to the repair write: the
+    // merged row lands in the memtable either way, restoring quorum
+    // durability without touching the bad block.
     if (engines[idx]->Apply(partition, clustering, merged).ok()) {
       OBS_COUNTER_INC("cluster.read.repairs");
       ++holders;
@@ -553,6 +586,284 @@ size_t Cluster::RepairContacted(std::string_view table, const std::vector<Node*>
     }
   }
   return holders;
+}
+
+Status Cluster::CrashNode(int node) {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return Status::InvalidArgument("no such node: " + std::to_string(node));
+  }
+  {
+    std::lock_guard<std::mutex> lock(down_mu_);
+    if (node_down_[static_cast<size_t>(node)]) {
+      return Status::InvalidArgument("node " + std::to_string(node) + " is already down");
+    }
+    // Mark down first, under the same lock writers hold while applying:
+    // every write from here on queues a hint instead of touching the dying
+    // engines.
+    node_down_[static_cast<size_t>(node)] = true;
+  }
+  OBS_COUNTER_INC("cluster.node.crashes");
+  Node* target = nodes_[static_cast<size_t>(node)].get();
+  FaultInjector* fi = options_.fault_injector;
+  Status first = Status::Ok();
+  target->ForEachEngine([&](const std::string& table, StorageEngine* engine) {
+    // The kCrash draw sizes this engine's torn commit-log tail. The
+    // evaluation is counted (and, under a crash-schedule rate, tripped)
+    // whether or not a rate is configured, so seeded runs replay exactly.
+    uint64_t draw = 0;
+    if (fi != nullptr) {
+      (void)fi->Fire(FaultPoint::kCrash, "node=" + std::to_string(node) + " table=" + table,
+                     &draw);
+    }
+    const Status s = engine->Crash(draw);
+    if (first.ok() && !s.ok()) {
+      first = s;
+    }
+  });
+  target->cache()->Clear();  // node RAM is gone
+  return first;
+}
+
+Status Cluster::RestartNode(int node) {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return Status::InvalidArgument("no such node: " + std::to_string(node));
+  }
+  Node* target = nodes_[static_cast<size_t>(node)].get();
+  Status first = Status::Ok();
+  target->ForEachEngine([&](const std::string& table, StorageEngine* engine) {
+    (void)table;
+    const Status s = engine->RecoverFromLog();
+    if (first.ok() && !s.ok()) {
+      first = s;
+    }
+  });
+  OBS_COUNTER_INC("cluster.node.restarts");
+  std::lock_guard<std::mutex> lock(down_mu_);
+  node_down_[static_cast<size_t>(node)] = false;
+  ReplayHintsLocked(node);
+  return first;
+}
+
+bool Cluster::NodeReplicates(int node, std::string_view partition) const {
+  const std::vector<int> ids = ring_.Replicas(partition, options_.replication_factor);
+  return std::find(ids.begin(), ids.end(), node) != ids.end();
+}
+
+size_t Cluster::RebuildRangeFromPeers(int node, const std::string& table, StorageEngine* engine,
+                                      const QuarantinedRange& range) {
+  std::map<std::string, Row> merged;
+  for (const auto& peer : nodes_) {
+    if (peer->id() == node || IsNodeDown(peer->id())) {
+      continue;
+    }
+    StorageEngine* source = peer->FindEngine(table);
+    if (source == nullptr) {
+      continue;
+    }
+    // A corrupt block on a source fails that peer's scan before it emits
+    // anything; the remaining peers fill in. Rows stream raw (timestamps and
+    // tombstones intact) so the LWW re-apply below is idempotent.
+    (void)source->ScanEncodedForRepair(
+        range.smallest, range.largest, [&](std::string_view key, const Row& row) {
+          auto decoded = DecodeRowKey(key);
+          if (!decoded.ok() || !NodeReplicates(node, decoded->partition)) {
+            // The peer's key range overlaps partitions this node never
+            // replicates; streaming those would grow the node unboundedly.
+            return;
+          }
+          merged[std::string(key)].MergeNewer(row);
+        });
+  }
+  size_t rows = 0;
+  for (const auto& [key, row] : merged) {
+    if (engine->ApplyEncoded(key, row).ok()) {
+      ++rows;
+    }
+  }
+  return rows;
+}
+
+Result<size_t> Cluster::ScrubNode(int node) {
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return Status::InvalidArgument("no such node: " + std::to_string(node));
+  }
+  if (IsNodeDown(node)) {
+    return Status::Unavailable("cannot scrub node " + std::to_string(node) + " while down");
+  }
+  OBS_SPAN("cluster.scrub_node");
+  Node* target = nodes_[static_cast<size_t>(node)].get();
+  size_t blocks_rebuilt = 0;
+  Status first = Status::Ok();
+  target->ForEachEngine([&](const std::string& table, StorageEngine* engine) {
+    std::vector<QuarantinedRange> ranges;
+    const Status s = engine->Scrub(&ranges);
+    if (!s.ok()) {
+      if (first.ok()) {
+        first = s;
+      }
+      return;
+    }
+    // Rebuild each quarantined range from healthy peers BEFORE dropping the
+    // corrupt tables: the replica keeps answering for every row it acked.
+    for (const QuarantinedRange& range : ranges) {
+      const size_t rows = RebuildRangeFromPeers(node, table, engine, range);
+      OBS_COUNTER_ADD("scrub.rows_restreamed", rows);
+      OBS_COUNTER_ADD("scrub.blocks_rebuilt", range.blocks);
+      blocks_rebuilt += range.blocks;
+    }
+    engine->DropQuarantined();
+  });
+  MC_RETURN_IF_ERROR(first);
+  return blocks_rebuilt;
+}
+
+Status Cluster::AntiEntropyRepair(std::string_view table_name) {
+  OBS_SPAN("cluster.anti_entropy");
+  const std::string table(table_name);
+  bool server_compression = false;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return Status::InvalidArgument("no such table: " + table);
+    }
+    server_compression = it->second;
+  }
+
+  // Snapshot every up replica's raw rows (timestamps, tombstones, and
+  // partition-tombstone markers included — anti-entropy must converge
+  // deletes too, or a missed tombstone resurrects data).
+  const std::string hi(96, '\xff');
+  std::map<int, std::map<std::string, Row>> rows_by_node;
+  for (const auto& node : nodes_) {
+    if (IsNodeDown(node->id())) {
+      continue;
+    }
+    StorageEngine* engine = node->FindEngine(table);
+    if (engine == nullptr) {
+      continue;  // replica never saw a write; treated as empty below
+    }
+    auto& rows = rows_by_node[node->id()];
+    (void)engine->ScanEncodedForRepair("", hi, [&](std::string_view key, const Row& row) {
+      rows[std::string(key)] = row;
+    });
+  }
+
+  // The partition universe is the union across replicas: a partition one
+  // replica lost entirely still shows up via the others.
+  std::set<std::string> partitions;
+  for (const auto& [id, rows] : rows_by_node) {
+    (void)id;
+    for (const auto& [key, row] : rows) {
+      (void)row;
+      auto decoded = DecodeRowKey(key);
+      if (decoded.ok()) {
+        partitions.insert(std::string(decoded->partition));
+      }
+    }
+  }
+
+  constexpr size_t kLeaves = 16;  // 4-level hash tree per partition
+  struct Replica {
+    int id = 0;
+    StorageEngine* engine = nullptr;
+    std::array<std::vector<const std::pair<const std::string, Row>*>, kLeaves> buckets;
+    std::array<uint64_t, kLeaves> leaf{};
+    uint64_t root = 0;
+  };
+  for (const std::string& partition : partitions) {
+    OBS_COUNTER_INC("repair.partitions_checked");
+    std::vector<Replica> replicas;
+    for (int id : ring_.Replicas(partition, options_.replication_factor)) {
+      if (IsNodeDown(id)) {
+        continue;
+      }
+      Replica r;
+      r.id = id;
+      // EngineFor (not FindEngine): a replica that never saw a write still
+      // participates — everything it is missing streams to it below.
+      r.engine = nodes_[static_cast<size_t>(id)]->EngineFor(table, server_compression);
+      replicas.push_back(std::move(r));
+    }
+    if (replicas.size() < 2) {
+      continue;  // nothing to compare against
+    }
+
+    // Build each replica's tree: rows bucket by key hash into the leaves,
+    // leaf hashes fold (key, row content) in key order, interior nodes fold
+    // pairwise up to the root.
+    const std::string prefix = PartitionPrefix(partition);
+    for (Replica& r : replicas) {
+      auto rows_it = rows_by_node.find(r.id);
+      if (rows_it != rows_by_node.end()) {
+        for (auto it = rows_it->second.lower_bound(prefix);
+             it != rows_it->second.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+             ++it) {
+          r.buckets[Fnv1a64(it->first) % kLeaves].push_back(&*it);
+        }
+      }
+      for (size_t leaf = 0; leaf < kLeaves; ++leaf) {
+        uint64_t h = 0;
+        for (const auto* entry : r.buckets[leaf]) {
+          h = HashCombine(h, Fnv1a64(entry->first));
+          h = HashCombine(h, RowContentHash(entry->second));
+        }
+        r.leaf[leaf] = h;
+      }
+      std::array<uint64_t, kLeaves> level = r.leaf;
+      for (size_t width = kLeaves; width > 1; width /= 2) {
+        for (size_t j = 0; j < width / 2; ++j) {
+          level[j] = HashCombine(level[2 * j], level[2 * j + 1]);
+        }
+      }
+      r.root = level[0];
+    }
+
+    // Converged replicas exchange one root hash and nothing else.
+    OBS_COUNTER_INC("repair.ranges_compared");
+    bool all_equal = true;
+    for (size_t i = 1; i < replicas.size(); ++i) {
+      all_equal = all_equal && replicas[i].root == replicas[0].root;
+    }
+    if (all_equal) {
+      continue;
+    }
+
+    // Descend: only leaves whose hashes differ across some replica pair
+    // stream rows.
+    for (size_t leaf = 0; leaf < kLeaves; ++leaf) {
+      OBS_COUNTER_INC("repair.ranges_compared");
+      bool differs = false;
+      for (size_t i = 1; i < replicas.size(); ++i) {
+        differs = differs || replicas[i].leaf[leaf] != replicas[0].leaf[leaf];
+      }
+      if (!differs) {
+        continue;
+      }
+      OBS_COUNTER_INC("repair.ranges_diverged");
+      std::map<std::string, Row> merged;
+      for (const Replica& r : replicas) {
+        for (const auto* entry : r.buckets[leaf]) {
+          merged[entry->first].MergeNewer(entry->second);
+        }
+      }
+      for (const Replica& r : replicas) {
+        const auto rows_it = rows_by_node.find(r.id);
+        for (const auto& [key, row] : merged) {
+          if (rows_it != rows_by_node.end()) {
+            auto have = rows_it->second.find(key);
+            if (have != rows_it->second.end() && !RowNeedsRepair(have->second, row)) {
+              continue;
+            }
+          }
+          if (r.engine->ApplyEncoded(key, row).ok()) {
+            OBS_COUNTER_INC("repair.rows_streamed");
+          }
+        }
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 Result<Row> Cluster::Read(std::string_view table, std::string_view partition,
@@ -581,12 +892,17 @@ Result<Row> Cluster::Read(std::string_view table, std::string_view partition,
         continue;
       }
       auto row = engines[idx]->Get(partition, clustering);
+      if (!row.ok() && !row.status().IsNotFound()) {
+        // Corruption: replica-local failure, no vote, fail over.
+        OBS_COUNTER_INC("cluster.read.replica_errors");
+        continue;
+      }
       if (votes > 0) {
         ChargeRtt(1);  // extra replica hop under QUORUM
       }
       ++votes;
       contacted.push_back(idx);
-      if (row.has_value()) {
+      if (row.ok()) {
         merged.MergeNewer(*row);
         found = true;
       }
@@ -602,11 +918,16 @@ Result<Row> Cluster::Read(std::string_view table, std::string_view partition,
       return Status::Unavailable("read repair could not restore a quorum");
     }
   } else {
-    MC_ASSIGN_OR_RETURN(StorageEngine * engine, PickLiveEngine(table, replicas, engines));
-    auto row = engine->Get(partition, clustering);
-    if (row.has_value()) {
-      merged = std::move(*row);
-      found = true;
+    const Status s = ReadOne(table, replicas, engines, [&](StorageEngine* engine) {
+      auto row = engine->Get(partition, clustering);
+      if (row.ok()) {
+        merged = std::move(*row);
+        found = true;
+      }
+      return row.status();
+    });
+    if (!s.ok() && !s.IsNotFound()) {
+      return s;
     }
   }
   if (!found) {
@@ -687,12 +1008,17 @@ Result<std::pair<std::string, Row>> Cluster::ReadFloorInternal(std::string_view 
         continue;
       }
       auto result = engines[idx]->Floor(partition, clustering);
+      if (!result.ok() && !result.status().IsNotFound()) {
+        // Corruption: replica-local failure, no vote, fail over.
+        OBS_COUNTER_INC("cluster.read.replica_errors");
+        continue;
+      }
       if (votes > 0) {
         ChargeRtt(1);  // extra replica hop under QUORUM
       }
       ++votes;
       contacted.push_back(idx);
-      if (result.has_value() && (!found || result->first > floor_id)) {
+      if (result.ok() && (!found || result->first > floor_id)) {
         floor_id = result->first;
         found = true;
       }
@@ -707,22 +1033,26 @@ Result<std::pair<std::string, Row>> Cluster::ReadFloorInternal(std::string_view 
     }
     for (size_t idx : contacted) {
       auto row = engines[idx]->Get(partition, floor_id);
-      if (row.has_value()) {
+      if (row.ok()) {
         merged.MergeNewer(*row);
       }
+      // NotFound (stale replica) and Corruption both contribute nothing;
+      // RepairContacted below restores them from the merged copy.
     }
     if (RepairContacted(table, replicas, engines, contacted, partition, floor_id, merged) < ask) {
       OBS_COUNTER_INC("cluster.read.unavailable");
       return Status::Unavailable("floor read repair could not restore a quorum");
     }
   } else {
-    MC_ASSIGN_OR_RETURN(StorageEngine * engine, PickLiveEngine(table, replicas, engines));
-    auto result = engine->Floor(partition, clustering);
-    if (!result.has_value()) {
-      return Status::NotFound();
-    }
-    floor_id = result->first;
-    merged = std::move(result->second);
+    const Status s = ReadOne(table, replicas, engines, [&](StorageEngine* engine) {
+      auto result = engine->Floor(partition, clustering);
+      if (result.ok()) {
+        floor_id = result->first;
+        merged = std::move(result->second);
+      }
+      return result.status();
+    });
+    MC_RETURN_IF_ERROR(s);  // NotFound propagates as NotFound
   }
   return std::make_pair(std::move(floor_id), std::move(merged));
 }
@@ -764,7 +1094,10 @@ Result<std::vector<std::pair<std::string, Row>>> Cluster::ReadRange(std::string_
             return true;
           });
       if (!s.ok()) {
-        continue;  // replica scan failed; try the next live one
+        // Media error or Corruption mid-scan: the replica contributes no
+        // vote (partial rows it merged are still valid LWW inputs).
+        OBS_COUNTER_INC("cluster.read.replica_errors");
+        continue;
       }
       if (votes > 0) {
         ChargeRtt(1);  // extra replica hop under QUORUM
@@ -788,12 +1121,19 @@ Result<std::vector<std::pair<std::string, Row>>> Cluster::ReadRange(std::string_
       }
     }
   } else {
-    MC_ASSIGN_OR_RETURN(StorageEngine * engine, PickLiveEngine(table, replicas, engines));
-    MC_RETURN_IF_ERROR(
-        engine->Scan(partition, lo, hi, limit, [&](std::string_view clustering, const Row& row) {
-          out.emplace_back(std::string(clustering), row);
-          return true;
-        }));
+    const Status s = ReadOne(table, replicas, engines, [&](StorageEngine* engine) {
+      std::vector<std::pair<std::string, Row>> rows;
+      const Status scan = engine->Scan(
+          partition, lo, hi, limit, [&](std::string_view clustering, const Row& row) {
+            rows.emplace_back(std::string(clustering), row);
+            return true;
+          });
+      if (scan.ok()) {
+        out = std::move(rows);
+      }
+      return scan;
+    });
+    MC_RETURN_IF_ERROR(s);
   }
   size_t bytes = 0;
   for (const auto& [clustering, row] : out) {

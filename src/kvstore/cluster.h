@@ -7,6 +7,7 @@
 #define MINICRYPT_SRC_KVSTORE_CLUSTER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -171,6 +172,34 @@ class Cluster {
   // Brings every node back up (replaying its hints on the way).
   void HealAllNodes();
 
+  // --- Crash / restart / scrub / anti-entropy ----------------------------------
+
+  // Crashes the node process: it leaves the ring (writes queue hints), its
+  // memtables and block cache vanish, and each commit log loses a seeded
+  // fraction of its un-fsynced tail — possibly torn mid-record. The tear
+  // sizes come from the kCrash fault-point draw stream, so a crash schedule
+  // replays exactly from its seed. InvalidArgument when already down.
+  Status CrashNode(int node);
+
+  // Restart after CrashNode (or any down period): replays each engine's
+  // commit log (truncating the suspect tail), rejoins the ring, and drains
+  // the hints that accumulated while the node was gone.
+  Status RestartNode(int node);
+
+  // Scrubs every table replica on the node: verifies all SSTable checksums,
+  // re-streams the key ranges of corrupt tables from healthy peer replicas
+  // (ring-filtered, LWW-idempotent), then drops the corrupt tables from the
+  // read set. Rebuild happens *before* the drop, so the replica never stops
+  // answering for rows it acked. Returns the number of blocks rebuilt.
+  Result<size_t> ScrubNode(int node);
+
+  // Merkle-style anti-entropy for one table: per partition, each up replica
+  // builds a bucket hash tree over its raw rows (timestamps and tombstones
+  // included); replicas whose roots agree exchange nothing, and only the
+  // rows of differing leaf ranges are streamed and LWW-merged. This is the
+  // background convergence pass Cassandra runs as `nodetool repair`.
+  Status AntiEntropyRepair(std::string_view table);
+
   // Drains every hint queue, including hints parked for live nodes whose
   // apply failed under injected faults. Call after healing to quiesce.
   void ReplayAllHints();
@@ -221,13 +250,25 @@ class Cluster {
   // Same, taking the lock (snapshot; a node may flap right after).
   std::vector<size_t> LiveIndexes(const std::vector<Node*>& replicas) const;
 
-  // Round-robin selection among a partition's live replicas for CL=ONE reads
+  // CL=ONE read driver: round-robin among the partition's live replicas
   // (models Cassandra's load-balancing snitch; writes go to all replicas
-  // synchronously, so any replica is up to date). Fails over past injected
-  // media read errors; Unavailable when no live replica can serve.
-  Result<StorageEngine*> PickLiveEngine(std::string_view table,
-                                        const std::vector<Node*>& replicas,
-                                        const std::vector<StorageEngine*>& engines);
+  // synchronously, so any replica is up to date), failing over past injected
+  // media read errors AND replicas that answer Corruption. `op` runs the
+  // actual engine read and returns its status; ok/NotFound both count as
+  // served. Unavailable when no live replica can serve; the last Corruption
+  // when every replica's copy is bad — never corrupt data.
+  Status ReadOne(std::string_view table, const std::vector<Node*>& replicas,
+                 const std::vector<StorageEngine*>& engines,
+                 const std::function<Status(StorageEngine*)>& op);
+
+  // True when `node` is in the partition's replica set.
+  bool NodeReplicates(int node, std::string_view partition) const;
+
+  // Streams the merged rows of [range.smallest, range.largest] (encoded
+  // keys) from every other up replica into `engine` on `node`, keeping only
+  // partitions that node actually replicates. Returns rows applied.
+  size_t RebuildRangeFromPeers(int node, const std::string& table, StorageEngine* engine,
+                               const QuarantinedRange& range);
 
   // Applies `update` to every live replica engine; queues hints for down or
   // failing ones. Unavailable (with hints already queued — the classic

@@ -17,6 +17,47 @@ uint32_t Crc32(std::string_view data) {
       crc32(0L, reinterpret_cast<const Bytef*>(data.data()), static_cast<uInt>(data.size())));
 }
 
+// Walks the CRC-framed records of `all`, applying each intact one, and
+// returns the byte offset just past the last intact record. Everything at or
+// beyond the returned offset is a torn or corrupt tail.
+size_t ReplayPrefix(std::string_view all,
+                    const std::function<void(std::string_view key, const Row& row)>& apply) {
+  std::string_view in = all;
+  size_t valid_prefix = 0;
+  while (!in.empty()) {
+    std::string_view record_start = in;
+    auto crc = GetFixed32(&in);
+    if (!crc.ok()) {
+      break;  // torn tail
+    }
+    auto len = GetVarint64(&in);
+    if (!len.ok() || in.size() < *len) {
+      break;
+    }
+    std::string_view payload = in.substr(0, *len);
+    if (Crc32(payload) != *crc) {
+      // Corrupt record: stop replay here, everything after is suspect.
+      break;
+    }
+    in.remove_prefix(*len);
+    std::string_view p = payload;
+    auto key = GetLengthPrefixed(&p);
+    if (!key.ok()) {
+      break;
+    }
+    auto row = DecodeRow(&p);
+    if (!row.ok()) {
+      break;
+    }
+    if (apply) {
+      apply(*key, *row);
+    }
+    valid_prefix = all.size() - in.size();
+    (void)record_start;
+  }
+  return valid_prefix;
+}
+
 }  // namespace
 
 Status MemoryLogSink::Append(std::string_view bytes) {
@@ -32,6 +73,13 @@ Status MemoryLogSink::ReadAll(std::string* out) const {
 Status MemoryLogSink::Truncate() {
   data_.clear();
   data_.shrink_to_fit();
+  return Status::Ok();
+}
+
+Status MemoryLogSink::TruncateTo(size_t size) {
+  if (size < data_.size()) {
+    data_.resize(size);
+  }
   return Status::Ok();
 }
 
@@ -73,8 +121,32 @@ Status FileLogSink::Truncate() {
   return Status::Ok();
 }
 
-CommitLog::CommitLog(std::unique_ptr<LogSink> sink, Media* media, FaultInjector* fault_injector)
-    : sink_(std::move(sink)), media_(media), fault_injector_(fault_injector) {}
+Status FileLogSink::TruncateTo(size_t size) {
+  // Portable truncate: read the prefix, rewrite the file. Segments are small
+  // (retired at every flush), so this stays cheap even for the test sink.
+  std::string all;
+  MC_RETURN_IF_ERROR(ReadAll(&all));
+  if (size >= all.size()) {
+    return Status::Ok();
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot rewrite commit log " + path_);
+  }
+  const size_t n = std::fwrite(all.data(), 1, size, f);
+  std::fclose(f);
+  if (n != size) {
+    return Status::Unavailable("short truncate rewrite of commit log " + path_);
+  }
+  return Status::Ok();
+}
+
+CommitLog::CommitLog(std::unique_ptr<LogSink> sink, Media* media, FaultInjector* fault_injector,
+                     uint64_t sync_every_appends)
+    : sink_(std::move(sink)),
+      media_(media),
+      fault_injector_(fault_injector),
+      sync_every_appends_(sync_every_appends == 0 ? 1 : sync_every_appends) {}
 
 Status CommitLog::Append(std::string_view encoded_key, const Row& update) {
   // The span covers framing plus the sequential media write — the per-update
@@ -96,6 +168,12 @@ Status CommitLog::Append(std::string_view encoded_key, const Row& update) {
   OBS_COUNTER_INC("commitlog.append.count");
   OBS_COUNTER_ADD("commitlog.append.bytes", record.size());
   MC_RETURN_IF_ERROR(sink_->Append(record));
+  appended_bytes_ += record.size();
+  if (++appends_since_sync_ >= sync_every_appends_) {
+    // fsync-equivalent: everything appended so far survives a crash.
+    appends_since_sync_ = 0;
+    synced_bytes_ = appended_bytes_;
+  }
   if (media_ != nullptr) {
     media_->Write(record.size(), /*sequential=*/true);
   }
@@ -106,38 +184,45 @@ Status CommitLog::Replay(
     const std::function<void(std::string_view key, const Row& row)>& apply) const {
   std::string all;
   MC_RETURN_IF_ERROR(sink_->ReadAll(&all));
-  std::string_view in = all;
-  while (!in.empty()) {
-    std::string_view save = in;
-    auto crc = GetFixed32(&in);
-    if (!crc.ok()) {
-      break;  // torn tail
-    }
-    auto len = GetVarint64(&in);
-    if (!len.ok() || in.size() < *len) {
-      break;
-    }
-    std::string_view payload = in.substr(0, *len);
-    if (Crc32(payload) != *crc) {
-      // Corrupt record: stop replay here, everything after is suspect.
-      (void)save;
-      break;
-    }
-    in.remove_prefix(*len);
-    std::string_view p = payload;
-    auto key = GetLengthPrefixed(&p);
-    if (!key.ok()) {
-      break;
-    }
-    auto row = DecodeRow(&p);
-    if (!row.ok()) {
-      break;
-    }
-    apply(*key, *row);
-  }
+  ReplayPrefix(all, apply);
   return Status::Ok();
 }
 
-Status CommitLog::Retire() { return sink_->Truncate(); }
+Status CommitLog::Recover(
+    const std::function<void(std::string_view key, const Row& row)>& apply) {
+  std::string all;
+  MC_RETURN_IF_ERROR(sink_->ReadAll(&all));
+  const size_t valid_prefix = ReplayPrefix(all, apply);
+  if (valid_prefix < all.size()) {
+    OBS_COUNTER_ADD("commitlog.recover.truncated_bytes", all.size() - valid_prefix);
+    MC_RETURN_IF_ERROR(sink_->TruncateTo(valid_prefix));
+  }
+  OBS_COUNTER_INC("commitlog.recover.count");
+  appended_bytes_ = valid_prefix;
+  synced_bytes_ = valid_prefix;
+  appends_since_sync_ = 0;
+  return Status::Ok();
+}
+
+size_t CommitLog::Crash(uint64_t draw) {
+  const size_t unsynced = appended_bytes_ - synced_bytes_;
+  const size_t dropped = static_cast<size_t>(draw % (unsynced + 1));
+  if (dropped > 0) {
+    (void)sink_->TruncateTo(appended_bytes_ - dropped);
+    OBS_COUNTER_ADD("commitlog.crash.dropped_bytes", dropped);
+  }
+  // Whatever survived the crash is on stable storage now.
+  appended_bytes_ -= dropped;
+  synced_bytes_ = appended_bytes_;
+  appends_since_sync_ = 0;
+  return dropped;
+}
+
+Status CommitLog::Retire() {
+  appended_bytes_ = 0;
+  synced_bytes_ = 0;
+  appends_since_sync_ = 0;
+  return sink_->Truncate();
+}
 
 }  // namespace minicrypt

@@ -1,6 +1,14 @@
 // Write-ahead commit log of the storage engine. Records are CRC-framed and
 // replayable; segments are retired when the memtable they cover is flushed,
 // which bounds memory for the in-memory sink.
+//
+// Durability model: appends become durable in batches of `sync_every_appends`
+// (Cassandra's batch commitlog mode; 1 = every append is synced). A crash
+// (`Crash`) keeps only the synced watermark plus a seeded fraction of the
+// unsynced tail — possibly cutting mid-record, exactly what a torn page
+// looks like. Recovery (`Recover`) replays every intact record and truncates
+// the segment at the last intact record, so post-restart appends can never
+// interleave with garbage left behind by the crash.
 
 #ifndef MINICRYPT_SRC_KVSTORE_COMMIT_LOG_H_
 #define MINICRYPT_SRC_KVSTORE_COMMIT_LOG_H_
@@ -26,6 +34,8 @@ class LogSink {
   virtual Status Append(std::string_view bytes) = 0;
   virtual Status ReadAll(std::string* out) const = 0;
   virtual Status Truncate() = 0;
+  // Keeps only the first `size` bytes (crash tail-drop, recovery truncation).
+  virtual Status TruncateTo(size_t size) = 0;
 };
 
 // Keeps log bytes in memory. Default for simulations.
@@ -34,6 +44,7 @@ class MemoryLogSink : public LogSink {
   Status Append(std::string_view bytes) override;
   Status ReadAll(std::string* out) const override;
   Status Truncate() override;
+  Status TruncateTo(size_t size) override;
 
  private:
   std::string data_;
@@ -47,6 +58,7 @@ class FileLogSink : public LogSink {
   Status Append(std::string_view bytes) override;
   Status ReadAll(std::string* out) const override;
   Status Truncate() override;
+  Status TruncateTo(size_t size) override;
 
  private:
   std::string path_;
@@ -57,23 +69,43 @@ class CommitLog {
   // `media` may be nullptr (no latency charging). `fault_injector` (optional)
   // makes Append fail at the kCommitLogAppend point — the fsync-equivalent
   // durability failure; the engine then rejects the whole mutation.
+  // `sync_every_appends` >= 1: how many appends share one fsync; anything the
+  // last sync has not covered is at risk in Crash.
   CommitLog(std::unique_ptr<LogSink> sink, Media* media,
-            FaultInjector* fault_injector = nullptr);
+            FaultInjector* fault_injector = nullptr, uint64_t sync_every_appends = 1);
 
   // Appends one record: the row update applied at `encoded_key`.
   Status Append(std::string_view encoded_key, const Row& update);
 
   // Replays every intact record in order; stops at the first torn/corrupt
-  // record (normal after a crash mid-append).
+  // record (normal after a crash mid-append). Read-only: the suspect tail
+  // stays in the sink. Use Recover on the restart path.
   Status Replay(const std::function<void(std::string_view key, const Row& row)>& apply) const;
+
+  // Replay + truncate the segment at the last intact record. Restart must use
+  // this (not Replay): appends after a bare Replay would land beyond the torn
+  // tail and be unreachable on the next recovery.
+  Status Recover(const std::function<void(std::string_view key, const Row& row)>& apply);
+
+  // Simulates the node process dying: drops `draw % (unsynced_tail + 1)`
+  // bytes off the end of the segment — byte-granular, so the cut can land in
+  // the middle of a record. Returns the number of bytes lost.
+  size_t Crash(uint64_t draw);
 
   // Drops all records (called after a successful memtable flush).
   Status Retire();
+
+  // Bytes appended but not yet covered by a sync (introspection for tests).
+  size_t UnsyncedBytes() const { return appended_bytes_ - synced_bytes_; }
 
  private:
   std::unique_ptr<LogSink> sink_;
   Media* media_;
   FaultInjector* fault_injector_;
+  const uint64_t sync_every_appends_;
+  uint64_t appends_since_sync_ = 0;
+  size_t appended_bytes_ = 0;
+  size_t synced_bytes_ = 0;
 };
 
 }  // namespace minicrypt

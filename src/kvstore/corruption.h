@@ -1,0 +1,25 @@
+// Shared constructor for corruption errors inside the kvstore. Every
+// Status::Corruption raised by the storage layers goes through here so that
+// (a) the message names what is corrupt (table / SSTable / block / record)
+// and (b) the storage.corruption.detected counter ticks — the chaos harness
+// asserts from that counter that no injected bit-flip was ever served as
+// data (docs/TESTING.md, "crash & corruption schedules").
+
+#ifndef MINICRYPT_SRC_KVSTORE_CORRUPTION_H_
+#define MINICRYPT_SRC_KVSTORE_CORRUPTION_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/metrics.h"
+
+namespace minicrypt {
+
+inline Status CorruptionDetected(std::string message) {
+  OBS_COUNTER_INC("storage.corruption.detected");
+  return Status::Corruption(std::move(message));
+}
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_KVSTORE_CORRUPTION_H_

@@ -37,9 +37,11 @@ enum class FaultPoint : int {
   kReplicaDelay,         // coordinator->replica message delayed
   kNodeFlap,             // node down/up toggle (drawn in Cluster::ChaosTick)
   kClockSkew,            // LWW timestamp skew on plain writes
+  kCrash,                // node crash; the draw sizes the torn commit-log tail
+  kMediaCorruption,      // seeded bit-flip in a stored SSTable block
 };
 
-inline constexpr int kFaultPointCount = 9;
+inline constexpr int kFaultPointCount = 11;
 
 std::string_view FaultPointName(FaultPoint point);
 

@@ -16,6 +16,10 @@ StorageEngine* Node::EngineFor(std::string_view table, bool server_compression) 
   }
   StorageEngineOptions opts = engine_options_;
   opts.sstable.server_compression = server_compression;
+  opts.sstable.table = std::string(table);
+  // The block cache is shared across this node's engines and keys blocks by
+  // (sstable id, block index); give each engine a disjoint id space.
+  opts.sstable_id_base = next_engine_ordinal_++ << 32;
   auto engine = std::make_unique<StorageEngine>(opts, &cache_, media_.get(),
                                                 std::make_unique<MemoryLogSink>());
   StorageEngine* raw = engine.get();
@@ -28,6 +32,14 @@ StorageEngine* Node::FindEngine(std::string_view table) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = engines_.find(table);
   return it == engines_.end() ? nullptr : it->second.get();
+}
+
+void Node::ForEachEngine(
+    const std::function<void(const std::string& table, StorageEngine*)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [table, engine] : engines_) {
+    fn(table, engine.get());
+  }
 }
 
 void Node::DropTable(std::string_view table) {

@@ -4,6 +4,7 @@
 #ifndef MINICRYPT_SRC_KVSTORE_NODE_H_
 #define MINICRYPT_SRC_KVSTORE_NODE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,11 @@ class Node {
   // nullptr when the table does not exist on this node.
   StorageEngine* FindEngine(std::string_view table);
 
+  // Applies `fn` to every (table, engine) pair, in table order. Holds the
+  // node's engine-map mutex for the duration; `fn` may call engine methods
+  // (engine mutexes nest below).
+  void ForEachEngine(const std::function<void(const std::string& table, StorageEngine*)>& fn);
+
   void DropTable(std::string_view table);
 
  private:
@@ -42,6 +48,7 @@ class Node {
   StorageEngineOptions engine_options_;
 
   std::mutex mu_;
+  uint64_t next_engine_ordinal_ = 0;  // sizes each engine's SSTable-id space
   std::map<std::string, std::unique_ptr<StorageEngine>, std::less<>> engines_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/kvstore/row.h"
 
 #include "src/common/coding.h"
+#include "src/kvstore/corruption.h"
 
 namespace minicrypt {
 
@@ -61,7 +62,9 @@ Result<DecodedRowKey> DecodeRowKey(std::string_view encoded) {
   std::string_view in = encoded;
   MC_ASSIGN_OR_RETURN(uint64_t plen, GetVarint64(&in));
   if (in.size() < plen) {
-    return Status::Corruption("row key shorter than partition length");
+    return CorruptionDetected("row key (" + std::to_string(encoded.size()) +
+                              " bytes) shorter than declared partition length " +
+                              std::to_string(plen));
   }
   DecodedRowKey out;
   out.partition = in.substr(0, plen);
@@ -87,14 +90,15 @@ Result<Row> DecodeRow(std::string_view* input) {
   Row row;
   MC_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(input));
   if (n > (1u << 20)) {
-    return Status::Corruption("row declares absurd cell count");
+    return CorruptionDetected("row declares absurd cell count " + std::to_string(n));
   }
   for (uint64_t i = 0; i < n; ++i) {
     MC_ASSIGN_OR_RETURN(std::string_view name, GetLengthPrefixed(input));
     MC_ASSIGN_OR_RETURN(std::string_view value, GetLengthPrefixed(input));
     MC_ASSIGN_OR_RETURN(uint64_t ts, GetVarint64(input));
     if (input->empty()) {
-      return Status::Corruption("row truncated before tombstone flag");
+      return CorruptionDetected("row truncated before tombstone flag (cell " +
+                                std::to_string(i) + "/" + std::to_string(n) + ")");
     }
     const bool tomb = input->front() == '\x01';
     input->remove_prefix(1);

@@ -1,23 +1,44 @@
 #include "src/kvstore/sstable.h"
 
+#include <zlib.h>
+
 #include "src/common/coding.h"
 #include "src/compress/compressor.h"
+#include "src/kvstore/corruption.h"
+#include "src/kvstore/fault_injector.h"
 
 namespace minicrypt {
 
 namespace {
 
-// At-rest block framing when server compression is on: 1-byte tag (0 = raw,
-// 1 = zlib) followed by the payload. Incompressible blocks stay raw.
-std::string CompressBlockAtRest(std::string_view raw) {
-  const Compressor* zlib = FindCompressor("zlib");
-  auto compressed = zlib->Compress(raw);
-  if (compressed.ok() && compressed->size() + 1 < raw.size()) {
-    std::string out;
-    out.reserve(compressed->size() + 1);
-    out.push_back('\x01');
-    out.append(*compressed);
-    return out;
+uint32_t Crc32(std::string_view data) {
+  return static_cast<uint32_t>(
+      crc32(0L, reinterpret_cast<const Bytef*>(data.data()), static_cast<uInt>(data.size())));
+}
+
+// Magic bytes of the v2 checksummed footer (docs/FORMATS.md).
+constexpr std::string_view kFooterMagic = "MCS2";
+
+// Little-endian fixed32 from the first 4 bytes, 0 when too short.
+uint32_t ReadFixed32(std::string_view bytes) {
+  auto v = GetFixed32(&bytes);
+  return v.ok() ? *v : 0;
+}
+
+// v2 at-rest framing: 1-byte tag (0 = raw, 1 = zlib) + payload + fixed32
+// CRC32 over tag||payload. The CRC suffix is appended by the builder; these
+// helpers frame/unframe the tag||payload body. Incompressible blocks stay raw.
+std::string CompressBlockBody(std::string_view raw, bool server_compression) {
+  if (server_compression) {
+    const Compressor* zlib = FindCompressor("zlib");
+    auto compressed = zlib->Compress(raw);
+    if (compressed.ok() && compressed->size() + 1 < raw.size()) {
+      std::string out;
+      out.reserve(compressed->size() + 1);
+      out.push_back('\x01');
+      out.append(*compressed);
+      return out;
+    }
   }
   std::string out;
   out.reserve(raw.size() + 1);
@@ -26,19 +47,25 @@ std::string CompressBlockAtRest(std::string_view raw) {
   return out;
 }
 
-Result<std::string> DecompressBlockAtRest(std::string_view at_rest) {
-  if (at_rest.empty()) {
-    return Status::Corruption("empty at-rest block");
+Result<std::string> DecompressBlockBody(std::string_view body, const std::string& context) {
+  if (body.empty()) {
+    return CorruptionDetected(context + ": empty at-rest block");
   }
-  const char tag = at_rest.front();
-  at_rest.remove_prefix(1);
+  const char tag = body.front();
+  body.remove_prefix(1);
   if (tag == '\x00') {
-    return std::string(at_rest);
+    return std::string(body);
   }
   if (tag == '\x01') {
-    return FindCompressor("zlib")->Decompress(at_rest);
+    auto raw = FindCompressor("zlib")->Decompress(body);
+    if (!raw.ok()) {
+      return CorruptionDetected(context + ": at-rest block fails to decompress (" +
+                                raw.status().message() + ")");
+    }
+    return raw;
   }
-  return Status::Corruption("unknown at-rest block tag");
+  return CorruptionDetected(context + ": unknown at-rest block tag " +
+                            std::to_string(static_cast<int>(tag)));
 }
 
 }  // namespace
@@ -57,7 +84,7 @@ Status ForEachBlockEntry(std::string_view raw_block,
 }
 
 SstableBuilder::SstableBuilder(uint64_t id, SstableOptions options)
-    : id_(id), options_(options) {}
+    : id_(id), options_(std::move(options)) {}
 
 void SstableBuilder::Add(std::string_view encoded_key, const Row& row) {
   if (pending_.empty()) {
@@ -78,21 +105,15 @@ void SstableBuilder::FlushBlock() {
     return;
   }
   block_raw_bytes_.push_back(pending_.size());
-  if (options_.server_compression) {
-    blocks_.push_back(CompressBlockAtRest(pending_));
-  } else {
-    std::string out;
-    out.reserve(pending_.size() + 1);
-    out.push_back('\x00');
-    out.append(pending_);
-    blocks_.push_back(std::move(out));
-  }
+  std::string body = CompressBlockBody(pending_, options_.server_compression);
+  PutFixed32(&body, Crc32(body));  // v2: trailing block checksum
+  blocks_.push_back(std::move(body));
   block_first_key_.push_back(pending_first_key_);
   pending_.clear();
   pending_first_key_.clear();
 }
 
-std::shared_ptr<Sstable> SstableBuilder::Finish(Media* media) {
+std::shared_ptr<Sstable> SstableBuilder::Finish(Media* media, FaultInjector* fault_injector) {
   FlushBlock();
   BloomFilter bloom(keys_for_bloom_.size(), options_.bloom_bits_per_key);
   for (const auto& k : keys_for_bloom_) {
@@ -102,9 +123,49 @@ std::shared_ptr<Sstable> SstableBuilder::Finish(Media* media) {
   table->blocks_ = std::move(blocks_);
   table->block_first_key_ = std::move(block_first_key_);
   table->entry_count_ = entry_count_;
+
+  // v2 footer: magic, counts, then every block's CRC + stored length + first
+  // key, sealed under its own CRC. The footer's CRC copies are authoritative
+  // for scrub: a bit-flip in a block disagrees with the footer even if it
+  // happens to land in the block's own CRC suffix.
+  std::string footer(kFooterMagic);
+  PutVarint64(&footer, table->blocks_.size());
+  PutVarint64(&footer, table->entry_count_);
+  table->block_crcs_.reserve(table->blocks_.size());
+  for (size_t i = 0; i < table->blocks_.size(); ++i) {
+    const std::string& stored = table->blocks_[i];
+    uint32_t crc = 0;
+    if (stored.size() >= 4) {
+      crc = ReadFixed32(std::string_view(stored.data() + stored.size() - 4, 4));
+    }
+    table->block_crcs_.push_back(crc);
+    PutFixed32(&footer, crc);
+    PutVarint64(&footer, stored.size());
+    PutLengthPrefixed(&footer, table->block_first_key_[i]);
+  }
+  PutFixed32(&footer, Crc32(footer));
+  table->footer_ = std::move(footer);
+
+  // Media corruption injection: one draw per stored block, after all
+  // checksums are computed, so every injected flip is detectable.
+  if (fault_injector != nullptr) {
+    const std::string context =
+        "table '" + options_.table + "' sstable #" + std::to_string(id_);
+    for (auto& stored : table->blocks_) {
+      uint64_t draw = 0;
+      if (!stored.empty() &&
+          fault_injector->Fire(FaultPoint::kMediaCorruption, context, &draw)) {
+        const uint64_t bit = draw % (stored.size() * 8);
+        stored[bit / 8] = static_cast<char>(stored[bit / 8] ^ (1u << (bit % 8)));
+        OBS_COUNTER_INC("storage.corruption.injected");
+      }
+    }
+  }
+
   for (const auto& b : table->blocks_) {
     table->at_rest_bytes_ += b.size();
   }
+  table->at_rest_bytes_ += table->footer_.size();
   if (!table->block_first_key_.empty()) {
     table->smallest_ = table->block_first_key_.front();
     table->largest_ = last_key_;
@@ -116,7 +177,12 @@ std::shared_ptr<Sstable> SstableBuilder::Finish(Media* media) {
 }
 
 Sstable::Sstable(uint64_t id, SstableOptions options, BloomFilter bloom)
-    : id_(id), options_(options), bloom_(std::move(bloom)) {}
+    : id_(id), options_(std::move(options)), bloom_(std::move(bloom)) {}
+
+std::string Sstable::BlockContext(size_t idx) const {
+  return "table '" + options_.table + "' sstable #" + std::to_string(id_) + " block " +
+         std::to_string(idx) + "/" + std::to_string(blocks_.size());
+}
 
 void Sstable::WarmInto(
     BlockCache* cache,
@@ -137,23 +203,93 @@ void Sstable::WarmInto(
 
 Result<std::shared_ptr<const std::string>> Sstable::FetchBlock(size_t idx, BlockCache* cache,
                                                                Media* media) const {
+  std::shared_ptr<const std::string> at_rest;
   if (cache != nullptr) {
     auto hit = cache->Get(id_, idx);
     if (hit.has_value()) {
-      // Cached at-rest form; decompress per access when compression is on.
-      MC_ASSIGN_OR_RETURN(std::string raw, DecompressBlockAtRest(**hit));
-      return std::make_shared<const std::string>(std::move(raw));
+      at_rest = *hit;
     }
   }
-  const std::string& at_rest = blocks_[idx];
-  if (media != nullptr) {
-    media->Read(at_rest.size());
+  if (at_rest == nullptr) {
+    // Media holds the at-rest form; decompress/verify per access.
+    if (media != nullptr) {
+      media->Read(blocks_[idx].size());
+    }
+    at_rest = std::make_shared<const std::string>(blocks_[idx]);
+    if (cache != nullptr) {
+      cache->Put(id_, idx, at_rest);
+    }
   }
-  if (cache != nullptr) {
-    cache->Put(id_, idx, std::make_shared<const std::string>(at_rest));
+  // v2 framing: tag || payload || fixed32 crc. Verify on every fetch — cached
+  // copies included — so a flipped bit can never decode into plausible rows.
+  if (at_rest->size() < 5) {
+    return CorruptionDetected(BlockContext(idx) + ": at-rest block truncated (" +
+                              std::to_string(at_rest->size()) + " bytes)");
   }
-  MC_ASSIGN_OR_RETURN(std::string raw, DecompressBlockAtRest(at_rest));
+  std::string_view body(at_rest->data(), at_rest->size() - 4);
+  if (options_.verify_checksums) {
+    const uint32_t stored_crc =
+        ReadFixed32(std::string_view(at_rest->data() + at_rest->size() - 4, 4));
+    const uint32_t actual_crc = Crc32(body);
+    if (actual_crc != stored_crc ||
+        (idx < block_crcs_.size() && stored_crc != block_crcs_[idx])) {
+      OBS_COUNTER_INC("storage.corruption.block_crc_mismatches");
+      return CorruptionDetected(BlockContext(idx) + ": block checksum mismatch (stored " +
+                                std::to_string(stored_crc) + ", computed " +
+                                std::to_string(actual_crc) + ")");
+    }
+  }
+  MC_ASSIGN_OR_RETURN(std::string raw, DecompressBlockBody(body, BlockContext(idx)));
   return std::make_shared<const std::string>(std::move(raw));
+}
+
+Status Sstable::VerifyChecksums(Media* media) const {
+  if (media != nullptr && at_rest_bytes_ > 0) {
+    media->Read(at_rest_bytes_);  // one streaming read of the whole extent
+  }
+  // Footer first: magic + its own CRC + counts must line up.
+  if (footer_.size() < kFooterMagic.size() + 4 ||
+      std::string_view(footer_).substr(0, kFooterMagic.size()) != kFooterMagic) {
+    return CorruptionDetected("table '" + options_.table + "' sstable #" + std::to_string(id_) +
+                              ": footer magic missing");
+  }
+  std::string_view body(footer_.data(), footer_.size() - 4);
+  if (Crc32(body) != ReadFixed32(std::string_view(footer_.data() + footer_.size() - 4, 4))) {
+    return CorruptionDetected("table '" + options_.table + "' sstable #" + std::to_string(id_) +
+                              ": footer checksum mismatch");
+  }
+  std::string_view in = body.substr(kFooterMagic.size());
+  auto block_count = GetVarint64(&in);
+  auto entries = GetVarint64(&in);
+  if (!block_count.ok() || !entries.ok() || *block_count != blocks_.size() ||
+      *entries != entry_count_) {
+    return CorruptionDetected("table '" + options_.table + "' sstable #" + std::to_string(id_) +
+                              ": footer block/entry counts disagree with the table");
+  }
+  for (size_t idx = 0; idx < blocks_.size(); ++idx) {
+    auto footer_crc = GetFixed32(&in);
+    auto stored_len = GetVarint64(&in);
+    auto first_key = GetLengthPrefixed(&in);
+    if (!footer_crc.ok() || !stored_len.ok() || !first_key.ok()) {
+      return CorruptionDetected("table '" + options_.table + "' sstable #" +
+                                std::to_string(id_) + ": footer entry " + std::to_string(idx) +
+                                " truncated");
+    }
+    const std::string& stored = blocks_[idx];
+    if (*stored_len != stored.size() || stored.size() < 5) {
+      return CorruptionDetected(BlockContext(idx) + ": stored size " +
+                                std::to_string(stored.size()) + " != footer size " +
+                                std::to_string(*stored_len));
+    }
+    std::string_view block_body(stored.data(), stored.size() - 4);
+    const uint32_t block_crc =
+        ReadFixed32(std::string_view(stored.data() + stored.size() - 4, 4));
+    if (Crc32(block_body) != block_crc || block_crc != *footer_crc) {
+      OBS_COUNTER_INC("storage.corruption.block_crc_mismatches");
+      return CorruptionDetected(BlockContext(idx) + ": block checksum mismatch during scrub");
+    }
+  }
+  return Status::Ok();
 }
 
 int Sstable::FindBlock(std::string_view encoded_key) const {
@@ -173,67 +309,64 @@ int Sstable::FindBlock(std::string_view encoded_key) const {
   return ans;
 }
 
-std::optional<Row> Sstable::Get(std::string_view encoded_key, BlockCache* cache,
-                                Media* media) const {
+Result<std::optional<Row>> Sstable::Get(std::string_view encoded_key, BlockCache* cache,
+                                        Media* media) const {
   if (blocks_.empty() || !bloom_.MayContain(encoded_key)) {
-    return std::nullopt;
+    return std::optional<Row>();
   }
   const int b = FindBlock(encoded_key);
   if (b < 0) {
-    return std::nullopt;
+    return std::optional<Row>();
   }
-  auto block = FetchBlock(static_cast<size_t>(b), cache, media);
-  if (!block.ok()) {
-    return std::nullopt;
-  }
+  MC_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> block,
+                      FetchBlock(static_cast<size_t>(b), cache, media));
   std::optional<Row> found;
-  ForEachBlockEntry(**block, [&](std::string_view key, const Row& row) {
+  MC_RETURN_IF_ERROR(ForEachBlockEntry(*block, [&](std::string_view key, const Row& row) {
     if (key == encoded_key) {
       found = row;
       return false;
     }
     return key < encoded_key;  // keep scanning while below
-  });
+  }));
   return found;
 }
 
-std::optional<std::string> Sstable::FloorKey(std::string_view prefix,
-                                             std::string_view encoded_key, BlockCache* cache,
-                                             Media* media) const {
+Result<std::optional<std::string>> Sstable::FloorKey(std::string_view prefix,
+                                                     std::string_view encoded_key,
+                                                     BlockCache* cache, Media* media) const {
   if (blocks_.empty() || smallest_ > encoded_key) {
-    return std::nullopt;
+    return std::optional<std::string>();
   }
   int b = FindBlock(encoded_key);
   if (b < 0) {
-    return std::nullopt;
+    return std::optional<std::string>();
   }
   // The floor may be in block b; if block b has no key <= target (cannot
   // happen since its first key <= target), or the found floor lacks the
   // prefix, step to earlier blocks while they can still contain the prefix.
   while (b >= 0) {
-    auto block = FetchBlock(static_cast<size_t>(b), cache, media);
-    if (!block.ok()) {
-      return std::nullopt;
-    }
+    MC_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> block,
+                        FetchBlock(static_cast<size_t>(b), cache, media));
     std::string best;
-    ForEachBlockEntry(**block, [&](std::string_view key, const Row& row) {
+    MC_RETURN_IF_ERROR(ForEachBlockEntry(*block, [&](std::string_view key, const Row& row) {
       if (key > encoded_key) {
         return false;
       }
       best = std::string(key);
       return true;
-    });
+    }));
     if (!best.empty()) {
-      if (best.size() >= prefix.size() && std::string_view(best).substr(0, prefix.size()) == prefix) {
-        return best;
+      if (best.size() >= prefix.size() &&
+          std::string_view(best).substr(0, prefix.size()) == prefix) {
+        return std::optional<std::string>(std::move(best));
       }
       // The floor exists but belongs to an earlier partition — no key of this
       // partition is <= target in this table.
-      return std::nullopt;
+      return std::optional<std::string>();
     }
     --b;
   }
-  return std::nullopt;
+  return std::optional<std::string>();
 }
 
 Status Sstable::Scan(std::string_view lo, std::string_view hi,

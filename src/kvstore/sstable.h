@@ -2,9 +2,18 @@
 //
 // Layout (all in a single "media extent" byte buffer that reads are charged
 // against): a sequence of data blocks, each holding encoded (key, row)
-// entries in sorted order. The sparse index (first key + offset + length per
-// block) and the bloom filter are kept in RAM, as real stores do; data blocks
-// are fetched through the BlockCache and charged to the Media model on miss.
+// entries in sorted order, followed by a checksummed footer. The sparse index
+// (first key + offset + length per block) and the bloom filter are kept in
+// RAM, as real stores do; data blocks are fetched through the BlockCache and
+// charged to the Media model on miss.
+//
+// Format v2 (docs/FORMATS.md): every at-rest block carries a trailing CRC32
+// over its tag byte + payload, and the footer repeats every block's CRC plus
+// table-level metadata under its own CRC. Reads verify the block CRC on every
+// fetch (cache hit or media read); a mismatch surfaces as Status::Corruption
+// naming the table, SSTable id, and block index, and the engine quarantines
+// the table. `SstableOptions::verify_checksums` exists only so benchmarks can
+// measure the verification overhead.
 //
 // Optional server-side block compression (zlib) models Cassandra's at-rest
 // SSTable compression: the cached/at-rest form is the compressed block, and
@@ -29,10 +38,14 @@
 
 namespace minicrypt {
 
+class FaultInjector;
+
 struct SstableOptions {
   size_t block_bytes = 4096;
   int bloom_bits_per_key = 10;
   bool server_compression = false;  // compress blocks at rest (zlib)
+  bool verify_checksums = true;     // verify block CRC32 on every fetch
+  std::string table;                // table name, for corruption messages
 };
 
 class Sstable;
@@ -46,7 +59,11 @@ class SstableBuilder {
   void Add(std::string_view encoded_key, const Row& row);
 
   // Seals the table. `media` is charged for the sequential write.
-  std::shared_ptr<Sstable> Finish(Media* media);
+  // `fault_injector` (optional) is consulted at the kMediaCorruption point
+  // once per block: a trip flips one seeded bit of the stored block — the
+  // write that "went bad on the platter". The flip happens after checksums
+  // are computed, so it is always detectable.
+  std::shared_ptr<Sstable> Finish(Media* media, FaultInjector* fault_injector = nullptr);
 
   size_t entry_count() const { return entry_count_; }
 
@@ -67,20 +84,28 @@ class SstableBuilder {
 
 class Sstable {
  public:
-  // Looks up the newest row for the key. Returns nullopt when absent.
+  // Looks up the newest row for the key. Ok(nullopt) when absent; Corruption
+  // when the covering block fails its checksum or fails to decode.
   // Media/cache charging happens inside.
-  std::optional<Row> Get(std::string_view encoded_key, BlockCache* cache, Media* media) const;
+  Result<std::optional<Row>> Get(std::string_view encoded_key, BlockCache* cache,
+                                 Media* media) const;
 
   // Largest key <= `encoded_key` that starts with `prefix`. Returns the key
-  // (owned string) or nullopt.
-  std::optional<std::string> FloorKey(std::string_view prefix, std::string_view encoded_key,
-                                      BlockCache* cache, Media* media) const;
+  // (owned string), Ok(nullopt) when absent, Corruption on a bad block.
+  Result<std::optional<std::string>> FloorKey(std::string_view prefix,
+                                              std::string_view encoded_key, BlockCache* cache,
+                                              Media* media) const;
 
   // Applies `fn` to every entry with lo <= key <= hi (encoded keys) in order.
   // Return false from `fn` to stop early.
   Status Scan(std::string_view lo, std::string_view hi,
               const std::function<bool(std::string_view, const Row&)>& fn, BlockCache* cache,
               Media* media) const;
+
+  // Scrub entry: verifies the footer and every block's CRC32 without going
+  // through the cache. `media`, when non-null, is charged one streaming read
+  // of the whole extent. Returns the first corruption found.
+  Status VerifyChecksums(Media* media) const;
 
   // Pre-populates `cache` with this table's at-rest blocks (no media charge).
   // Benchmarks use it to model the paper's multi-minute cache warmup without
@@ -94,6 +119,7 @@ class Sstable {
 
   uint64_t id() const { return id_; }
   size_t entry_count() const { return entry_count_; }
+  size_t block_count() const { return blocks_.size(); }
   // Bytes at rest (what the block cache would hold if fully resident).
   size_t at_rest_bytes() const { return at_rest_bytes_; }
   std::string_view smallest_key() const { return smallest_; }
@@ -104,10 +130,13 @@ class Sstable {
   friend class SstableBuilder;
   Sstable(uint64_t id, SstableOptions options, BloomFilter bloom);
 
-  // Fetches block `idx` through the cache, charging media on miss, and
-  // returns the *raw* (decompressed) block bytes.
+  // Fetches block `idx` through the cache, charging media on miss, verifying
+  // the block CRC, and returns the *raw* (decompressed) block bytes.
   Result<std::shared_ptr<const std::string>> FetchBlock(size_t idx, BlockCache* cache,
                                                         Media* media) const;
+
+  // "table 't' sstable #4 block 7" — prefix for corruption messages.
+  std::string BlockContext(size_t idx) const;
 
   // Index of the last block whose first key <= `encoded_key`, or -1.
   int FindBlock(std::string_view encoded_key) const;
@@ -115,8 +144,10 @@ class Sstable {
   uint64_t id_;
   SstableOptions options_;
   BloomFilter bloom_;
-  std::vector<std::string> blocks_;  // at-rest form ("on media")
+  std::vector<std::string> blocks_;  // at-rest form ("on media"), CRC-suffixed
   std::vector<std::string> block_first_key_;
+  std::vector<uint32_t> block_crcs_;  // authoritative copy, mirrored in footer_
+  std::string footer_;                // v2 checksummed footer (see FORMATS.md)
   size_t entry_count_ = 0;
   size_t at_rest_bytes_ = 0;
   std::string smallest_;

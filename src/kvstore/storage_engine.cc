@@ -9,9 +9,11 @@ namespace minicrypt {
 
 StorageEngine::StorageEngine(StorageEngineOptions options, BlockCache* cache, Media* media,
                              std::unique_ptr<LogSink> log_sink)
-    : options_(options), cache_(cache), media_(media) {
+    : options_(options), cache_(cache), media_(media),
+      next_sstable_id_(options.sstable_id_base + 1) {
   if (options_.enable_commit_log && log_sink != nullptr) {
-    log_ = std::make_unique<CommitLog>(std::move(log_sink), media_, options_.fault_injector);
+    log_ = std::make_unique<CommitLog>(std::move(log_sink), media_, options_.fault_injector,
+                                       options_.commitlog_sync_every_appends);
   }
 }
 
@@ -24,6 +26,10 @@ Status StorageEngine::ApplyPartitionTombstone(std::string_view partition, uint64
   Row marker;
   marker.cells[std::string(kPartitionTombstoneColumn)] = Cell{"", timestamp, true};
   return ApplyInternal(EncodeRowKey(partition, ""), marker);
+}
+
+Status StorageEngine::ApplyEncoded(std::string_view encoded_key, const Row& row) {
+  return ApplyInternal(encoded_key, row);
 }
 
 Status StorageEngine::ApplyInternal(std::string_view encoded_key, const Row& update) {
@@ -51,7 +57,7 @@ Status StorageEngine::FlushLocked() {
   for (const auto& [key, row] : memtable_.entries()) {
     builder.Add(key, row);
   }
-  sstables_.insert(sstables_.begin(), builder.Finish(media_));
+  sstables_.insert(sstables_.begin(), builder.Finish(media_, options_.fault_injector));
   memtable_.Clear();
   if (log_ != nullptr) {
     MC_RETURN_IF_ERROR(log_->Retire());
@@ -67,12 +73,32 @@ Status StorageEngine::Flush() {
   return FlushLocked();
 }
 
+Status StorageEngine::Crash(uint64_t tear_draw) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OBS_COUNTER_INC("engine.crash.count");
+  // RAM is gone: memtable and any cached blocks. The commit log keeps its
+  // synced prefix plus a seeded fraction of the unsynced tail (possibly torn
+  // mid-record); everything else must come back from SSTables + log replay.
+  memtable_.Clear();
+  if (log_ != nullptr) {
+    const size_t torn = log_->Crash(tear_draw);
+    OBS_COUNTER_ADD("engine.crash.torn_log_bytes", torn);
+  }
+  return Status::Ok();
+}
+
 Status StorageEngine::RecoverFromLog() {
   std::lock_guard<std::mutex> lock(mu_);
   if (log_ == nullptr) {
     return Status::Ok();
   }
-  return log_->Replay([&](std::string_view key, const Row& row) { memtable_.Apply(key, row); });
+  size_t replayed = 0;
+  MC_RETURN_IF_ERROR(log_->Recover([&](std::string_view key, const Row& row) {
+    memtable_.Apply(key, row);
+    ++replayed;
+  }));
+  OBS_COUNTER_ADD("engine.recover.replayed_records", replayed);
+  return Status::Ok();
 }
 
 void StorageEngine::WarmCache(
@@ -82,6 +108,55 @@ void StorageEngine::WarmCache(
   for (auto it = snap.tables.rbegin(); it != snap.tables.rend(); ++it) {
     (*it)->WarmInto(cache_, serves_partition);
   }
+}
+
+void StorageEngine::MarkQuarantined(const std::shared_ptr<Sstable>& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(quarantined_.begin(), quarantined_.end(), table) != quarantined_.end()) {
+    return;
+  }
+  quarantined_.push_back(table);
+  OBS_COUNTER_INC("storage.corruption.sstables_quarantined");
+}
+
+Status StorageEngine::Scrub(std::vector<QuarantinedRange>* out) {
+  OBS_SPAN("engine.scrub");
+  const ReadSnapshot snap = Snapshot();
+  for (const auto& table : snap.tables) {
+    OBS_COUNTER_INC("scrub.sstables_checked");
+    OBS_COUNTER_ADD("scrub.blocks_checked", table->block_count());
+    const Status s = table->VerifyChecksums(media_);
+    if (s.IsCorruption()) {
+      OBS_COUNTER_INC("scrub.sstables_corrupt");
+      MarkQuarantined(table);
+      continue;
+    }
+    MC_RETURN_IF_ERROR(s);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& table : quarantined_) {
+    out->push_back(QuarantinedRange{std::string(table->smallest_key()),
+                                    std::string(table->largest_key()), table->block_count(),
+                                    table->entry_count()});
+  }
+  return Status::Ok();
+}
+
+size_t StorageEngine::DropQuarantined() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (const auto& table : quarantined_) {
+    auto it = std::find(sstables_.begin(), sstables_.end(), table);
+    if (it != sstables_.end()) {
+      sstables_.erase(it);
+    }
+    if (cache_ != nullptr) {
+      cache_->EraseOwner(table->id());
+    }
+    ++dropped;
+  }
+  quarantined_.clear();
+  return dropped;
 }
 
 Status StorageEngine::CompactLocked() {
@@ -101,6 +176,14 @@ Status StorageEngine::CompactLocked() {
           return true;
         },
         /*cache=*/nullptr, /*media=*/nullptr);  // compaction reads charged below
+    if (s.IsCorruption()) {
+      // A bad input block must not wedge the write path, and compacting
+      // around it would be unsafe (a partial merge that drops tombstones can
+      // resurrect deletes). Skip this compaction; the table set grows until
+      // scrub rebuilds the corrupt table from healthy replicas.
+      OBS_COUNTER_INC("engine.compaction.skipped_corrupt");
+      return Status::Ok();
+    }
     MC_RETURN_IF_ERROR(s);
   }
   size_t input_bytes = 0;
@@ -161,7 +244,7 @@ Status StorageEngine::CompactLocked() {
   std::vector<std::shared_ptr<Sstable>> old;
   old.swap(sstables_);
   if (builder.entry_count() > 0) {
-    sstables_.push_back(builder.Finish(media_));
+    sstables_.push_back(builder.Finish(media_, options_.fault_injector));
   }
   if (cache_ != nullptr) {
     for (const auto& table : old) {
@@ -176,8 +259,8 @@ StorageEngine::ReadSnapshot StorageEngine::Snapshot() const {
   return ReadSnapshot{sstables_};
 }
 
-uint64_t StorageEngine::PartitionTombstoneTs(std::string_view partition,
-                                             const ReadSnapshot& snap) {
+Result<uint64_t> StorageEngine::PartitionTombstoneTs(std::string_view partition,
+                                                     const ReadSnapshot& snap) {
   const std::string marker_key = EncodeRowKey(partition, "");
   uint64_t ts = 0;
   {
@@ -192,9 +275,12 @@ uint64_t StorageEngine::PartitionTombstoneTs(std::string_view partition,
   }
   for (const auto& table : snap.tables) {
     auto row = table->Get(marker_key, cache_, media_);
-    if (row.has_value()) {
-      auto it = row->cells.find(kPartitionTombstoneColumn);
-      if (it != row->cells.end()) {
+    if (!row.ok()) {
+      return row.status();
+    }
+    if (row->has_value()) {
+      auto it = (*row)->cells.find(kPartitionTombstoneColumn);
+      if (it != (*row)->cells.end()) {
         ts = std::max(ts, it->second.timestamp);
       }
     }
@@ -213,8 +299,9 @@ void StorageEngine::FilterRow(Row* row, uint64_t ptomb_ts) {
   }
 }
 
-std::optional<Row> StorageEngine::MergedGet(std::string_view encoded_key,
-                                            const ReadSnapshot& snap, uint64_t ptomb_ts) {
+Result<std::optional<Row>> StorageEngine::MergedGet(std::string_view encoded_key,
+                                                    const ReadSnapshot& snap,
+                                                    uint64_t ptomb_ts) {
   Row merged;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -228,28 +315,36 @@ std::optional<Row> StorageEngine::MergedGet(std::string_view encoded_key,
       continue;
     }
     auto row = table->Get(encoded_key, cache_, media_);
-    if (row.has_value()) {
-      merged.MergeNewer(*row);
+    if (!row.ok()) {
+      return row.status();
+    }
+    if (row->has_value()) {
+      merged.MergeNewer(**row);
     }
   }
   FilterRow(&merged, ptomb_ts);
   if (merged.empty()) {
-    return std::nullopt;
+    return std::optional<Row>();
   }
-  return merged;
+  return std::optional<Row>(std::move(merged));
 }
 
-std::optional<Row> StorageEngine::Get(std::string_view partition, std::string_view clustering) {
+Result<Row> StorageEngine::Get(std::string_view partition, std::string_view clustering) {
   OBS_SPAN("engine.get");
   const ReadSnapshot snap = Snapshot();
-  const uint64_t ptomb = PartitionTombstoneTs(partition, snap);
-  return MergedGet(EncodeRowKey(partition, clustering), snap, ptomb);
+  MC_ASSIGN_OR_RETURN(const uint64_t ptomb, PartitionTombstoneTs(partition, snap));
+  MC_ASSIGN_OR_RETURN(std::optional<Row> row,
+                      MergedGet(EncodeRowKey(partition, clustering), snap, ptomb));
+  if (!row.has_value()) {
+    return Status::NotFound();
+  }
+  return std::move(*row);
 }
 
-std::optional<std::pair<std::string, Row>> StorageEngine::Floor(std::string_view partition,
-                                                                std::string_view clustering) {
+Result<std::pair<std::string, Row>> StorageEngine::Floor(std::string_view partition,
+                                                         std::string_view clustering) {
   const ReadSnapshot snap = Snapshot();
-  const uint64_t ptomb = PartitionTombstoneTs(partition, snap);
+  MC_ASSIGN_OR_RETURN(const uint64_t ptomb, PartitionTombstoneTs(partition, snap));
   const std::string prefix = PartitionPrefix(partition);
   std::string target = EncodeRowKey(partition, clustering);
 
@@ -266,19 +361,22 @@ std::optional<std::pair<std::string, Row>> StorageEngine::Floor(std::string_view
     }
     for (const auto& table : snap.tables) {
       auto fk = table->FloorKey(prefix, target, cache_, media_);
-      if (fk.has_value() && (!best.has_value() || *fk > *best)) {
-        best = std::move(fk);
+      if (!fk.ok()) {
+        return fk.status();
+      }
+      if (fk->has_value() && (!best.has_value() || **fk > *best)) {
+        best = std::move(*fk);
       }
     }
     if (!best.has_value() || best->size() <= prefix.size()) {
       // No candidate, or only the partition-marker row (empty clustering).
-      return std::nullopt;
+      return Status::NotFound();
     }
-    auto merged = MergedGet(*best, snap, ptomb);
+    MC_ASSIGN_OR_RETURN(std::optional<Row> merged, MergedGet(*best, snap, ptomb));
     if (merged.has_value()) {
       auto decoded = DecodeRowKey(*best);
       if (!decoded.ok()) {
-        return std::nullopt;
+        return Status::NotFound();
       }
       return std::make_pair(std::string(decoded->clustering), std::move(*merged));
     }
@@ -299,7 +397,7 @@ std::optional<std::pair<std::string, Row>> StorageEngine::Floor(std::string_view
       below.pop_back();
     }
     if (below.size() <= prefix.size()) {
-      return std::nullopt;
+      return Status::NotFound();
     }
     below.back() = static_cast<char>(static_cast<unsigned char>(below.back()) - 1);
     below.append(8, '\xff');
@@ -314,7 +412,7 @@ Status StorageEngine::Scan(std::string_view partition, std::string_view lo, std:
     return Status::Ok();
   }
   const ReadSnapshot snap = Snapshot();
-  const uint64_t ptomb = PartitionTombstoneTs(partition, snap);
+  MC_ASSIGN_OR_RETURN(const uint64_t ptomb, PartitionTombstoneTs(partition, snap));
   const std::string klo = EncodeRowKey(partition, lo);
   const std::string khi = EncodeRowKey(partition, hi);
 
@@ -329,13 +427,14 @@ Status StorageEngine::Scan(std::string_view partition, std::string_view lo, std:
     }
   }
   for (const auto& table : snap.tables) {
-    MC_RETURN_IF_ERROR(table->Scan(
+    const Status s = table->Scan(
         klo, khi,
         [&](std::string_view key, const Row& row) {
           merged[std::string(key)].MergeNewer(row);
           return true;
         },
-        cache_, media_));
+        cache_, media_);
+    MC_RETURN_IF_ERROR(s);
   }
 
   size_t emitted = 0;
@@ -358,6 +457,48 @@ Status StorageEngine::Scan(std::string_view partition, std::string_view lo, std:
   return Status::Ok();
 }
 
+Status StorageEngine::ScanEncodedForRepair(
+    std::string_view lo, std::string_view hi,
+    const std::function<void(std::string_view encoded_key, const Row& row)>& fn) {
+  if (hi < lo) {
+    return Status::Ok();
+  }
+  const ReadSnapshot snap = Snapshot();
+  std::map<std::string, Row> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memtable_.entries().lower_bound(std::string(lo));
+    for (; it != memtable_.entries().end() && it->first <= hi; ++it) {
+      merged[it->first].MergeNewer(it->second);
+    }
+  }
+  for (const auto& table : snap.tables) {
+    // Repair streaming bypasses the block cache (one-shot background reads
+    // would only pollute LRU) but still verifies checksums inside Scan.
+    const Status s = table->Scan(
+        lo, hi,
+        [&](std::string_view key, const Row& row) {
+          merged[std::string(key)].MergeNewer(row);
+          return true;
+        },
+        /*cache=*/nullptr, /*media=*/nullptr);
+    if (s.IsCorruption()) {
+      // A corrupt table contributes only the rows whose blocks passed their
+      // CRC (everything already merged is verified). Skipping the table —
+      // instead of failing the whole stream — keeps this replica useful as a
+      // repair source: its intact tables may hold the only healthy copy of a
+      // row another replica is rebuilding.
+      OBS_COUNTER_INC("repair.source_tables_skipped");
+      continue;
+    }
+    MC_RETURN_IF_ERROR(s);
+  }
+  for (const auto& [key, row] : merged) {
+    fn(key, row);
+  }
+  return Status::Ok();
+}
+
 size_t StorageEngine::AtRestBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t bytes = 0;
@@ -375,6 +516,11 @@ size_t StorageEngine::SstableCount() const {
 size_t StorageEngine::MemtableBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return memtable_.ApproxBytes();
+}
+
+size_t StorageEngine::QuarantinedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_.size();
 }
 
 }  // namespace minicrypt

@@ -6,6 +6,16 @@
 // flush, compaction); reads take a snapshot of the sstable list under the
 // mutex and then run lock-free against immutable tables (media sleeps happen
 // outside the mutex so concurrent readers overlap on an SSD).
+//
+// Corruption handling: SSTable reads verify per-block CRCs (format v2). A
+// read that hits a bad block returns Status::Corruption to the coordinator,
+// which treats it as a replica-local failure and fails over to another
+// replica — the table stays in the read set so its intact blocks (and the
+// rows acked through them) keep serving. Removal is scrub's job, and it is
+// ordered so no acked row ever disappears from this replica's view:
+// Scrub() verifies every table and *marks* the corrupt ones, the cluster
+// re-streams the marked key ranges from healthy replicas into the memtable,
+// and only then DropQuarantined() takes the bad tables out of the read set.
 
 #ifndef MINICRYPT_SRC_KVSTORE_STORAGE_ENGINE_H_
 #define MINICRYPT_SRC_KVSTORE_STORAGE_ENGINE_H_
@@ -16,6 +26,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -35,10 +46,29 @@ struct StorageEngineOptions {
   int compaction_trigger = 8;  // full compaction when this many SSTables exist
   SstableOptions sstable;
   bool enable_commit_log = true;
+  // Appends per fsync-equivalent (1 = every append durable before ack;
+  // Cassandra's batch mode). Larger values leave an unsynced tail that a
+  // crash tears — the regime the crash/recovery chaos schedule exercises.
+  uint64_t commitlog_sync_every_appends = 1;
+  // Base added to this engine's SSTable ids. The node's block cache is shared
+  // by all of its per-table engines and keys blocks by (sstable id, block
+  // index), so each engine needs a disjoint id space (the node assigns
+  // ordinal << 32).
+  uint64_t sstable_id_base = 0;
   // Shared fault injector (not owned; may be null). The engine hands it to
-  // its commit log; the Cluster copies its own injector in here so every
-  // replica's durability path sees the same schedule.
+  // its commit log and SSTable builder; the Cluster copies its own injector
+  // in here so every replica's durability path sees the same schedule.
   FaultInjector* fault_injector = nullptr;
+};
+
+// One quarantined-SSTable record: the key range that left the read set and
+// how many blocks it held (Cluster::ScrubNode rebuilds the range from healthy
+// replicas and reports scrub.blocks_rebuilt from the block count).
+struct QuarantinedRange {
+  std::string smallest;  // encoded row keys, inclusive
+  std::string largest;
+  size_t blocks = 0;
+  size_t entries = 0;
 };
 
 class StorageEngine {
@@ -56,15 +86,22 @@ class StorageEngine {
   // Marks every cell of the partition older than `timestamp` deleted.
   Status ApplyPartitionTombstone(std::string_view partition, uint64_t timestamp);
 
+  // Applies a row at an already-encoded key, cells already timestamped. Used
+  // by scrub/anti-entropy streaming, where rows arrive in at-rest form; LWW
+  // merge makes re-application idempotent.
+  Status ApplyEncoded(std::string_view encoded_key, const Row& row);
+
   // --- Reads -----------------------------------------------------------------
 
-  // Newest visible row, nullopt when absent or fully deleted.
-  std::optional<Row> Get(std::string_view partition, std::string_view clustering);
+  // Newest visible row. NotFound when absent or fully deleted; Corruption
+  // when a covering block failed its checksum (the coordinator treats that
+  // as a replica-local failure and fails over).
+  Result<Row> Get(std::string_view partition, std::string_view clustering);
 
   // Largest clustering key <= `clustering` within the partition whose row is
-  // visible. Returns (clustering, row).
-  std::optional<std::pair<std::string, Row>> Floor(std::string_view partition,
-                                                   std::string_view clustering);
+  // visible. Returns (clustering, row); NotFound when none.
+  Result<std::pair<std::string, Row>> Floor(std::string_view partition,
+                                            std::string_view clustering);
 
   // All visible rows with lo <= clustering <= hi, ascending. `limit` == 0
   // means unlimited.
@@ -72,13 +109,41 @@ class StorageEngine {
               size_t limit,
               const std::function<bool(std::string_view clustering, const Row&)>& fn);
 
+  // Raw merged scan over encoded keys [lo, hi] for repair streaming: no
+  // tombstone filtering, cells keep their timestamps, the partition-tombstone
+  // marker rows are included. Replica convergence needs the raw cells —
+  // filtering would turn a tombstone into silence and resurrect deleted data
+  // on the peer.
+  Status ScanEncodedForRepair(std::string_view lo, std::string_view hi,
+                              const std::function<void(std::string_view encoded_key,
+                                                       const Row& row)>& fn);
+
+  // --- Crash / recovery --------------------------------------------------------
+
+  // Simulates the node process dying: the memtable vanishes and the commit
+  // log loses a seeded fraction of its un-fsynced tail (`tear_draw` sizes the
+  // cut; see CommitLog::Crash). The caller must Restart before serving.
+  Status Crash(uint64_t tear_draw);
+
+  // Crash recovery: replays the commit log into the memtable and truncates
+  // the suspect tail so post-restart appends cannot interleave with garbage.
+  Status RecoverFromLog();
+
+  // Scrub phase 1: verifies every SSTable's checksums, marks corrupt tables
+  // quarantined, and reports all currently-quarantined key ranges. Marked
+  // tables keep serving reads (their bad blocks keep erroring; the
+  // coordinator fails over) until DropQuarantined.
+  Status Scrub(std::vector<QuarantinedRange>* out);
+
+  // Scrub phase 2: removes every quarantined table from the read set (the
+  // caller has already re-streamed the reported ranges from healthy
+  // replicas). Returns how many tables were dropped.
+  size_t DropQuarantined();
+
   // --- Maintenance -------------------------------------------------------------
 
   // Flushes the memtable synchronously (tests / shutdown).
   Status Flush();
-
-  // Replays the commit log into the memtable (crash recovery).
-  Status RecoverFromLog();
 
   // Pushes SSTable blocks into the block cache without media charges
   // (benchmark warmup shortcut; see Sstable::WarmInto). The optional filter
@@ -90,11 +155,15 @@ class StorageEngine {
   size_t AtRestBytes() const;
   size_t SstableCount() const;
   size_t MemtableBytes() const;
+  size_t QuarantinedCount() const;
 
  private:
   // Fully merges all SSTables into one, dropping shadowed cells, cells under
   // partition tombstones, and (because this is a full merge) tombstones
-  // themselves when nothing older can exist.
+  // themselves when nothing older can exist. When an input table fails its
+  // checksums mid-merge the compaction is skipped, not failed — writes keep
+  // flowing (the table set just grows until scrub rebuilds the bad table),
+  // and the corrupt table keeps serving its intact blocks meanwhile.
   Status CompactLocked();
 
   Status FlushLocked();
@@ -107,13 +176,17 @@ class StorageEngine {
   };
   ReadSnapshot Snapshot() const;
 
+  // Adds `table` to the quarantine list without removing it from the read
+  // set (idempotent).
+  void MarkQuarantined(const std::shared_ptr<Sstable>& table);
+
   // Newest partition-tombstone timestamp covering `partition`.
-  uint64_t PartitionTombstoneTs(std::string_view partition, const ReadSnapshot& snap);
+  Result<uint64_t> PartitionTombstoneTs(std::string_view partition, const ReadSnapshot& snap);
 
   // Merges the row across memtable + snapshot tables; applies tombstone
-  // filtering. Returns nullopt when invisible.
-  std::optional<Row> MergedGet(std::string_view encoded_key, const ReadSnapshot& snap,
-                               uint64_t ptomb_ts);
+  // filtering. Ok(nullopt) when invisible.
+  Result<std::optional<Row>> MergedGet(std::string_view encoded_key, const ReadSnapshot& snap,
+                                       uint64_t ptomb_ts);
 
   static void FilterRow(Row* row, uint64_t ptomb_ts);
 
@@ -124,6 +197,8 @@ class StorageEngine {
   mutable std::mutex mu_;
   Memtable memtable_;
   std::vector<std::shared_ptr<Sstable>> sstables_;  // newest first
+  // Corrupt tables found by Scrub, still in sstables_ until DropQuarantined.
+  std::vector<std::shared_ptr<Sstable>> quarantined_;
   std::unique_ptr<CommitLog> log_;
   uint64_t next_sstable_id_ = 1;
 };

@@ -55,6 +55,121 @@ TEST(CommitLog, CorruptRecordStopsReplayWithoutError) {
   EXPECT_EQ(replayed, 1);
 }
 
+TEST(CommitLog, RecoverTruncatesAtLastIntactRecord) {
+  auto sink = std::make_unique<MemoryLogSink>();
+  MemoryLogSink* raw = sink.get();
+  CommitLog log(std::move(sink), nullptr);
+  ASSERT_TRUE(log.Append(EncodeRowKey("p", EncodeKey64(1)), ValueRow("a", 1)).ok());
+  ASSERT_TRUE(log.Append(EncodeRowKey("p", EncodeKey64(2)), ValueRow("b", 2)).ok());
+  // Tear the tail record and leave garbage where its end used to be.
+  std::string all;
+  ASSERT_TRUE(raw->ReadAll(&all).ok());
+  const size_t torn_size = all.size() - 3;
+  ASSERT_TRUE(raw->TruncateTo(torn_size).ok());
+
+  std::vector<std::string> seen;
+  ASSERT_TRUE(log.Recover([&](std::string_view key, const Row& row) {
+                  seen.push_back(row.cells.at("v").value);
+                })
+                  .ok());
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "a");
+  // Recover must have cut the segment back to the last intact record — the
+  // torn bytes are gone from the sink.
+  ASSERT_TRUE(raw->ReadAll(&all).ok());
+  EXPECT_LT(all.size(), torn_size);
+
+  // Post-recovery appends land right after the intact prefix; a second
+  // recovery sees the clean sequence with no garbage interleaved.
+  ASSERT_TRUE(log.Append(EncodeRowKey("p", EncodeKey64(3)), ValueRow("c", 3)).ok());
+  seen.clear();
+  ASSERT_TRUE(log.Recover([&](std::string_view key, const Row& row) {
+                  seen.push_back(row.cells.at("v").value);
+                })
+                  .ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "a");
+  EXPECT_EQ(seen[1], "c");
+}
+
+// Satellite: truncate a multi-record segment at *every* byte offset. Replay
+// must always produce a prefix of the written records — never an error, never
+// a phantom record, never a record out of order.
+TEST(CommitLog, ReplayOfEveryTruncationYieldsAPrefix) {
+  auto sink = std::make_unique<MemoryLogSink>();
+  MemoryLogSink* raw = sink.get();
+  CommitLog log(std::move(sink), nullptr);
+  constexpr int kRecords = 8;
+  std::vector<std::string> written;
+  // Varying value sizes so record boundaries fall at irregular offsets.
+  for (int i = 0; i < kRecords; ++i) {
+    std::string value(static_cast<size_t>(7 * i + 1), static_cast<char>('a' + i));
+    written.push_back(value);
+    ASSERT_TRUE(
+        log.Append(EncodeRowKey("p", EncodeKey64(static_cast<uint64_t>(i))), ValueRow(value, i + 1))
+            .ok());
+  }
+  std::string full;
+  ASSERT_TRUE(raw->ReadAll(&full).ok());
+
+  size_t last_prefix_len = 0;
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    auto truncated = std::make_unique<MemoryLogSink>();
+    ASSERT_TRUE(truncated->Append(std::string_view(full.data(), cut)).ok());
+    CommitLog replayer(std::move(truncated), nullptr);
+    std::vector<std::string> seen;
+    ASSERT_TRUE(replayer
+                    .Replay([&](std::string_view key, const Row& row) {
+                      seen.push_back(row.cells.at("v").value);
+                    })
+                    .ok())
+        << "replay errored at cut " << cut;
+    ASSERT_LE(seen.size(), written.size()) << "phantom record at cut " << cut;
+    for (size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], written[i]) << "not a prefix at cut " << cut;
+    }
+    // Longer inputs can only reveal more records, never fewer.
+    EXPECT_GE(seen.size(), last_prefix_len) << "prefix shrank at cut " << cut;
+    last_prefix_len = seen.size();
+  }
+  EXPECT_EQ(last_prefix_len, static_cast<size_t>(kRecords));
+}
+
+TEST(CommitLog, CrashDropsOnlyUnsyncedTail) {
+  auto sink = std::make_unique<MemoryLogSink>();
+  CommitLog log(std::move(sink), nullptr, nullptr, /*sync_every_appends=*/4);
+  // 4 appends complete a sync batch; the 5th sits in the unsynced tail.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        log.Append(EncodeRowKey("p", EncodeKey64(static_cast<uint64_t>(i))), ValueRow("v", i + 1))
+            .ok());
+  }
+  EXPECT_GT(log.UnsyncedBytes(), 0u);
+  const size_t unsynced = log.UnsyncedBytes();
+  // A draw of unsynced-tail size drops the whole tail (draw % (unsynced+1)).
+  const size_t dropped = log.Crash(unsynced);
+  EXPECT_EQ(dropped, unsynced);
+  EXPECT_EQ(log.UnsyncedBytes(), 0u);
+  int replayed = 0;
+  ASSERT_TRUE(log.Recover([&](std::string_view key, const Row& row) { ++replayed; }).ok());
+  EXPECT_EQ(replayed, 4);  // the synced batch survived intact
+}
+
+TEST(CommitLog, CrashWithEverySyncKeepsEverything) {
+  CommitLog log(std::make_unique<MemoryLogSink>(), nullptr, nullptr,
+                /*sync_every_appends=*/1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        log.Append(EncodeRowKey("p", EncodeKey64(static_cast<uint64_t>(i))), ValueRow("v", i + 1))
+            .ok());
+  }
+  EXPECT_EQ(log.UnsyncedBytes(), 0u);
+  EXPECT_EQ(log.Crash(~0ull), 0u);  // nothing at risk, any draw drops nothing
+  int replayed = 0;
+  ASSERT_TRUE(log.Recover([&](std::string_view key, const Row& row) { ++replayed; }).ok());
+  EXPECT_EQ(replayed, 5);
+}
+
 TEST(FileLogSink, RoundTripOnDisk) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "mc_commit_log_test.log").string();
@@ -66,6 +181,9 @@ TEST(FileLogSink, RoundTripOnDisk) {
     std::string all;
     ASSERT_TRUE(sink.ReadAll(&all).ok());
     EXPECT_EQ(all, "hello world");
+    ASSERT_TRUE(sink.TruncateTo(5).ok());
+    ASSERT_TRUE(sink.ReadAll(&all).ok());
+    EXPECT_EQ(all, "hello");
     ASSERT_TRUE(sink.Truncate().ok());
     ASSERT_TRUE(sink.ReadAll(&all).ok());
     EXPECT_TRUE(all.empty());

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -26,6 +27,7 @@
 #include "src/core/generic_client.h"
 #include "src/crypto/crypto.h"
 #include "src/kvstore/fault_injector.h"
+#include "src/obs/metrics.h"
 
 namespace minicrypt {
 namespace {
@@ -274,7 +276,10 @@ void RecordOp(ThreadTrack* track, uint64_t key, bool is_delete, const std::strin
   if (s.ok()) {
     kt.last_acked = ChaosOp{is_delete, value};
     kt.unacked.clear();
-  } else if (s.IsUnavailable() || s.IsAborted()) {
+  } else if (s.IsUnavailable() || s.IsAborted() || s.IsCorruption()) {
+    // Corruption surfaces when every vote-capable replica erred on the
+    // internal read; the op did not apply, but admitting it as an unacked
+    // candidate only loosens the final-state check, never weakens it.
     kt.unacked.push_back(ChaosOp{is_delete, value});
   } else {
     ADD_FAILURE() << "unexpected status for key " << key << ": " << s.ToString();
@@ -568,6 +573,309 @@ TEST(ModelCheckChaos, InvariantsHoldUnderFire) { RunInvariantsUnderFire(/*shared
 
 TEST(ModelCheckChaos, InvariantsHoldUnderFireWithSharedCache) {
   RunInvariantsUnderFire(/*shared_cache=*/true);
+}
+
+// --- Crash & corruption schedule ---------------------------------------------
+//
+// The second first-class chaos mode (docs/TESTING.md): instead of the
+// network-ish faults above, this schedule crashes whole nodes (memtable gone,
+// commit log torn mid-record), flips bits in at-rest blocks as they are
+// written, and runs the repair machinery — restart + log replay, scrub +
+// rebuild-from-peers, Merkle anti-entropy — concurrently with client traffic.
+// The final audit re-verifies all five invariants and additionally proves the
+// acceptance property: a corrupted block is never served as data (it is
+// detected, quarantined, and rebuilt; the counters must show all three).
+// Override MC_CHAOS_SEED / MC_CHAOS_ITERS / MC_CHAOS_CRASH_PERIOD to replay,
+// extend, or change the crash cadence.
+
+int ChaosCrashPeriod() {
+  if (const char* env = std::getenv("MC_CHAOS_CRASH_PERIOD")) {
+    return std::atoi(env);
+  }
+  return 50;
+}
+
+void ArmCrashCorruptionFaults(FaultInjector* injector) {
+  // Rate 1.0 makes every CrashNode tear-draw count as a trip, so the audit
+  // can assert the schedule actually crashed (the draw itself is taken — and
+  // replayable — regardless of the rate).
+  injector->SetRate(FaultPoint::kCrash, 1.0);
+  injector->SetRate(FaultPoint::kMediaLatency, 0.05);
+  injector->set_latency_spike_base_micros(200);
+  // kMediaCorruption is deliberately NOT rate-armed: the controller scripts
+  // one flip per crash cycle instead. A background rate can corrupt the same
+  // row's block on two replicas before any scrub runs, and RF=3 cannot
+  // survive two simultaneously corrupted copies of a row in any design (the
+  // only remaining copy may be the crash-stale one, whose pack a later
+  // read-modify-write then launders under a fresh timestamp). One scripted
+  // flip per cycle, scrubbed within the same cycle, keeps the cluster in the
+  // single-fault regime where the durability invariant is provable.
+}
+
+TEST(ModelCheckChaos, CrashCorruptionScheduleHoldsInvariants) {
+  const uint64_t seed = ChaosSeed();
+  const int iters = ChaosIters();
+  const int crash_period = ChaosCrashPeriod();
+  std::fprintf(stderr,
+               "[chaos] crash+corruption seed=0x%llx iters=%d period=%d "
+               "(set MC_CHAOS_SEED / MC_CHAOS_CRASH_PERIOD to replay)\n",
+               static_cast<unsigned long long>(seed), iters, crash_period);
+
+  SimulatedClock clock;
+  FaultInjector injector(seed);
+  ArmCrashCorruptionFaults(&injector);
+
+  ClusterOptions copts = ChaosClusterOptions(&clock, &injector);
+  copts.engine.commitlog_sync_every_appends = 4;  // crashes tear real unsynced tails
+  copts.engine.sstable.block_bytes = 1024;        // more blocks: more corruption surface
+  Cluster cluster(copts);
+  const SymmetricKey key = SymmetricKey::FromSeed("crash-chaos");
+  const MiniCryptOptions base_options = ChaosClientOptions(seed + 1);
+  GenericClient setup(&cluster, base_options, key);
+  ASSERT_TRUE(setup.CreateTable().ok());
+
+  Counter* detected = MetricsRegistry::Instance().GetCounter("storage.corruption.detected");
+  Counter* rebuilt = MetricsRegistry::Instance().GetCounter("scrub.blocks_rebuilt");
+  const uint64_t detected_before = detected->Value();
+  const uint64_t rebuilt_before = rebuilt->Value();
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeyspace = 96;
+  std::vector<ThreadTrack> tracks(kThreads);
+  std::atomic<long> ops_done{0};
+  std::atomic<bool> workers_done{false};
+  std::atomic<int> crash_cycles{0};
+
+  // The controller serializes crash -> restart -> repair cycles on op-count
+  // intervals drawn from the seed. It only crashes when the whole ring is up,
+  // and restart drains the crashed node's hints before the next cycle — so
+  // every QUORUM-acked write sits on at least two intact replicas when the
+  // next crash lands, and any quorum read still intersects its write quorum.
+  std::thread controller([&] {
+    Rng crng(seed ^ 0xC4A5401ULL);
+    uint64_t corruption_scripted = 0;
+    auto wait_ops = [&](long delta) {
+      const long target = ops_done.load(std::memory_order_relaxed) + delta;
+      while (ops_done.load(std::memory_order_relaxed) < target && !workers_done.load()) {
+        std::this_thread::yield();
+      }
+    };
+    while (!workers_done.load()) {
+      wait_ops(crash_period + static_cast<long>(crng.Uniform(
+                                  static_cast<uint64_t>(crash_period) + 1)));
+      if (workers_done.load()) {
+        break;
+      }
+      const int node = static_cast<int>(crng.Uniform(3));
+      if (!cluster.CrashNode(node).ok()) {
+        continue;  // raced shutdown; never true mid-run (only we take nodes down)
+      }
+      wait_ops(5 + static_cast<long>(crng.Uniform(15)));  // outage traffic queues hints
+      EXPECT_TRUE(cluster.RestartNode(node).ok());
+      crash_cycles.fetch_add(1);
+      // One corrupt block in flight at a time (see ArmCrashCorruptionFaults):
+      // arm the next flip only once the previous one has fired — and been
+      // scrubbed by the unconditional pass below within its own cycle.
+      if (injector.trips(FaultPoint::kMediaCorruption) == corruption_scripted) {
+        injector.Script(FaultPoint::kMediaCorruption, 1);
+        ++corruption_scripted;
+      }
+      // Force memtables to at-rest form: the workload rewrites packs in place
+      // and rarely crosses the flush threshold on its own, and only flushed
+      // blocks are corruption surface for the build-time bit flips.
+      EXPECT_TRUE(cluster.FlushAll().ok());
+      // Scrub every cycle so the scripted flip is detected and rebuilt before
+      // the next one can be armed; anti-entropy runs concurrently with live
+      // traffic on a random subset of cycles.
+      for (int n = 0; n < 3; ++n) {
+        auto r = cluster.ScrubNode(n);
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+      }
+      if (crng.Bernoulli(0.4)) {
+        EXPECT_TRUE(cluster.AntiEntropyRepair(base_options.table).ok());
+      }
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MiniCryptOptions options = ChaosClientOptions(seed ^ (0x9E3779B97F4A7C15ULL * (t + 1)));
+      GenericClient worker(&cluster, options, key);
+      ThreadTrack& track = tracks[static_cast<size_t>(t)];
+      std::map<uint64_t, int> own_acked_op;
+      const std::string own_tag = "t" + std::to_string(t) + "#";
+      Rng rng(seed + 100 + static_cast<uint64_t>(t));
+      for (int op = 0; op < iters; ++op) {
+        ops_done.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t k = rng.Uniform(kKeyspace);
+        const int kind = static_cast<int>(rng.Uniform(100));
+        if (kind < 50) {  // put
+          const std::string value = "t" + std::to_string(t) + "#" + std::to_string(op);
+          const Status s = worker.Put(k, value);
+          RecordOp(&track, k, /*is_delete=*/false, value, s);
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
+        } else if (kind < 65) {  // delete
+          const Status s = worker.Delete(k);
+          RecordOp(&track, k, /*is_delete=*/true, "", s);
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
+        } else if (kind < 90) {  // get: never corrupt data, never own-stale
+          auto got = worker.Get(k);
+          const Status s = got.status();
+          EXPECT_TRUE(s.ok() || s.IsNotFound() || s.IsUnavailable() || s.IsAborted() ||
+                      s.IsCorruption())
+              << s.ToString();
+          if (got.ok() && got->rfind(own_tag, 0) == 0) {
+            const int read_op = std::atoi(got->c_str() + own_tag.size());
+            auto acked = own_acked_op.find(k);
+            if (acked != own_acked_op.end()) {
+              EXPECT_GE(read_op, acked->second)
+                  << "stale read: key " << k << " returned own value '" << *got
+                  << "' older than this thread's acked op " << acked->second;
+            }
+          }
+        } else {  // narrow range
+          const Status s = worker.GetRange(k, k + 8).status();
+          EXPECT_TRUE(s.ok() || s.IsUnavailable() || s.IsAborted() || s.IsCorruption())
+              << s.ToString();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  workers_done.store(true);
+  controller.join();
+
+  // Tiny MC_CHAOS_ITERS overrides may finish before the first cycle; the
+  // schedule must still contain at least one crash.
+  if (crash_cycles.load() == 0) {
+    ASSERT_TRUE(cluster.CrashNode(0).ok());
+    ASSERT_TRUE(cluster.RestartNode(0).ok());
+  }
+  // Likewise the schedule must contain at least one corrupted block, even on
+  // a run whose scripted flips never found a block build (e.g. tiny
+  // MC_CHAOS_ITERS): script one onto a throwaway partition and flush it to
+  // at-rest form (the audit's scrub must then rebuild it). An armed-but-idle
+  // controller script may also fire on this flush; both flips land before the
+  // audit's scrub loop, and every row is at-rest intact on all replicas at
+  // this point, so any rebuild has an intact source.
+  if (injector.trips(FaultPoint::kMediaCorruption) == 0) {
+    Row backstop;
+    backstop.cells["v"] = Cell{"corruption-backstop", 0, false};
+    ASSERT_TRUE(
+        cluster.Write(base_options.table, "zz-backstop", EncodeKey64(0), backstop).ok());
+    injector.Script(FaultPoint::kMediaCorruption, 1);
+    ASSERT_TRUE(cluster.FlushAll().ok());
+    ASSERT_GE(injector.trips(FaultPoint::kMediaCorruption), 1u);
+  }
+
+  // Final audit: stop injecting, restart whatever is down, drain hints, scrub
+  // every node until nothing is left to rebuild, then one Merkle repair pass.
+  injector.Heal();
+  for (int n = 0; n < 3; ++n) {
+    if (cluster.IsNodeDown(n)) {
+      ASSERT_TRUE(cluster.RestartNode(n).ok());
+    }
+  }
+  cluster.ReplayAllHints();
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.PendingHints(n), 0u) << "node " << n << " still has hints after heal";
+  }
+  size_t scrub_pass = 0;
+  for (int pass = 0; pass < 6; ++pass) {
+    scrub_pass = 0;
+    for (int n = 0; n < 3; ++n) {
+      auto r = cluster.ScrubNode(n);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      scrub_pass += *r;
+    }
+    if (scrub_pass == 0) {
+      break;
+    }
+  }
+  EXPECT_EQ(scrub_pass, 0u) << "scrub did not converge with injection healed";
+  ASSERT_TRUE(cluster.AntiEntropyRepair(base_options.table).ok());
+  SCOPED_TRACE("crash chaos seed 0x" + std::to_string(seed) + " — rerun with MC_CHAOS_SEED");
+
+  // Invariants (a) + (c): every acked write durable, final value admissible.
+  GenericClient reader(&cluster, base_options, key);
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    ASSERT_TRUE(got.ok() || got.status().IsNotFound())
+        << "key " << k << ": " << got.status().ToString();
+    bool acked_put_candidate = false;
+    bool delete_candidate = false;
+    bool value_matches_candidate = false;
+    bool touched = false;
+    for (const ThreadTrack& track : tracks) {
+      auto it = track.find(k);
+      if (it == track.end()) {
+        continue;
+      }
+      touched = true;
+      const KeyTrack& kt = it->second;
+      std::vector<const ChaosOp*> candidates;
+      if (kt.last_acked.has_value()) {
+        candidates.push_back(&*kt.last_acked);
+      }
+      for (const ChaosOp& op : kt.unacked) {
+        candidates.push_back(&op);
+      }
+      if (kt.last_acked.has_value() && !kt.last_acked->is_delete) {
+        acked_put_candidate = true;
+      }
+      for (const ChaosOp* op : candidates) {
+        if (op->is_delete) {
+          delete_candidate = true;
+        } else if (got.ok() && *got == op->value) {
+          value_matches_candidate = true;
+        }
+      }
+    }
+    if (!touched) {
+      EXPECT_TRUE(got.status().IsNotFound()) << "untouched key " << k << " has a value";
+    } else if (got.ok()) {
+      EXPECT_TRUE(value_matches_candidate)
+          << "key " << k << " holds '" << *got << "', which no thread could have written last";
+    } else {
+      EXPECT_TRUE(delete_candidate || !acked_put_candidate)
+          << "key " << k << " lost an acknowledged put";
+    }
+  }
+
+  // Anti-entropy mutate pass (see RunInvariantsUnderFire) so the strict pack
+  // integrity check below cannot trip on a split abandoned mid-outage.
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    if (got.ok()) {
+      ASSERT_TRUE(reader.Put(k, *got).ok());
+    } else {
+      ASSERT_TRUE(got.status().IsNotFound()) << got.status().ToString();
+      const Status s = reader.Delete(k);
+      ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+    }
+  }
+
+  // Invariant (b): pack integrity on every replica.
+  const PackCrypter crypter(base_options, key);
+  CheckPackIntegrity(&cluster, crypter, base_options);
+  // Invariant (d): replicas converge.
+  for (int p = 0; p < base_options.hash_partitions; ++p) {
+    CheckReplicaConvergence(&cluster, base_options.table, PartitionLabel(p));
+  }
+
+  // The schedule must actually have crashed, corrupted, detected, and
+  // rebuilt — otherwise the run proved nothing.
+  EXPECT_GT(injector.trips(FaultPoint::kCrash), 0u) << injector.Summary();
+  EXPECT_GT(injector.trips(FaultPoint::kMediaCorruption), 0u) << injector.Summary();
+  EXPECT_GT(detected->Value(), detected_before) << "no corrupt block was ever detected";
+  EXPECT_GT(rebuilt->Value(), rebuilt_before) << "scrub never rebuilt a quarantined block";
 }
 
 // Satellite: same seed => identical fault schedule and identical final state.

@@ -4,6 +4,7 @@
 
 #include "src/common/coding.h"
 #include "src/kvstore/bloom.h"
+#include "src/kvstore/fault_injector.h"
 #include "src/kvstore/memtable.h"
 #include "src/kvstore/row.h"
 
@@ -14,6 +15,21 @@ Row ValueRow(std::string value) {
   Row row;
   row.cells["v"] = Cell{std::move(value), 1, false};
   return row;
+}
+
+// Unwraps the Result layer (no I/O error expected in these tests), leaving
+// the presence/absence optional the assertions care about.
+std::optional<Row> GetRow(const std::shared_ptr<Sstable>& table, const std::string& key) {
+  auto row = table->Get(key, nullptr, nullptr);
+  EXPECT_TRUE(row.ok()) << row.status().ToString();
+  return row.ok() ? *row : std::nullopt;
+}
+
+std::optional<std::string> Floor(const std::shared_ptr<Sstable>& table, std::string_view prefix,
+                                 const std::string& key) {
+  auto fk = table->FloorKey(prefix, key, nullptr, nullptr);
+  EXPECT_TRUE(fk.ok()) << fk.status().ToString();
+  return fk.ok() ? *fk : std::nullopt;
 }
 
 std::shared_ptr<Sstable> BuildTable(int entries, bool compression = false,
@@ -33,36 +49,31 @@ TEST(Sstable, GetFindsEveryKey) {
   auto table = BuildTable(200);
   EXPECT_EQ(table->entry_count(), 200u);
   for (int i = 0; i < 200; ++i) {
-    auto row = table->Get(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
-                          nullptr, nullptr);
+    auto row = GetRow(table, EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))));
     ASSERT_TRUE(row.has_value()) << i;
     EXPECT_EQ(row->cells.at("v").value, "value-" + std::to_string(i * 10));
   }
-  EXPECT_FALSE(table->Get(EncodeRowKey("p1", EncodeKey64(5)), nullptr, nullptr).has_value());
-  EXPECT_FALSE(table->Get(EncodeRowKey("p2", EncodeKey64(10)), nullptr, nullptr).has_value());
+  EXPECT_FALSE(GetRow(table, EncodeRowKey("p1", EncodeKey64(5))).has_value());
+  EXPECT_FALSE(GetRow(table, EncodeRowKey("p2", EncodeKey64(10))).has_value());
 }
 
 TEST(Sstable, FloorWithinAndAcrossBlocks) {
   auto table = BuildTable(200);
   const std::string prefix = PartitionPrefix("p1");
   // Exact hit.
-  auto fk = table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(500)), nullptr, nullptr);
+  auto fk = Floor(table, prefix, EncodeRowKey("p1", EncodeKey64(500)));
   ASSERT_TRUE(fk.has_value());
   EXPECT_EQ(*DecodeKey64(DecodeRowKey(*fk)->clustering), 500u);
   // Between keys.
-  fk = table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(505)), nullptr, nullptr);
+  fk = Floor(table, prefix, EncodeRowKey("p1", EncodeKey64(505)));
   ASSERT_TRUE(fk.has_value());
   EXPECT_EQ(*DecodeKey64(DecodeRowKey(*fk)->clustering), 500u);
-  // Below the smallest.
-  EXPECT_FALSE(
-      table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(0)), nullptr, nullptr)
-          .has_value() &&
-      *DecodeKey64(
-          DecodeRowKey(*table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(0)), nullptr,
-                                        nullptr))
-              ->clustering) != 0);
+  // At the smallest: the floor is the key itself.
+  fk = Floor(table, prefix, EncodeRowKey("p1", EncodeKey64(0)));
+  ASSERT_TRUE(fk.has_value());
+  EXPECT_EQ(*DecodeKey64(DecodeRowKey(*fk)->clustering), 0u);
   // Above the largest.
-  fk = table->FloorKey(prefix, EncodeRowKey("p1", EncodeKey64(99999)), nullptr, nullptr);
+  fk = Floor(table, prefix, EncodeRowKey("p1", EncodeKey64(99999)));
   ASSERT_TRUE(fk.has_value());
   EXPECT_EQ(*DecodeKey64(DecodeRowKey(*fk)->clustering), 1990u);
 }
@@ -75,9 +86,8 @@ TEST(Sstable, FloorRespectsPartitionPrefix) {
   builder.Add(EncodeRowKey("bb", EncodeKey64(1)), ValueRow("y"));
   auto table = builder.Finish(nullptr);
   // Floor for partition "bb" below its only key must not leak "aa"'s rows.
-  EXPECT_FALSE(table->FloorKey(PartitionPrefix("bb"), EncodeRowKey("bb", EncodeKey64(0)),
-                               nullptr, nullptr)
-                   .has_value());
+  EXPECT_FALSE(
+      Floor(table, PartitionPrefix("bb"), EncodeRowKey("bb", EncodeKey64(0))).has_value());
 }
 
 TEST(Sstable, ScanRange) {
@@ -129,8 +139,8 @@ TEST(Sstable, ServerCompressionShrinksAtRestAndRoundTrips) {
   auto compressed = BuildTable(300, /*compression=*/true);
   EXPECT_LT(compressed->at_rest_bytes(), plain->at_rest_bytes());
   for (int i = 0; i < 300; ++i) {
-    auto row = compressed->Get(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
-                               nullptr, nullptr);
+    auto row =
+        GetRow(compressed, EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))));
     ASSERT_TRUE(row.has_value());
     EXPECT_EQ(row->cells.at("v").value, "value-" + std::to_string(i * 10));
   }
@@ -148,6 +158,92 @@ TEST(Sstable, ReadsChargeMediaOnCacheMissOnly) {
   EXPECT_GE(after_first, 1u);
   (void)table->Get(EncodeRowKey("p1", EncodeKey64(100)), &cache, &media);
   EXPECT_EQ(media.stats().reads.load(), after_first);  // cache hit: no media read
+}
+
+TEST(Sstable, VerifyChecksumsPassesOnCleanTable) {
+  EXPECT_TRUE(BuildTable(200)->VerifyChecksums(nullptr).ok());
+  EXPECT_TRUE(BuildTable(200, /*compression=*/true)->VerifyChecksums(nullptr).ok());
+}
+
+TEST(Sstable, InjectedBitFlipIsDetectedNeverReturned) {
+  FaultInjector fi(0xC0FFEE);
+  fi.SetRate(FaultPoint::kMediaCorruption, 1.0);  // flip one bit in every block
+  SstableOptions opts;
+  opts.block_bytes = 256;
+  opts.table = "packs";
+  SstableBuilder builder(7, opts);
+  for (int i = 0; i < 100; ++i) {
+    builder.Add(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
+                ValueRow("value-" + std::to_string(i * 10)));
+  }
+  auto table = builder.Finish(nullptr, &fi);
+  EXPECT_GT(fi.trips(FaultPoint::kMediaCorruption), 0u);
+
+  // Every read of a corrupted block must surface as Corruption, never data.
+  for (int i = 0; i < 100; ++i) {
+    auto row = table->Get(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
+                          nullptr, nullptr);
+    ASSERT_FALSE(row.ok());
+    EXPECT_TRUE(row.status().IsCorruption());
+    // The message names table, sstable, and block for operators.
+    EXPECT_NE(row.status().message().find("table 'packs'"), std::string::npos)
+        << row.status().ToString();
+    EXPECT_NE(row.status().message().find("sstable #7"), std::string::npos);
+    EXPECT_NE(row.status().message().find("block "), std::string::npos);
+  }
+  // Scrub finds the same corruption without the cache.
+  EXPECT_TRUE(table->VerifyChecksums(nullptr).IsCorruption());
+}
+
+TEST(Sstable, SingleCorruptBlockOnlyPoisonsItsOwnKeys) {
+  FaultInjector fi(99);
+  // One scripted flip: only the 3rd block goes bad.
+  fi.Script(FaultPoint::kMediaCorruption, 3);
+  SstableOptions opts;
+  opts.block_bytes = 256;
+  opts.table = "t";
+  SstableBuilder builder(1, opts);
+  for (int i = 0; i < 200; ++i) {
+    builder.Add(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
+                ValueRow("value-" + std::to_string(i * 10)));
+  }
+  auto table = builder.Finish(nullptr, &fi);
+  ASSERT_EQ(fi.trips(FaultPoint::kMediaCorruption), 1u);
+  ASSERT_GT(table->block_count(), 3u);
+
+  int ok_reads = 0;
+  int corrupt_reads = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto row = table->Get(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i * 10))),
+                          nullptr, nullptr);
+    if (row.ok()) {
+      ASSERT_TRUE(row->has_value());
+      EXPECT_EQ((*row)->cells.at("v").value, "value-" + std::to_string(i * 10));
+      ++ok_reads;
+    } else {
+      EXPECT_TRUE(row.status().IsCorruption());
+      ++corrupt_reads;
+    }
+  }
+  EXPECT_GT(ok_reads, 0);       // intact blocks keep serving
+  EXPECT_GT(corrupt_reads, 0);  // the flipped block always errors
+  EXPECT_TRUE(table->VerifyChecksums(nullptr).IsCorruption());
+}
+
+TEST(Sstable, VerifyChecksumsCoversBlocksTheReadPathSkips) {
+  // verify_checksums=false models a store with checksums off on the hot
+  // path; scrub must still catch the rot via the footer's CRC copies.
+  FaultInjector fi(5);
+  fi.SetRate(FaultPoint::kMediaCorruption, 1.0);
+  SstableOptions opts;
+  opts.block_bytes = 256;
+  opts.verify_checksums = false;
+  SstableBuilder builder(1, opts);
+  for (int i = 0; i < 50; ++i) {
+    builder.Add(EncodeRowKey("p1", EncodeKey64(static_cast<uint64_t>(i))), ValueRow("x"));
+  }
+  auto table = builder.Finish(nullptr, &fi);
+  EXPECT_TRUE(table->VerifyChecksums(nullptr).IsCorruption());
 }
 
 TEST(BloomFilter, SerializeRoundTrip) {
