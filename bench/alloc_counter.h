@@ -1,0 +1,52 @@
+// Global operator new/delete replacements that count heap allocations, so
+// benchmarks can report allocs/op alongside ns/op (a kernel win that trades
+// time for allocation churn is not a win).
+//
+// Include from exactly ONE translation unit per binary — the replacement
+// functions here are definitions, not declarations. The count is read
+// through AllocCounter() in bench_util.h, which benches can use whether or
+// not the counting replacements are linked in (it just stays 0 without them).
+
+#ifndef MINICRYPT_BENCH_ALLOC_COUNTER_H_
+#define MINICRYPT_BENCH_ALLOC_COUNTER_H_
+
+#include <cstdlib>
+#include <new>
+
+#include "bench/bench_util.h"
+
+// GCC flags free() inside a replaced operator delete because it cannot see
+// that the matching operator new above also uses malloc. The pairing is
+// correct by construction here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t n) {
+  minicrypt::AllocCounter().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  minicrypt::AllocCounter().fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+
+void* operator new[](std::size_t n, const std::nothrow_t& tag) noexcept {
+  return ::operator new(n, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+#endif  // MINICRYPT_BENCH_ALLOC_COUNTER_H_

@@ -9,6 +9,9 @@
 #ifndef MINICRYPT_BENCH_BENCH_UTIL_H_
 #define MINICRYPT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +45,87 @@ inline double LatencyScale() {
   const char* env = std::getenv("MC_LATENCY_SCALE");
   const double v = env != nullptr ? std::atof(env) : 0.1;
   return v > 0 ? v : 0.1;
+}
+
+// --- Kernel-cell measurement (perf_suite, micro benches) ---------------------
+//
+// Setup happens before MeasureCell; only the op runs inside the timed region.
+// Ops are timed in batches sized to dwarf clock-read overhead, and p50/p99
+// are percentiles over per-batch means — stated as such in docs/PERF.md.
+
+// Process-wide allocation counter. Stays 0 unless the binary links the
+// counting operator new from bench/alloc_counter.h.
+inline std::atomic<uint64_t>& AllocCounter() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+struct CellStats {
+  double ns_per_op = 0;
+  double mb_per_s = 0;      // 0 when the cell has no byte volume
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double allocs_per_op = 0;
+  uint64_t iterations = 0;
+};
+
+// Runs `op` untimed until ~2ms have passed (warmup), then measures batches
+// until `min_seconds` of timed work accumulates. bytes_per_op = 0 disables
+// the MB/s column.
+template <typename Op>
+CellStats MeasureCell(Op&& op, size_t bytes_per_op, double min_seconds = 0.2) {
+  using Clock = std::chrono::steady_clock;
+  const auto ns_between = [](Clock::time_point a, Clock::time_point b) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+  };
+
+  // Warmup + batch sizing: grow the batch until one batch takes >= 50us.
+  uint64_t batch = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (uint64_t i = 0; i < batch; ++i) {
+      op();
+    }
+    const double ns = ns_between(t0, Clock::now());
+    if (ns >= 50'000.0 || batch >= (1ULL << 20)) {
+      break;
+    }
+    batch *= 2;
+  }
+
+  std::vector<double> batch_mean_ns;
+  double total_ns = 0;
+  uint64_t total_ops = 0;
+  const uint64_t allocs_before = AllocCounter().load(std::memory_order_relaxed);
+  while (total_ns < min_seconds * 1e9) {
+    const auto t0 = Clock::now();
+    for (uint64_t i = 0; i < batch; ++i) {
+      op();
+    }
+    const double ns = ns_between(t0, Clock::now());
+    batch_mean_ns.push_back(ns / static_cast<double>(batch));
+    total_ns += ns;
+    total_ops += batch;
+  }
+  const uint64_t allocs_after = AllocCounter().load(std::memory_order_relaxed);
+
+  std::sort(batch_mean_ns.begin(), batch_mean_ns.end());
+  const auto percentile = [&](double p) {
+    const size_t idx = static_cast<size_t>(p * static_cast<double>(batch_mean_ns.size() - 1));
+    return batch_mean_ns[idx];
+  };
+  CellStats stats;
+  stats.iterations = total_ops;
+  stats.ns_per_op = total_ns / static_cast<double>(total_ops);
+  if (bytes_per_op > 0) {
+    stats.mb_per_s = static_cast<double>(bytes_per_op) / (stats.ns_per_op * 1e-9) / 1e6;
+  }
+  stats.p50_ns = percentile(0.50);
+  stats.p99_ns = percentile(0.99);
+  stats.allocs_per_op =
+      static_cast<double>(allocs_after - allocs_before) / static_cast<double>(total_ops);
+  return stats;
 }
 
 enum class MediaKind { kDisk, kSsd };

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare a perf_suite BENCH_*.json run against a committed baseline.
+
+Usage:
+    check_regression.py --baseline bench/baselines/BENCH_baseline.json \
+                        --current BENCH_<rev>.json [--tolerance 0.10]
+
+Policy (see docs/PERF.md):
+  * Cells are compared by normalized throughput: each run's cell throughput
+    is divided by that run's calibration.memcpy_1m throughput, so a slower
+    CI machine does not read as a code regression.
+  * A cell fails if its normalized throughput drops by more than the
+    tolerance (default 10%, override with --tolerance or MC_PERF_TOLERANCE).
+  * Cells with no byte volume (mb_per_s == 0) are compared on 1/ns_per_op.
+  * Runs at different dispatch levels are never compared (exit 3) — a
+    scalar-forced run against an avx2 baseline would fail everything.
+  * When the run is at a non-scalar dispatch level, the pack encode+decode
+    pair must additionally show >= 1.5x combined speedup over the
+    forced-scalar cells from the SAME run (the SIMD acceptance gate; both
+    sides share machine noise so no normalization is needed).
+  * Cells present in only one file are reported but do not fail the gate
+    (new cells need a baseline refresh; see docs/PERF.md).
+
+Exit codes: 0 ok, 1 regression/gate failure, 2 usage/IO error,
+3 incomparable runs (schema or dispatch mismatch).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "mc-bench-v1"
+CALIBRATION_CELL = "calibration.memcpy_1m"
+PACK_SPEEDUP_GATE = 1.5
+PACK_CELLS = ("pack.encode.50rows", "pack.decode.50rows")
+PACK_SCALAR_CELLS = ("pack.scalar.encode.50rows", "pack.scalar.decode.50rows")
+
+
+def load_run(path):
+    try:
+        with open(path) as f:
+            run = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if run.get("schema") != SCHEMA:
+        print(f"error: {path}: schema {run.get('schema')!r} != {SCHEMA!r}",
+              file=sys.stderr)
+        sys.exit(3)
+    cells = {c["name"]: c for c in run.get("cells", [])}
+    if CALIBRATION_CELL not in cells:
+        print(f"error: {path}: missing {CALIBRATION_CELL}", file=sys.stderr)
+        sys.exit(3)
+    return run, cells
+
+
+def throughput(cell):
+    """Comparable per-cell throughput: MB/s, or ops/s for byte-less cells."""
+    if cell.get("mb_per_s", 0) > 0:
+        return cell["mb_per_s"]
+    ns = cell.get("ns_per_op", 0)
+    return 1e9 / ns if ns > 0 else 0.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("MC_PERF_TOLERANCE", "0.10")),
+        help="allowed fractional drop in normalized throughput (default 0.10)")
+    args = parser.parse_args()
+
+    base_run, base_cells = load_run(args.baseline)
+    cur_run, cur_cells = load_run(args.current)
+
+    base_level = base_run.get("dispatch_level", "?")
+    cur_level = cur_run.get("dispatch_level", "?")
+    if base_level != cur_level:
+        print(f"error: dispatch level mismatch: baseline={base_level} "
+              f"current={cur_level}; refusing to compare", file=sys.stderr)
+        sys.exit(3)
+
+    base_cal = throughput(base_cells[CALIBRATION_CELL])
+    cur_cal = throughput(cur_cells[CALIBRATION_CELL])
+    if base_cal <= 0 or cur_cal <= 0:
+        print("error: calibration cell has no throughput", file=sys.stderr)
+        sys.exit(3)
+    print(f"calibration: baseline {base_cal:.0f} MB/s, current {cur_cal:.0f} "
+          f"MB/s (machine ratio {cur_cal / base_cal:.3f})")
+
+    failures = []
+    for name in sorted(base_cells):
+        if name == CALIBRATION_CELL:
+            continue
+        if name not in cur_cells:
+            print(f"  note: cell {name} missing from current run")
+            continue
+        base_norm = throughput(base_cells[name]) / base_cal
+        cur_norm = throughput(cur_cells[name]) / cur_cal
+        if base_norm <= 0:
+            continue
+        ratio = cur_norm / base_norm
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failures.append((name, ratio))
+        print(f"  {name:32s} normalized x{ratio:.3f} {status}")
+    for name in sorted(set(cur_cells) - set(base_cells)):
+        print(f"  note: new cell {name} (no baseline; refresh the baseline "
+              "to gate it)")
+
+    # SIMD acceptance gate: dispatched pack encode+decode vs forced-scalar,
+    # within the current run.
+    if cur_level != "scalar":
+        if all(c in cur_cells for c in PACK_CELLS + PACK_SCALAR_CELLS):
+            simd_ns = sum(cur_cells[c]["ns_per_op"] for c in PACK_CELLS)
+            scalar_ns = sum(cur_cells[c]["ns_per_op"] for c in PACK_SCALAR_CELLS)
+            speedup = scalar_ns / simd_ns if simd_ns > 0 else 0.0
+            print(f"pack encode+decode SIMD speedup: x{speedup:.2f} "
+                  f"(gate >= x{PACK_SPEEDUP_GATE})")
+            if speedup < PACK_SPEEDUP_GATE:
+                failures.append(("pack.simd_speedup", speedup))
+        else:
+            print("warning: pack cells missing; SIMD speedup gate skipped")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} gate failure(s) "
+              f"(tolerance {args.tolerance:.0%}):", file=sys.stderr)
+        for name, ratio in failures:
+            print(f"  {name}: x{ratio:.3f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nPASS: no regressions beyond tolerance "
+          f"({args.tolerance:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+// Internal SIMD copy primitives shared by the codec fast paths
+// (lz4_like.cc, snappy_like.cc). x86-64 only; callers gate on
+// CurrentSimdLevel() >= kSse42 so SSE2 loads are always legal, and the AVX2
+// entry points carry a target attribute so the TU itself stays portable.
+//
+// Contract: "wild" copies round the copy length up to a full 16/32-byte
+// chunk, so both the destination AND the source must have at least
+// kWildCopySlack addressable bytes past the nominal range.
+
+#ifndef MINICRYPT_SRC_COMPRESS_SIMD_COPY_H_
+#define MINICRYPT_SRC_COMPRESS_SIMD_COPY_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "src/common/cpu_features.h"
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#define MC_SIMD_COPY_X86 1
+#else
+#define MC_SIMD_COPY_X86 0
+#endif
+
+namespace minicrypt {
+namespace simd_copy {
+
+// Buffers touched by wild copies carry this much slack past their logical end.
+inline constexpr size_t kWildCopySlack = 32;
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// Varint/length writers into raw buffers (the fast paths write through
+// pointers instead of std::string::push_back).
+inline void PutVarint64Raw(char** op, uint64_t v) {
+  char* p = *op;
+  while (v >= 0x80) {
+    *p++ = static_cast<char>(v | 0x80);
+    v >>= 7;
+  }
+  *p++ = static_cast<char>(v);
+  *op = p;
+}
+
+#if MC_SIMD_COPY_X86
+
+// Copies at least n bytes in 16-byte chunks; may write (and read) up to 15
+// bytes past the nominal end.
+inline void WildCopy16(char* dst, const char* src, size_t n) {
+  const char* end = dst + n;
+  do {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst), v);
+    dst += 16;
+    src += 16;
+  } while (dst < end);
+}
+
+__attribute__((target("avx2"))) inline void WildCopy32(char* dst, const char* src,
+                                                       size_t n) {
+  const char* end = dst + n;
+  do {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), v);
+    dst += 32;
+    src += 32;
+  } while (dst < end);
+}
+
+inline void WildCopy(char* dst, const char* src, size_t n, SimdLevel level) {
+  if (level >= SimdLevel::kAvx2) {
+    WildCopy32(dst, src, n);
+  } else {
+    WildCopy16(dst, src, n);
+  }
+}
+
+// Overlap-capable backward-reference copy with slack. A wild copy of chunk
+// width W is only correct when the src->dst distance is >= W (each chunk read
+// must already be written); smaller offsets first double the pattern until
+// the distance reaches 16, then 16-byte chunks finish the copy.
+inline void MatchCopy(char* dst, size_t offset, size_t n, SimdLevel level) {
+  const char* src = dst - offset;
+  if (offset >= 32) {
+    WildCopy(dst, src, n, level);
+    return;
+  }
+  if (offset == 1) {
+    std::memset(dst, *src, n);
+    return;
+  }
+  if (offset < 16) {
+    char* const end = dst + n;
+    // Each memcpy appends one full copy of the pattern, doubling the
+    // dst - src distance; at most 4 passes reach 16.
+    while (static_cast<size_t>(dst - src) < 16 && dst < end) {
+      const size_t d = static_cast<size_t>(dst - src);
+      std::memcpy(dst, src, d);
+      dst += d;
+    }
+    if (dst >= end) {
+      return;
+    }
+    n = static_cast<size_t>(end - dst);
+  }
+  WildCopy16(dst, src, n);
+}
+
+#endif  // MC_SIMD_COPY_X86
+
+}  // namespace simd_copy
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMPRESS_SIMD_COPY_H_

@@ -1,10 +1,75 @@
 #include "src/core/pack.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/coding.h"
 
 namespace minicrypt {
+
+namespace {
+constexpr size_t kMinArenaBlock = 4096;
+}  // namespace
+
+std::string_view Pack::Arena::Copy(std::string_view s) {
+  if (s.empty()) {
+    return {};
+  }
+  if (s.size() > remaining_) {
+    Reserve(std::max(s.size(), kMinArenaBlock));
+  }
+  char* dst = cur_;
+  std::memcpy(dst, s.data(), s.size());
+  cur_ += s.size();
+  remaining_ -= s.size();
+  return std::string_view(dst, s.size());
+}
+
+void Pack::Arena::Reserve(size_t n) {
+  if (n == 0 || n <= remaining_) {
+    return;
+  }
+  // Any tail of the previous block is abandoned; callers reserve up front.
+  blocks_.push_back(std::make_unique<char[]>(n));
+  cur_ = blocks_.back().get();
+  remaining_ = n;
+  total_ += n;
+}
+
+std::string_view Pack::Arena::Adopt(std::string&& s) {
+  adopted_.push_back(std::make_unique<std::string>(std::move(s)));
+  total_ += adopted_.back()->size();
+  return std::string_view(*adopted_.back());
+}
+
+namespace {
+
+template <typename EntryRange>
+size_t PayloadBytes(const EntryRange& entries) {
+  size_t n = 0;
+  for (const auto& e : entries) {
+    n += e.key.size() + e.value.size();
+  }
+  return n;
+}
+
+}  // namespace
+
+Pack::Pack(const Pack& other) {
+  arena_.Reserve(PayloadBytes(other.entries_));
+  entries_.reserve(other.entries_.size());
+  for (const EntryView& e : other.entries_) {
+    entries_.push_back(EntryView{arena_.Copy(e.key), arena_.Copy(e.value)});
+  }
+}
+
+Pack& Pack::operator=(const Pack& other) {
+  if (this != &other) {
+    Pack copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
 
 Result<Pack> Pack::FromSorted(std::vector<Entry> entries) {
   for (size_t i = 1; i < entries.size(); ++i) {
@@ -13,7 +78,11 @@ Result<Pack> Pack::FromSorted(std::vector<Entry> entries) {
     }
   }
   Pack p;
-  p.entries_ = std::move(entries);
+  p.arena_.Reserve(PayloadBytes(entries));
+  p.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    p.entries_.push_back(EntryView{p.arena_.Copy(e.key), p.arena_.Copy(e.value)});
+  }
   return p;
 }
 
@@ -27,14 +96,19 @@ std::string Pack::Serialize() const {
   return out;
 }
 
-Result<Pack> Pack::Deserialize(std::string_view bytes) {
+namespace {
+
+// Shared decode: slices `bytes` into (key, value) views. The caller decides
+// whether those views point at an adopted buffer (zero-copy) or get copied
+// into the arena.
+Result<std::vector<Pack::EntryView>> ParseEntries(std::string_view bytes) {
   std::string_view in = bytes;
   MC_ASSIGN_OR_RETURN(uint64_t n, GetVarint64(&in));
   if (n > (1u << 24)) {
     return Status::Corruption("pack declares absurd entry count");
   }
-  Pack p;
-  p.entries_.reserve(n);
+  std::vector<Pack::EntryView> entries;
+  entries.reserve(n);
   std::string_view prev;
   for (uint64_t i = 0; i < n; ++i) {
     MC_ASSIGN_OR_RETURN(std::string_view key, GetLengthPrefixed(&in));
@@ -43,24 +117,47 @@ Result<Pack> Pack::Deserialize(std::string_view bytes) {
       return Status::Corruption("pack entries out of order");
     }
     prev = key;
-    p.entries_.push_back(Entry{std::string(key), std::string(value)});
+    entries.push_back(Pack::EntryView{key, value});
   }
   if (!in.empty()) {
     return Status::Corruption("trailing bytes after pack entries");
   }
+  return entries;
+}
+
+}  // namespace
+
+Result<Pack> Pack::Deserialize(std::string_view bytes) {
+  MC_ASSIGN_OR_RETURN(std::vector<EntryView> parsed, ParseEntries(bytes));
+  Pack p;
+  p.arena_.Reserve(PayloadBytes(parsed));
+  p.entries_.reserve(parsed.size());
+  for (const EntryView& e : parsed) {
+    p.entries_.push_back(EntryView{p.arena_.Copy(e.key), p.arena_.Copy(e.value)});
+  }
+  return p;
+}
+
+Result<Pack> Pack::FromSerialized(std::string&& bytes) {
+  Pack p;
+  const std::string_view stable = p.arena_.Adopt(std::move(bytes));
+  // Parse after adoption: the views below point into the arena-owned buffer,
+  // never into a caller temporary.
+  MC_ASSIGN_OR_RETURN(p.entries_, ParseEntries(stable));
   return p;
 }
 
 size_t Pack::LowerBound(std::string_view key) const {
-  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
-                             [](const Entry& e, std::string_view k) { return e.key < k; });
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const EntryView& e, std::string_view k) { return e.key < k; });
   return static_cast<size_t>(it - entries_.begin());
 }
 
 std::optional<std::string_view> Pack::Find(std::string_view key) const {
   const size_t i = LowerBound(key);
   if (i < entries_.size() && entries_[i].key == key) {
-    return std::string_view(entries_[i].value);
+    return entries_[i].value;
   }
   return std::nullopt;
 }
@@ -69,17 +166,17 @@ std::optional<std::string_view> Pack::MinKey() const {
   if (entries_.empty()) {
     return std::nullopt;
   }
-  return std::string_view(entries_.front().key);
+  return entries_.front().key;
 }
 
 bool Pack::Upsert(std::string_view key, std::string_view value) {
   const size_t i = LowerBound(key);
   if (i < entries_.size() && entries_[i].key == key) {
-    entries_[i].value = std::string(value);
+    entries_[i].value = arena_.Copy(value);
     return false;
   }
   entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(i),
-                  Entry{std::string(key), std::string(value)});
+                  EntryView{arena_.Copy(key), arena_.Copy(value)});
   return true;
 }
 
@@ -99,8 +196,22 @@ Result<std::pair<Pack, Pack>> Pack::SplitDeterministic() const {
   const size_t left_count = (entries_.size() + 1) / 2;  // ceil(n/2)
   Pack left;
   Pack right;
-  left.entries_.assign(entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(left_count));
-  right.entries_.assign(entries_.begin() + static_cast<ptrdiff_t>(left_count), entries_.end());
+  left.entries_.reserve(left_count);
+  right.entries_.reserve(entries_.size() - left_count);
+  size_t left_bytes = 0;
+  for (size_t i = 0; i < left_count; ++i) {
+    left_bytes += entries_[i].key.size() + entries_[i].value.size();
+  }
+  left.arena_.Reserve(left_bytes);
+  right.arena_.Reserve(PayloadBytes(entries_) - left_bytes);
+  for (size_t i = 0; i < left_count; ++i) {
+    left.entries_.push_back(EntryView{left.arena_.Copy(entries_[i].key),
+                                      left.arena_.Copy(entries_[i].value)});
+  }
+  for (size_t i = left_count; i < entries_.size(); ++i) {
+    right.entries_.push_back(EntryView{right.arena_.Copy(entries_[i].key),
+                                       right.arena_.Copy(entries_[i].value)});
+  }
   return std::make_pair(std::move(left), std::move(right));
 }
 

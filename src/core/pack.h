@@ -1,11 +1,19 @@
 // The pack: a sorted run of key-value pairs that is compressed and encrypted
 // as one unit (paper §2.5). The pack is entirely a client-side concept — the
 // server only ever sees its sealed envelope.
+//
+// Storage layout: entries are string_view slices over an internal arena
+// rather than per-entry heap strings. The hot decode path
+// (FromSerialized) adopts the decompressed buffer wholesale and points the
+// views straight into it — opening a pack allocates the entry index and
+// nothing else. Arena blocks have stable addresses, so views never dangle
+// across mutations; copying a Pack deep-copies into a fresh arena.
 
 #ifndef MINICRYPT_SRC_CORE_PACK_H_
 #define MINICRYPT_SRC_CORE_PACK_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,12 +26,26 @@ namespace minicrypt {
 
 class Pack {
  public:
+  // Owned input type for builders (FromSorted callers construct these from
+  // loop-local strings; the pack copies them into its arena).
   struct Entry {
     std::string key;    // order-preserving encoded key bytes
     std::string value;
   };
 
+  // Stored entry: slices into the pack's arena. Valid for the lifetime of
+  // the owning Pack; a Pack copy re-anchors them into its own arena.
+  struct EntryView {
+    std::string_view key;
+    std::string_view value;
+  };
+
   Pack() = default;
+
+  Pack(const Pack& other);
+  Pack& operator=(const Pack& other);
+  Pack(Pack&&) noexcept = default;
+  Pack& operator=(Pack&&) noexcept = default;
 
   // Builds a pack from entries that must already be sorted by key, unique.
   static Result<Pack> FromSorted(std::vector<Entry> entries);
@@ -32,7 +54,13 @@ class Pack {
 
   // [n varint] then n x (key len-prefixed, value len-prefixed), sorted.
   std::string Serialize() const;
+
+  // Copying decode: borrows `bytes`, copies each field into the arena.
   static Result<Pack> Deserialize(std::string_view bytes);
+
+  // Zero-copy decode: adopts the buffer (the decompressor's output moves in
+  // here) and slices entries out of it without copying a byte.
+  static Result<Pack> FromSerialized(std::string&& bytes);
 
   // --- Queries ----------------------------------------------------------------
 
@@ -44,7 +72,12 @@ class Pack {
 
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
-  const std::vector<Entry>& entries() const { return entries_; }
+  const std::vector<EntryView>& entries() const { return entries_; }
+
+  // Bytes held by the arena (adopted buffers + copied fields), for cache
+  // accounting. Overwritten values keep their arena bytes until the pack is
+  // destroyed, so this tracks retained memory, not live payload.
+  size_t ArenaBytes() const { return arena_.TotalBytes(); }
 
   // --- Mutations --------------------------------------------------------------
 
@@ -62,10 +95,38 @@ class Pack {
   Result<std::pair<Pack, Pack>> SplitDeterministic() const;
 
  private:
+  // Bump allocator with stable addresses. Blocks are never reallocated, so
+  // handed-out views stay valid for the Pack's lifetime; whole buffers can
+  // be adopted without copying.
+  class Arena {
+   public:
+    Arena() = default;
+    Arena(Arena&&) noexcept = default;
+    Arena& operator=(Arena&&) noexcept = default;
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    std::string_view Copy(std::string_view s);
+    // Takes ownership of the buffer; the returned view covers all of it.
+    std::string_view Adopt(std::string&& s);
+    // Pre-sizes the next block so bulk builders pay for exactly the bytes
+    // they hold (the cache charges ArenaBytes; small packs stay small).
+    void Reserve(size_t n);
+    size_t TotalBytes() const { return total_; }
+
+   private:
+    std::vector<std::unique_ptr<char[]>> blocks_;
+    std::vector<std::unique_ptr<std::string>> adopted_;
+    char* cur_ = nullptr;
+    size_t remaining_ = 0;
+    size_t total_ = 0;
+  };
+
   // Index of the first entry with entry.key >= key.
   size_t LowerBound(std::string_view key) const;
 
-  std::vector<Entry> entries_;  // sorted by key, unique
+  Arena arena_;
+  std::vector<EntryView> entries_;  // sorted by key, unique
 };
 
 }  // namespace minicrypt

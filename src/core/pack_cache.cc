@@ -14,10 +14,11 @@ namespace {
 // per-slot bookkeeping. Exactness does not matter — it only has to make the
 // byte capacity meaningful.
 size_t ApproxPackBytes(const Pack& pack, size_t key_bytes, size_t hash_bytes) {
-  size_t bytes = sizeof(Pack) + 64;  // slot + list node overhead
-  for (const auto& e : pack.entries()) {
-    bytes += e.key.size() + e.value.size() + 2 * sizeof(std::string);
-  }
+  // Entries are views into the pack's arena, so the arena plus the view
+  // index is the whole footprint.
+  const size_t bytes = sizeof(Pack) + 64 +  // slot + list node overhead
+                       pack.ArenaBytes() +
+                       pack.entries().size() * sizeof(Pack::EntryView);
   return bytes + key_bytes + hash_bytes;
 }
 

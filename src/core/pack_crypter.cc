@@ -59,7 +59,7 @@ Result<SealedPack> PackCrypter::Seal(const Pack& pack) const {
   std::string envelope;
   {
     OBS_SPAN("pack.encrypt");
-    MC_ASSIGN_OR_RETURN(envelope, AesCbcEncrypt(pack_key_, padded));
+    MC_ASSIGN_OR_RETURN(envelope, AesGcmEncrypt(pack_key_, padded));
   }
   static const RatioMetrics seal_ratio =
       RatioMetrics::Intern("pack.seal.bytes_raw", "pack.seal.bytes_wire", "pack.seal.ratio");
@@ -75,7 +75,7 @@ Result<Pack> PackCrypter::Open(std::string_view envelope) const {
   std::string padded;
   {
     OBS_SPAN("pack.decrypt");
-    MC_ASSIGN_OR_RETURN(padded, AesCbcDecrypt(pack_key_, envelope));
+    MC_ASSIGN_OR_RETURN(padded, AesGcmDecrypt(pack_key_, envelope));
   }
   MC_ASSIGN_OR_RETURN(std::string compressed, PaddingTiers::Unpad(padded));
   std::string raw;
@@ -86,7 +86,9 @@ Result<Pack> PackCrypter::Open(std::string_view envelope) const {
   static const RatioMetrics open_ratio =
       RatioMetrics::Intern("pack.open.bytes_raw", "pack.open.bytes_wire", "pack.open.ratio");
   open_ratio.Update(raw.size(), envelope.size());
-  return Pack::Deserialize(raw);
+  // Zero-copy: the decompressed buffer moves into the pack's arena and the
+  // entries slice straight into it.
+  return Pack::FromSerialized(std::move(raw));
 }
 
 Result<std::string> PackCrypter::SealValue(std::string_view value) const {
@@ -96,14 +98,14 @@ Result<std::string> PackCrypter::SealValue(std::string_view value) const {
     MC_ASSIGN_OR_RETURN(compressed, codec_->Compress(value));
   }
   OBS_SPAN("pack.encrypt");
-  return AesCbcEncrypt(pack_key_, compressed);
+  return AesGcmEncrypt(pack_key_, compressed);
 }
 
 Result<std::string> PackCrypter::OpenValue(std::string_view envelope) const {
   std::string compressed;
   {
     OBS_SPAN("pack.decrypt");
-    MC_ASSIGN_OR_RETURN(compressed, AesCbcDecrypt(pack_key_, envelope));
+    MC_ASSIGN_OR_RETURN(compressed, AesGcmDecrypt(pack_key_, envelope));
   }
   OBS_SPAN("pack.decompress");
   return codec_->Decompress(compressed);

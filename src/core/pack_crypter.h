@@ -1,7 +1,10 @@
 // Seals packs for the server and opens them again on the client:
-//   serialize -> compress -> pad to tier -> AES-256-CBC encrypt,
+//   serialize -> compress -> pad to tier -> AES-256-GCM encrypt,
 // and the SHA-256 hash of the envelope is the token used by update-if
 // (paper Figure 5). The server only ever stores (packID, envelope, hash).
+// GCM authenticates each envelope, so a tampered pack fails at Open rather
+// than deserializing garbage; the AES-NI + PCLMUL kernel is selected at
+// runtime (src/common/cpu_features.h).
 
 #ifndef MINICRYPT_SRC_CORE_PACK_CRYPTER_H_
 #define MINICRYPT_SRC_CORE_PACK_CRYPTER_H_
@@ -18,7 +21,7 @@
 namespace minicrypt {
 
 struct SealedPack {
-  std::string envelope;  // IV || ciphertext
+  std::string envelope;  // IV || ciphertext || GCM tag
   std::string hash;      // SHA-256(envelope)
 };
 

@@ -1,0 +1,33 @@
+// Hardware AES-256-GCM kernel (AES-NI key schedule + CTR, PCLMUL GHASH).
+// Internal to mc_crypto: crypto.cc dispatches here when the host has aes +
+// pclmulqdq and the runtime SIMD level is not forced to scalar. The portable
+// OpenSSL EVP path in crypto.cc is the oracle; tests/simd_kernels_test.cc
+// asserts byte-identical envelopes for fixed IVs.
+
+#ifndef MINICRYPT_SRC_CRYPTO_AES_GCM_SIMD_H_
+#define MINICRYPT_SRC_CRYPTO_AES_GCM_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace minicrypt {
+namespace internal {
+
+// True when this binary carries the kernel (x86-64 build). Callers must also
+// check AesGcmHardwareEnabled() for the runtime cpuid + override gate.
+bool AesGcmSimdCompiled();
+
+// ct must have room for n bytes, tag for 16. iv is exactly 12 bytes.
+void AesGcmSimdEncrypt(const uint8_t key[32], const uint8_t iv[12],
+                       const uint8_t* pt, size_t n, uint8_t* ct, uint8_t tag[16]);
+
+// Computes the expected tag for (iv, ct) and writes the decryption to pt
+// (n bytes). Returns false on tag mismatch; pt contents are then unspecified.
+bool AesGcmSimdDecrypt(const uint8_t key[32], const uint8_t iv[12],
+                       const uint8_t* ct, size_t n, const uint8_t tag[16],
+                       uint8_t* pt);
+
+}  // namespace internal
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CRYPTO_AES_GCM_SIMD_H_

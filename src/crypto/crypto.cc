@@ -8,6 +8,10 @@
 #include <cstring>
 #include <memory>
 
+#include "src/common/cpu_features.h"
+#include "src/crypto/aes_gcm_simd.h"
+#include "src/obs/metrics.h"
+
 namespace minicrypt {
 
 namespace {
@@ -16,6 +20,80 @@ struct CipherCtxDeleter {
   void operator()(EVP_CIPHER_CTX* ctx) const { EVP_CIPHER_CTX_free(ctx); }
 };
 using CipherCtx = std::unique_ptr<EVP_CIPHER_CTX, CipherCtxDeleter>;
+
+bool UseGcmKernel() {
+  return internal::AesGcmSimdCompiled() && AesGcmHardwareEnabled();
+}
+
+// Portable AES-256-GCM via OpenSSL EVP; the oracle for the AES-NI kernel.
+Result<std::string> GcmEncryptPortable(const SymmetricKey& key, const uint8_t* iv,
+                                       std::string_view plaintext) {
+  CipherCtx ctx(EVP_CIPHER_CTX_new());
+  if (!ctx) {
+    return Status::Internal("EVP_CIPHER_CTX_new failed");
+  }
+  if (EVP_EncryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr, key.data(), iv) != 1) {
+    return Status::Internal("EVP_EncryptInit_ex failed");
+  }
+  std::string out(reinterpret_cast<const char*>(iv), kAesGcmIvBytes);
+  const size_t header = out.size();
+  out.resize(header + plaintext.size() + kAesGcmTagBytes);
+
+  int len1 = 0;
+  if (!plaintext.empty() &&
+      EVP_EncryptUpdate(ctx.get(), reinterpret_cast<unsigned char*>(out.data() + header),
+                        &len1, reinterpret_cast<const unsigned char*>(plaintext.data()),
+                        static_cast<int>(plaintext.size())) != 1) {
+    return Status::Internal("EVP_EncryptUpdate failed");
+  }
+  int len2 = 0;
+  if (EVP_EncryptFinal_ex(ctx.get(),
+                          reinterpret_cast<unsigned char*>(out.data() + header + len1),
+                          &len2) != 1) {
+    return Status::Internal("EVP_EncryptFinal_ex failed");
+  }
+  if (static_cast<size_t>(len1 + len2) != plaintext.size()) {
+    return Status::Internal("GCM ciphertext length mismatch");
+  }
+  if (EVP_CIPHER_CTX_ctrl(ctx.get(), EVP_CTRL_GCM_GET_TAG,
+                          static_cast<int>(kAesGcmTagBytes),
+                          out.data() + header + plaintext.size()) != 1) {
+    return Status::Internal("EVP_CTRL_GCM_GET_TAG failed");
+  }
+  return out;
+}
+
+Result<std::string> GcmDecryptPortable(const SymmetricKey& key, const uint8_t* iv,
+                                       std::string_view ct, std::string_view tag) {
+  CipherCtx ctx(EVP_CIPHER_CTX_new());
+  if (!ctx) {
+    return Status::Internal("EVP_CIPHER_CTX_new failed");
+  }
+  if (EVP_DecryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr, key.data(), iv) != 1) {
+    return Status::Internal("EVP_DecryptInit_ex failed");
+  }
+  std::string out(ct.size(), '\0');
+  int len1 = 0;
+  if (!ct.empty() &&
+      EVP_DecryptUpdate(ctx.get(), reinterpret_cast<unsigned char*>(out.data()), &len1,
+                        reinterpret_cast<const unsigned char*>(ct.data()),
+                        static_cast<int>(ct.size())) != 1) {
+    return Status::Corruption("GCM decrypt failed");
+  }
+  if (EVP_CIPHER_CTX_ctrl(ctx.get(), EVP_CTRL_GCM_SET_TAG,
+                          static_cast<int>(tag.size()),
+                          const_cast<char*>(tag.data())) != 1) {
+    return Status::Internal("EVP_CTRL_GCM_SET_TAG failed");
+  }
+  int len2 = 0;
+  if (EVP_DecryptFinal_ex(ctx.get(), reinterpret_cast<unsigned char*>(out.data() + len1),
+                          &len2) != 1) {
+    // Wrong key or tampered ciphertext/tag.
+    return Status::Corruption("GCM tag check failed");
+  }
+  out.resize(static_cast<size_t>(len1) + static_cast<size_t>(len2));
+  return out;
+}
 
 }  // namespace
 
@@ -142,6 +220,58 @@ Result<std::string> AesCbcDecrypt(const SymmetricKey& key, std::string_view enve
   }
   out.resize(static_cast<size_t>(len1) + static_cast<size_t>(len2));
   return out;
+}
+
+Result<std::string> AesGcmEncryptWithIv(const SymmetricKey& key, std::string_view iv,
+                                        std::string_view plaintext) {
+  if (iv.size() != kAesGcmIvBytes) {
+    return Status::InvalidArgument("GCM IV must be 12 bytes");
+  }
+  const auto* iv_bytes = reinterpret_cast<const uint8_t*>(iv.data());
+  if (UseGcmKernel()) {
+    OBS_COUNTER_INC("crypto.gcm.dispatch.aesni");
+    std::string out(iv);
+    out.resize(kAesGcmIvBytes + plaintext.size() + kAesGcmTagBytes);
+    auto* ct = reinterpret_cast<uint8_t*>(out.data() + kAesGcmIvBytes);
+    internal::AesGcmSimdEncrypt(key.data(), iv_bytes,
+                                reinterpret_cast<const uint8_t*>(plaintext.data()),
+                                plaintext.size(), ct, ct + plaintext.size());
+    return out;
+  }
+  OBS_COUNTER_INC("crypto.gcm.dispatch.portable");
+  return GcmEncryptPortable(key, iv_bytes, plaintext);
+}
+
+Result<std::string> AesGcmEncrypt(const SymmetricKey& key, std::string_view plaintext) {
+  uint8_t iv[kAesGcmIvBytes];
+  MC_RETURN_IF_ERROR(RandomBytes(iv, sizeof(iv)));
+  return AesGcmEncryptWithIv(
+      key, std::string_view(reinterpret_cast<const char*>(iv), sizeof(iv)), plaintext);
+}
+
+Result<std::string> AesGcmDecrypt(const SymmetricKey& key, std::string_view envelope) {
+  if (envelope.size() < kAesGcmIvBytes + kAesGcmTagBytes) {
+    return Status::Corruption("GCM envelope has invalid length");
+  }
+  const auto* iv = reinterpret_cast<const uint8_t*>(envelope.data());
+  const std::string_view ct =
+      envelope.substr(kAesGcmIvBytes, envelope.size() - kAesGcmIvBytes - kAesGcmTagBytes);
+  const std::string_view tag = envelope.substr(envelope.size() - kAesGcmTagBytes);
+
+  if (UseGcmKernel()) {
+    OBS_COUNTER_INC("crypto.gcm.dispatch.aesni");
+    std::string out(ct.size(), '\0');
+    if (!internal::AesGcmSimdDecrypt(key.data(), iv,
+                                     reinterpret_cast<const uint8_t*>(ct.data()),
+                                     ct.size(),
+                                     reinterpret_cast<const uint8_t*>(tag.data()),
+                                     reinterpret_cast<uint8_t*>(out.data()))) {
+      return Status::Corruption("GCM tag check failed");
+    }
+    return out;
+  }
+  OBS_COUNTER_INC("crypto.gcm.dispatch.portable");
+  return GcmDecryptPortable(key, iv, ct, tag);
 }
 
 }  // namespace minicrypt

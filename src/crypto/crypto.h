@@ -1,7 +1,9 @@
-// Cryptographic primitives used by MiniCrypt (paper §2.5): AES-256-CBC pack
-// encryption with a random IV per envelope, SHA-256 hashing of ciphertexts
-// (the update-if token), and an HMAC-SHA256 PRF for deterministic packID
-// encryption. All primitives are backed by OpenSSL's EVP layer.
+// Cryptographic primitives used by MiniCrypt (paper §2.5): AES-256-GCM pack
+// encryption with a random IV per envelope (AES-CBC retained for comparison),
+// SHA-256 hashing of ciphertexts (the update-if token), and an HMAC-SHA256
+// PRF for deterministic packID encryption. Portable paths are backed by
+// OpenSSL's EVP layer; GCM additionally has an AES-NI + PCLMUL kernel
+// selected at runtime (src/common/cpu_features.h).
 
 #ifndef MINICRYPT_SRC_CRYPTO_CRYPTO_H_
 #define MINICRYPT_SRC_CRYPTO_CRYPTO_H_
@@ -18,6 +20,8 @@ namespace minicrypt {
 inline constexpr size_t kAesKeyBytes = 32;   // AES-256
 inline constexpr size_t kAesBlockBytes = 16;
 inline constexpr size_t kSha256Bytes = 32;
+inline constexpr size_t kAesGcmIvBytes = 12;
+inline constexpr size_t kAesGcmTagBytes = 16;
 
 // A 256-bit symmetric key. Wiped on destruction. The client holds this; the
 // server never sees it (threat model §2.1).
@@ -67,6 +71,25 @@ Result<std::string> AesCbcEncrypt(const SymmetricKey& key, std::string_view plai
 
 // Inverse of AesCbcEncrypt. Corruption on malformed envelopes or bad padding.
 Result<std::string> AesCbcDecrypt(const SymmetricKey& key, std::string_view envelope);
+
+// AES-256-GCM envelope: output = IV (12 bytes) || ciphertext (same length as
+// the plaintext) || tag (16 bytes). A fresh random IV is drawn per call.
+// Authenticated: tampering with any envelope byte fails decryption, so packs
+// no longer rely solely on the external SHA-256 hash for integrity.
+//
+// Dispatches at runtime between the AES-NI + PCLMUL kernel
+// (src/crypto/aes_gcm_simd.cc) and the portable OpenSSL EVP path; both
+// produce identical envelopes for identical IVs.
+Result<std::string> AesGcmEncrypt(const SymmetricKey& key, std::string_view plaintext);
+
+// Deterministic variant with a caller-supplied 12-byte IV. Exists for the
+// SIMD/portable differential tests; production callers must use AesGcmEncrypt
+// (IV reuse under the same key breaks GCM).
+Result<std::string> AesGcmEncryptWithIv(const SymmetricKey& key, std::string_view iv,
+                                        std::string_view plaintext);
+
+// Inverse of AesGcmEncrypt. Corruption on malformed envelopes or tag mismatch.
+Result<std::string> AesGcmDecrypt(const SymmetricKey& key, std::string_view envelope);
 
 // Fills `out` with CSPRNG bytes.
 Status RandomBytes(uint8_t* out, size_t n);

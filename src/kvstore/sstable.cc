@@ -1,19 +1,24 @@
 #include "src/kvstore/sstable.h"
 
-#include <zlib.h>
-
 #include "src/common/coding.h"
+#include "src/common/cpu_features.h"
+#include "src/common/crc32c.h"
 #include "src/compress/compressor.h"
 #include "src/kvstore/corruption.h"
 #include "src/kvstore/fault_injector.h"
+#include "src/obs/metrics.h"
 
 namespace minicrypt {
 
 namespace {
 
+// v2 block checksums use CRC32C with runtime SSE4.2/scalar dispatch
+// (src/common/crc32c.h). Builder and reader live in this TU, so the
+// polynomial choice is a private detail of the at-rest format.
 uint32_t Crc32(std::string_view data) {
-  return static_cast<uint32_t>(
-      crc32(0L, reinterpret_cast<const Bytef*>(data.data()), static_cast<uInt>(data.size())));
+  RecordKernelDispatch(CurrentSimdLevel() >= SimdLevel::kSse42 ? SimdLevel::kSse42
+                                                               : SimdLevel::kScalar);
+  return Crc32c(data);
 }
 
 // Magic bytes of the v2 checksummed footer (docs/FORMATS.md).

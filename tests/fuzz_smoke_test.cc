@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/coding.h"
+#include "src/common/cpu_features.h"
 #include "src/common/random.h"
 #include "src/compress/compressor.h"
 #include "src/core/pack.h"
@@ -47,6 +48,34 @@ TEST(FuzzSmoke, CodecDecompressSurvivesGarbage) {
   }
 }
 
+// The SIMD decompress fast paths must be exactly as robust as the scalar
+// oracle: run the same adversarial sweep at every dispatch level the host
+// supports and require identical ok/corruption verdicts (and bytes).
+TEST(FuzzSmoke, CodecDecompressGarbageAgreesAcrossDispatchLevels) {
+  const SimdLevel ambient = CurrentSimdLevel();
+  const auto levels = SupportedSimdLevels();
+  for (std::string_view name : {"lz4like", "snappylike"}) {
+    const Compressor* codec = FindCompressor(name);
+    Rng rng(41);
+    const std::string valid = *codec->Compress("some perfectly ordinary payload data");
+    for (int i = 0; i < 300; ++i) {
+      const std::string input = i % 2 == 0 ? RandomGarbage(&rng, 300)
+                                           : SeededGarbage(&rng, valid, 100);
+      OverrideSimdLevelForTest(SimdLevel::kScalar);
+      const auto scalar = codec->Decompress(input);
+      for (SimdLevel level : levels) {
+        OverrideSimdLevelForTest(level);
+        const auto out = codec->Decompress(input);
+        ASSERT_EQ(out.ok(), scalar.ok()) << name << " level " << SimdLevelName(level);
+        if (out.ok()) {
+          ASSERT_EQ(*out, *scalar) << name << " level " << SimdLevelName(level);
+        }
+      }
+    }
+  }
+  OverrideSimdLevelForTest(ambient);
+}
+
 TEST(FuzzSmoke, PackDeserializeSurvivesGarbage) {
   Rng rng(13);
   Pack pack;
@@ -62,6 +91,31 @@ TEST(FuzzSmoke, PackDeserializeSurvivesGarbage) {
       const auto& entries = out->entries();
       for (size_t j = 1; j < entries.size(); ++j) {
         EXPECT_LT(entries[j - 1].key, entries[j].key);
+      }
+    }
+  }
+}
+
+// The zero-copy adopt path must reject exactly what the copying path rejects
+// and produce identical entries when both accept.
+TEST(FuzzSmoke, PackFromSerializedMatchesDeserializeOnGarbage) {
+  Rng rng(47);
+  Pack pack;
+  pack.Upsert(EncodeKey64(1), "one");
+  pack.Upsert(EncodeKey64(2), "two");
+  const std::string valid = pack.Serialize();
+  for (int i = 0; i < 500; ++i) {
+    const std::string input =
+        i % 2 == 0 ? RandomGarbage(&rng, 200) : SeededGarbage(&rng, valid, 60);
+    const auto copied = Pack::Deserialize(input);
+    std::string adopt_me = input;
+    const auto adopted = Pack::FromSerialized(std::move(adopt_me));
+    ASSERT_EQ(copied.ok(), adopted.ok());
+    if (copied.ok()) {
+      ASSERT_EQ(copied->entries().size(), adopted->entries().size());
+      for (size_t j = 0; j < copied->entries().size(); ++j) {
+        EXPECT_EQ(copied->entries()[j].key, adopted->entries()[j].key);
+        EXPECT_EQ(copied->entries()[j].value, adopted->entries()[j].value);
       }
     }
   }
@@ -89,6 +143,33 @@ TEST(FuzzSmoke, AesDecryptSurvivesGarbage) {
     auto out = AesCbcDecrypt(key, RandomGarbage(&rng, 256));
     (void)out;
   }
+}
+
+// GCM is authenticated: garbage envelopes must fail cleanly, and truncated /
+// mutated real envelopes must fail, at every dispatch level.
+TEST(FuzzSmoke, AesGcmDecryptSurvivesGarbage) {
+  const SimdLevel ambient = CurrentSimdLevel();
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  const std::string envelope = *AesGcmEncrypt(key, "an authenticated payload");
+  for (SimdLevel level : SupportedSimdLevels()) {
+    OverrideSimdLevelForTest(level);
+    Rng rng(43);
+    for (int i = 0; i < 300; ++i) {
+      auto out = AesGcmDecrypt(key, RandomGarbage(&rng, 256));
+      // A random envelope forging a 128-bit tag "essentially never" happens.
+      EXPECT_FALSE(out.ok());
+    }
+    for (size_t cut = 0; cut < envelope.size(); ++cut) {
+      EXPECT_FALSE(AesGcmDecrypt(key, envelope.substr(0, cut)).ok());
+    }
+    for (int i = 0; i < 200; ++i) {
+      std::string mutated = envelope;
+      mutated[rng.Uniform(mutated.size())] ^=
+          static_cast<char>(1 + rng.Uniform(255));
+      EXPECT_FALSE(AesGcmDecrypt(key, mutated).ok());
+    }
+  }
+  OverrideSimdLevelForTest(ambient);
 }
 
 TEST(FuzzSmoke, PaddingUnpadSurvivesGarbage) {
