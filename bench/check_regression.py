@@ -12,6 +12,13 @@ Policy (see docs/PERF.md):
   * A cell fails if its normalized throughput drops by more than the
     tolerance (default 10%, override with --tolerance or MC_PERF_TOLERANCE).
   * Cells with no byte volume (mb_per_s == 0) are compared on 1/ns_per_op.
+  * Latency cells (those carrying a p99_us field, emitted by load_harness)
+    are exempt from the throughput gate and instead fail when current p99
+    exceeds baseline p99 by more than the latency tolerance (default 50%,
+    override with --latency-tolerance or MC_PERF_LATENCY_TOLERANCE; tail
+    latency under open-loop load is far noisier than kernel throughput).
+    Simulated media/network sleeps dominate these latencies, so they are
+    compared raw, without the memcpy normalization.
   * Runs at different dispatch levels are never compared (exit 3) — a
     scalar-forced run against an avx2 baseline would fail everything.
   * When the run is at a non-scalar dispatch level, the pack encode+decode
@@ -72,6 +79,11 @@ def main():
         type=float,
         default=float(os.environ.get("MC_PERF_TOLERANCE", "0.10")),
         help="allowed fractional drop in normalized throughput (default 0.10)")
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=float(os.environ.get("MC_PERF_LATENCY_TOLERANCE", "0.50")),
+        help="allowed fractional p99 increase for latency cells (default 0.50)")
     args = parser.parse_args()
 
     base_run, base_cells = load_run(args.baseline)
@@ -98,6 +110,18 @@ def main():
             continue
         if name not in cur_cells:
             print(f"  note: cell {name} missing from current run")
+            continue
+        base_p99 = base_cells[name].get("p99_us", 0)
+        if base_p99 > 0:
+            # Latency cell: gate the p99 tail directly (lower is better).
+            cur_p99 = cur_cells[name].get("p99_us", 0)
+            ratio = cur_p99 / base_p99
+            status = "ok"
+            if ratio > 1.0 + args.latency_tolerance:
+                status = "REGRESSION"
+                failures.append((name, ratio))
+            print(f"  {name:32s} p99 {cur_p99:.0f}us vs {base_p99:.0f}us "
+                  f"x{ratio:.3f} {status}")
             continue
         base_norm = throughput(base_cells[name]) / base_cal
         cur_norm = throughput(cur_cells[name]) / cur_cal

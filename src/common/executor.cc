@@ -1,0 +1,106 @@
+#include "src/common/executor.h"
+
+#include <algorithm>
+
+namespace minicrypt {
+
+Executor::Executor(const Options& options)
+    : queue_limit_(std::max<size_t>(1, options.queue_limit)) {
+  const int threads = std::max(1, options.threads);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() { Shutdown(); }
+
+bool Executor::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= queue_limit_) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+bool Executor::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this]() { return shutdown_ || queue_.size() < queue_limit_; });
+    if (shutdown_) {
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void Executor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) {
+      return;  // Already shut down and joined.
+    }
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  {
+    // Drain: admitted tasks always run before the workers exit.
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+}
+
+size_t Executor::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t Executor::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // shutdown_ with an empty queue: exit once nothing is left to drain.
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    space_cv_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      uncaught_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,110 @@
+// Bounded thread-pool executor: the substrate of the async request pipeline
+// (docs/CONCURRENCY.md). A fixed set of worker threads drains a bounded FIFO
+// of std::function tasks.
+//
+// Design rules:
+//  - Bounded admission. TrySubmit never blocks: it fails fast when the queue
+//    is at capacity, so callers choose their own overload policy (the cluster
+//    runs replica legs inline on the submitting thread — "caller runs" — and
+//    rejects Async* API submissions with Unavailable).
+//  - Submit blocks for space (producer backpressure) and only fails after
+//    Shutdown has begun.
+//  - Shutdown drains. Tasks already admitted always run; Shutdown stops
+//    intake, waits for the queue to empty and every in-flight task to finish,
+//    then joins the workers. Destruction implies Shutdown.
+//  - Exceptions don't kill workers. A throwing task is swallowed and counted
+//    (uncaught_exceptions()); use SubmitFuture when the caller wants the
+//    exception back — the returned std::future rethrows it on get().
+//
+// This header lives in src/common and therefore must not touch src/obs;
+// owners (e.g. Cluster) export QueueDepth()/InFlight() as gauges themselves.
+
+#ifndef MINICRYPT_SRC_COMMON_EXECUTOR_H_
+#define MINICRYPT_SRC_COMMON_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace minicrypt {
+
+class Executor {
+ public:
+  struct Options {
+    // Worker threads; clamped to >= 1.
+    int threads = 4;
+    // Max tasks waiting in the queue (excludes tasks already running).
+    // Clamped to >= 1.
+    size_t queue_limit = 1024;
+    // Label used for debugging/ownership docs; not consumed at runtime.
+    std::string name = "executor";
+  };
+
+  explicit Executor(const Options& options);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Non-blocking admission: false when the queue is full or shutdown has
+  // begun. The task is never partially admitted.
+  bool TrySubmit(std::function<void()> task);
+
+  // Blocking admission: waits for queue space. Returns false only when the
+  // executor is shutting down (the task was not admitted).
+  bool Submit(std::function<void()> task);
+
+  // Wraps `fn` in a packaged_task so the returned future carries the result
+  // or the thrown exception. If the executor is shutting down the task runs
+  // inline on the calling thread, so the future is always satisfied.
+  template <typename Fn>
+  auto SubmitFuture(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    if (!Submit([task]() { (*task)(); })) {
+      (*task)();  // Shutdown race: satisfy the future on the caller.
+    }
+    return future;
+  }
+
+  // Stops intake, drains every admitted task, joins workers. Idempotent.
+  void Shutdown();
+
+  // Instantaneous depth of the waiting queue (admitted, not yet running).
+  size_t QueueDepth() const;
+  // Tasks currently executing on workers.
+  size_t InFlight() const;
+  // Tasks that exited via exception (swallowed by the worker loop).
+  uint64_t uncaught_exceptions() const {
+    return uncaught_exceptions_.load(std::memory_order_relaxed);
+  }
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_limit_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / shutdown
+  std::condition_variable space_cv_;  // producers wait for queue space
+  std::condition_variable idle_cv_;   // Shutdown waits for drain
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::atomic<uint64_t> uncaught_exceptions_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_COMMON_EXECUTOR_H_

@@ -57,9 +57,30 @@ Cluster::Cluster(ClusterOptions options)
                                             options_.engine));
     ring_.AddNode(i);
   }
+  // Replica fan-out pool: only worth spinning up when a write actually has
+  // more than one leg. replica_fanout_threads == 0 selects the synchronous
+  // deterministic mode (docs/CONCURRENCY.md).
+  if (options_.replica_fanout_threads > 0 && options_.replication_factor > 1) {
+    Executor::Options pool;
+    pool.threads = options_.replica_fanout_threads;
+    pool.queue_limit =
+        std::max<size_t>(64, static_cast<size_t>(options_.replica_fanout_threads) * 16);
+    pool.name = "replica-fanout";
+    replica_pool_ = std::make_unique<Executor>(pool);
+  }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Order matters: Async* tasks run whole pipelines (which submit replica
+  // legs), so the API pool must drain before the replica pool. Both drain
+  // before nodes_ is torn down, so every leg's engine pointer stays valid.
+  if (async_pool_ != nullptr) {
+    async_pool_->Shutdown();
+  }
+  if (replica_pool_ != nullptr) {
+    replica_pool_->Shutdown();
+  }
+}
 
 Status Cluster::CreateTable(std::string_view name, bool server_compression) {
   std::lock_guard<std::mutex> lock(tables_mu_);
@@ -429,6 +450,7 @@ void Cluster::ChaosTick() {
 }
 
 void Cluster::HealAllNodes() {
+  Quiesce();  // straggler legs may still queue hints; settle them first
   std::lock_guard<std::mutex> lock(down_mu_);
   for (size_t node = 0; node < node_down_.size(); ++node) {
     if (node_down_[node]) {
@@ -439,6 +461,7 @@ void Cluster::HealAllNodes() {
 }
 
 void Cluster::ReplayAllHints() {
+  Quiesce();  // a leg finishing after the drain would leave a hint parked
   std::lock_guard<std::mutex> lock(down_mu_);
   for (size_t node = 0; node < hints_.size(); ++node) {
     if (!node_down_[node] && !hints_[node].empty()) {
@@ -453,6 +476,7 @@ std::vector<int> Cluster::ReplicaNodesFor(std::string_view partition) const {
 
 Result<std::vector<std::pair<std::string, Row>>> Cluster::DebugPartitionRows(
     int node, std::string_view table, std::string_view partition) {
+  Quiesce();  // invariant checks must never observe a mid-flight replica leg
   if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
     return Status::InvalidArgument("no such node: " + std::to_string(node));
   }
@@ -470,62 +494,216 @@ Result<std::vector<std::pair<std::string, Row>>> Cluster::DebugPartitionRows(
   return out;
 }
 
+// Shared state of one write's replica legs. Owned by shared_ptr: when the
+// coordinator returns on the quorum'th ack, straggler legs keep a reference
+// and finish in the background (Quiesce waits for them).
+struct Cluster::ReplicaFanout {
+  // Per-replica plan resolved in phase 1 (under down_mu_, in replica order,
+  // so fault-point ordinals are claimed deterministically per point).
+  struct Plan {
+    bool run_leg = false;            // false: resolved in phase 1 (down/dropped)
+    bool forced_write_error = false; // injected kMediaWriteError: hint, no apply
+    uint64_t delay_micros = 0;       // injected kReplicaDelay spike
+  };
+
+  std::string table;
+  std::string partition;
+  std::string clustering;
+  Row stamped;
+  uint64_t partition_tombstone_ts = 0;  // nonzero: whole-partition tombstone
+  std::vector<StorageEngine*> engines;
+  std::vector<int> node_ids;
+  std::vector<Plan> plan;
+
+  // Completion state. `done` counts finished legs (phase-1 resolutions never
+  // enter it); the coordinator waits for acks >= required or done == legs.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t acks = 0;
+  size_t done = 0;
+};
+
 Status Cluster::ApplyToReplicas(std::string_view table, const std::vector<Node*>& replicas,
                                 const std::vector<StorageEngine*>& engines,
                                 std::string_view partition, std::string_view clustering,
-                                const Row& stamped, size_t required_acks) {
+                                const Row& stamped, size_t required_acks,
+                                uint64_t partition_tombstone_ts) {
   FaultInjector* fi = options_.fault_injector;
-  std::lock_guard<std::mutex> lock(down_mu_);
-  OBS_COUNTER_ADD("cluster.replica.fanout", engines.size());
-  size_t acks = 0;
-  for (size_t i = 0; i < engines.size(); ++i) {
-    const auto node_id = static_cast<size_t>(replicas[i]->id());
-    bool hint = false;
-    if (node_id < node_down_.size() && node_down_[node_id]) {
-      hint = true;
-    } else if (fi != nullptr && fi->Fire(FaultPoint::kReplicaDrop, table)) {
-      // Coordinator->replica message lost; Cassandra queues a hint exactly
-      // as it does for a down node.
-      OBS_COUNTER_INC("cluster.replica.dropped");
-      hint = true;
-    } else {
-      if (fi != nullptr) {
-        uint64_t draw = 0;
-        if (fi->Fire(FaultPoint::kReplicaDelay, table, &draw)) {
-          OBS_COUNTER_INC("cluster.replica.delayed");
-          options_.clock->SleepMicros(fi->LatencySpikeMicros(draw));
-        }
-      }
-      if (fi != nullptr && fi->Fire(FaultPoint::kMediaWriteError, table)) {
-        OBS_COUNTER_INC("cluster.replica.write_errors");
+  auto fanout = std::make_shared<ReplicaFanout>();
+  fanout->table = std::string(table);
+  fanout->partition = std::string(partition);
+  fanout->clustering = std::string(clustering);
+  fanout->stamped = stamped;
+  fanout->partition_tombstone_ts = partition_tombstone_ts;
+  fanout->engines = engines;
+  fanout->node_ids.reserve(engines.size());
+  fanout->plan.reserve(engines.size());
+
+  // Phase 1 — plan, under down_mu_ in replica order: resolve down-ness and
+  // draw the coordinator fault points (drop / delay / write-error). Drawing
+  // here, before any leg runs, keeps each point's ordinal stream in replica
+  // order regardless of how phase 2 interleaves. The partition-tombstone
+  // path historically fired no coordinator points; keep it that way so
+  // scripted fault ordinals replay unchanged.
+  size_t legs = 0;
+  {
+    std::lock_guard<std::mutex> lock(down_mu_);
+    if (partition_tombstone_ts == 0) {
+      OBS_COUNTER_ADD("cluster.replica.fanout", engines.size());
+    }
+    for (size_t i = 0; i < engines.size(); ++i) {
+      const auto node_id = static_cast<size_t>(replicas[i]->id());
+      fanout->node_ids.push_back(static_cast<int>(node_id));
+      ReplicaFanout::Plan plan;
+      bool hint = false;
+      if (node_id < node_down_.size() && node_down_[node_id]) {
+        hint = true;
+      } else if (partition_tombstone_ts == 0 && fi != nullptr &&
+                 fi->Fire(FaultPoint::kReplicaDrop, table)) {
+        // Coordinator->replica message lost; Cassandra queues a hint exactly
+        // as it does for a down node.
+        OBS_COUNTER_INC("cluster.replica.dropped");
         hint = true;
       } else {
-        const Status s = engines[i]->Apply(partition, clustering, stamped);
-        if (s.ok()) {
-          ++acks;
-        } else {
-          // Commit-log (fsync) failure: the replica rejected the mutation;
-          // park it as a hint like a transient outage.
-          OBS_COUNTER_INC("cluster.replica.apply_errors");
-          hint = true;
+        if (partition_tombstone_ts == 0 && fi != nullptr) {
+          uint64_t draw = 0;
+          if (fi->Fire(FaultPoint::kReplicaDelay, table, &draw)) {
+            OBS_COUNTER_INC("cluster.replica.delayed");
+            plan.delay_micros = fi->LatencySpikeMicros(draw);
+            OBS_COUNTER_ADD("cluster.replica.delay_micros", plan.delay_micros);
+          }
+          if (fi->Fire(FaultPoint::kMediaWriteError, table)) {
+            OBS_COUNTER_INC("cluster.replica.write_errors");
+            plan.forced_write_error = true;
+          }
         }
+        plan.run_leg = true;
+        ++legs;
+      }
+      if (hint) {
+        // Hinted handoff: queue the timestamped mutation for replay.
+        OBS_COUNTER_INC("cluster.hints.queued");
+        hints_[node_id].push_back(Hint{fanout->table, fanout->partition, fanout->clustering,
+                                       stamped, partition_tombstone_ts});
+      }
+      fanout->plan.push_back(plan);
+    }
+  }
+
+  // Phase 2 — run the legs. With a pool and more than one leg they run
+  // concurrently; a full pool falls back to caller-runs (deadlock-free by
+  // construction). Without a pool (RF=1 or replica_fanout_threads=0) they
+  // run inline in replica order — byte-identical to the old serial path.
+  if (replica_pool_ == nullptr || legs <= 1) {
+    for (size_t i = 0; i < fanout->plan.size(); ++i) {
+      if (fanout->plan[i].run_leg) {
+        RunReplicaLeg(fanout, i);
       }
     }
-    if (hint) {
-      // Hinted handoff: queue the timestamped mutation for replay.
-      OBS_COUNTER_INC("cluster.hints.queued");
-      hints_[node_id].push_back(Hint{std::string(table), std::string(partition),
-                                     std::string(clustering), stamped});
+  } else {
+    for (size_t i = 0; i < fanout->plan.size(); ++i) {
+      if (!fanout->plan[i].run_leg) {
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> lock(quiesce_mu_);
+        ++pending_legs_;
+      }
+      if (!replica_pool_->TrySubmit([this, fanout, i]() {
+            RunReplicaLeg(fanout, i);
+            FinishPendingLeg();
+          })) {
+        FinishPendingLeg();
+        OBS_COUNTER_INC("cluster.replica.fanout.inline");
+        RunReplicaLeg(fanout, i);
+      }
     }
   }
-  if (acks < required_acks) {
-    // The ambiguous failure mode: some replicas may hold the write (and the
-    // rest will get it via hints), but the client must not treat it as acked.
-    OBS_COUNTER_INC("cluster.write.underacked");
-    return Status::Unavailable("write acked by " + std::to_string(acks) + "/" +
-                               std::to_string(required_acks) + " required replicas");
+
+  // Complete on the required_acks'th ack; stragglers finish in the
+  // background holding their shared_ptr. Only when every leg has reported
+  // and acks still fall short do we surface the ambiguous failure (some
+  // replicas may hold the write, the rest will get it via hints).
+  std::unique_lock<std::mutex> lock(fanout->mu);
+  fanout->cv.wait(lock, [&]() { return fanout->acks >= required_acks || fanout->done == legs; });
+  if (fanout->acks >= required_acks) {
+    return Status::Ok();
   }
-  return Status::Ok();
+  OBS_COUNTER_INC("cluster.write.underacked");
+  if (partition_tombstone_ts != 0) {
+    return Status::Unavailable("partition delete acked by " + std::to_string(fanout->acks) +
+                               "/" + std::to_string(required_acks) + " required replicas");
+  }
+  return Status::Unavailable("write acked by " + std::to_string(fanout->acks) + "/" +
+                             std::to_string(required_acks) + " required replicas");
+}
+
+void Cluster::RunReplicaLeg(const std::shared_ptr<ReplicaFanout>& fanout, size_t i) {
+  const ReplicaFanout::Plan& plan = fanout->plan[i];
+  const auto node_id = static_cast<size_t>(fanout->node_ids[i]);
+  if (plan.delay_micros > 0) {
+    options_.clock->SleepMicros(plan.delay_micros);
+  }
+  bool ack = false;
+  bool hint = false;
+  if (plan.forced_write_error) {
+    hint = true;
+  } else {
+    // Re-check down-ness: CrashNode marks the node down (under down_mu_)
+    // before tearing its engines down, so a leg planned earlier must divert
+    // to a hint rather than touch a dying engine.
+    bool down_now = false;
+    {
+      std::lock_guard<std::mutex> lock(down_mu_);
+      down_now = node_id < node_down_.size() && node_down_[node_id];
+    }
+    if (down_now) {
+      hint = true;
+    } else {
+      const Status s =
+          fanout->partition_tombstone_ts != 0
+              ? fanout->engines[i]->ApplyPartitionTombstone(fanout->partition,
+                                                            fanout->partition_tombstone_ts)
+              : fanout->engines[i]->Apply(fanout->partition, fanout->clustering,
+                                          fanout->stamped);
+      if (s.ok()) {
+        ack = true;
+      } else {
+        // Commit-log (fsync) failure: the replica rejected the mutation;
+        // park it as a hint like a transient outage.
+        if (fanout->partition_tombstone_ts == 0) {
+          OBS_COUNTER_INC("cluster.replica.apply_errors");
+        }
+        hint = true;
+      }
+    }
+  }
+  if (hint) {
+    std::lock_guard<std::mutex> lock(down_mu_);
+    OBS_COUNTER_INC("cluster.hints.queued");
+    hints_[node_id].push_back(Hint{fanout->table, fanout->partition, fanout->clustering,
+                                   fanout->stamped, fanout->partition_tombstone_ts});
+  }
+  {
+    std::lock_guard<std::mutex> lock(fanout->mu);
+    if (ack) {
+      ++fanout->acks;
+    }
+    ++fanout->done;
+  }
+  fanout->cv.notify_all();
+}
+
+void Cluster::FinishPendingLeg() {
+  std::lock_guard<std::mutex> lock(quiesce_mu_);
+  if (--pending_legs_ == 0) {
+    quiesce_cv_.notify_all();
+  }
+}
+
+void Cluster::Quiesce() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [this]() { return pending_legs_ == 0; });
 }
 
 namespace {
@@ -597,11 +775,15 @@ Status Cluster::CrashNode(int node) {
     if (node_down_[static_cast<size_t>(node)]) {
       return Status::InvalidArgument("node " + std::to_string(node) + " is already down");
     }
-    // Mark down first, under the same lock writers hold while applying:
+    // Mark down first, under the same lock writers hold while planning:
     // every write from here on queues a hint instead of touching the dying
     // engines.
     node_down_[static_cast<size_t>(node)] = true;
   }
+  // Already-planned legs re-check down-ness before applying, but a leg that
+  // passed the check may still be inside the engine; wait it out so the
+  // crash below never races an apply.
+  Quiesce();
   OBS_COUNTER_INC("cluster.node.crashes");
   Node* target = nodes_[static_cast<size_t>(node)].get();
   FaultInjector* fi = options_.fault_injector;
@@ -628,6 +810,7 @@ Status Cluster::RestartNode(int node) {
   if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
     return Status::InvalidArgument("no such node: " + std::to_string(node));
   }
+  Quiesce();  // no leg may race the log replay below
   Node* target = nodes_[static_cast<size_t>(node)].get();
   Status first = Status::Ok();
   target->ForEachEngine([&](const std::string& table, StorageEngine* engine) {
@@ -690,6 +873,7 @@ Result<size_t> Cluster::ScrubNode(int node) {
   if (IsNodeDown(node)) {
     return Status::Unavailable("cannot scrub node " + std::to_string(node) + " while down");
   }
+  Quiesce();  // scrub rebuilds from peer scans; settle in-flight writes
   OBS_SPAN("cluster.scrub_node");
   Node* target = nodes_[static_cast<size_t>(node)].get();
   size_t blocks_rebuilt = 0;
@@ -718,6 +902,7 @@ Result<size_t> Cluster::ScrubNode(int node) {
 }
 
 Status Cluster::AntiEntropyRepair(std::string_view table_name) {
+  Quiesce();  // compare settled replica state, not mid-flight legs
   OBS_SPAN("cluster.anti_entropy");
   const std::string table(table_name);
   bool server_compression = false;
@@ -1152,31 +1337,8 @@ Status Cluster::DeletePartition(std::string_view table, std::string_view partiti
   MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
   ChargeRtt(1);
   const uint64_t ts = NextTimestamp();
-  std::lock_guard<std::mutex> lock(down_mu_);
-  size_t acks = 0;
-  const size_t required = RequiredAcks(engines.size());
-  for (size_t i = 0; i < engines.size(); ++i) {
-    const auto node_id = static_cast<size_t>(replicas[i]->id());
-    bool hint = node_id < node_down_.size() && node_down_[node_id];
-    if (!hint) {
-      const Status s = engines[i]->ApplyPartitionTombstone(partition, ts);
-      if (s.ok()) {
-        ++acks;
-      } else {
-        hint = true;
-      }
-    }
-    if (hint) {
-      OBS_COUNTER_INC("cluster.hints.queued");
-      Hint h{std::string(table), std::string(partition), "", Row{}, ts};
-      hints_[node_id].push_back(std::move(h));
-    }
-  }
-  if (acks < required) {
-    return Status::Unavailable("partition delete acked by " + std::to_string(acks) + "/" +
-                               std::to_string(required) + " required replicas");
-  }
-  return Status::Ok();
+  return ApplyToReplicas(table, replicas, engines, partition, "", Row{},
+                         RequiredAcks(engines.size()), ts);
 }
 
 Status Cluster::DeleteRow(std::string_view table, std::string_view partition,
@@ -1224,6 +1386,7 @@ const MediaStats* Cluster::NodeMediaStats(int node) const {
 }
 
 Status Cluster::FlushAll() {
+  Quiesce();  // flush everything, including writes whose legs are in flight
   std::vector<std::string> names;
   {
     std::lock_guard<std::mutex> lock(tables_mu_);
@@ -1252,6 +1415,129 @@ void Cluster::WarmCaches(std::string_view table) {
       engine->WarmCache();
     }
   }
+}
+
+Executor* Cluster::EnsureAsyncPool() {
+  std::lock_guard<std::mutex> lock(async_pool_mu_);
+  if (async_pool_ == nullptr) {
+    Executor::Options pool;
+    pool.threads = std::max(1, options_.async_api_threads);
+    pool.queue_limit = std::max<size_t>(1, options_.async_queue_limit);
+    pool.name = "cluster-async";
+    async_pool_ = std::make_unique<Executor>(pool);
+  }
+  return async_pool_.get();
+}
+
+namespace {
+
+// Export the pool's instantaneous shape as gauges. Set at submit and at
+// completion (not via RegisterDerivedGauge: the registry outlives any one
+// Cluster, and a derived gauge would dangle after the cluster dies).
+void SetAsyncGauges(const Executor* pool) {
+  OBS_GAUGE_SET("cluster.async.queue_depth", static_cast<int64_t>(pool->QueueDepth()));
+  OBS_GAUGE_SET("cluster.async.inflight", static_cast<int64_t>(pool->InFlight()));
+}
+
+}  // namespace
+
+void Cluster::AsyncMutate(std::string_view table, std::string_view partition,
+                          std::string_view clustering, const Row& update, WriteCallback done) {
+  Executor* pool = EnsureAsyncPool();
+  // The callback lives in a shared_ptr so a rejected TrySubmit (which
+  // destroys the task lambda) cannot destroy it before we invoke it.
+  auto cb = std::make_shared<WriteCallback>(std::move(done));
+  OBS_COUNTER_INC("cluster.async.submitted");
+  const bool admitted = pool->TrySubmit([this, pool, cb, table = std::string(table),
+                                         partition = std::string(partition),
+                                         clustering = std::string(clustering), update]() {
+    Status s = Write(table, partition, clustering, update);
+    OBS_COUNTER_INC("cluster.async.completed");
+    SetAsyncGauges(pool);
+    (*cb)(std::move(s));
+  });
+  SetAsyncGauges(pool);
+  if (!admitted) {
+    OBS_COUNTER_INC("cluster.async.rejected");
+    (*cb)(Status::Unavailable("async pipeline at capacity"));
+  }
+}
+
+void Cluster::AsyncReadFloorCell(std::string_view table, std::string_view partition,
+                                 std::string_view clustering, std::string_view column,
+                                 ReadFloorCellCallback done) {
+  Executor* pool = EnsureAsyncPool();
+  auto cb = std::make_shared<ReadFloorCellCallback>(std::move(done));
+  OBS_COUNTER_INC("cluster.async.submitted");
+  const bool admitted = pool->TrySubmit([this, pool, cb, table = std::string(table),
+                                         partition = std::string(partition),
+                                         clustering = std::string(clustering),
+                                         column = std::string(column)]() {
+    auto result = ReadFloorCell(table, partition, clustering, column);
+    OBS_COUNTER_INC("cluster.async.completed");
+    SetAsyncGauges(pool);
+    (*cb)(std::move(result));
+  });
+  SetAsyncGauges(pool);
+  if (!admitted) {
+    OBS_COUNTER_INC("cluster.async.rejected");
+    (*cb)(Status::Unavailable("async pipeline at capacity"));
+  }
+}
+
+void Cluster::AsyncGetRange(std::string_view table, std::string_view partition,
+                            std::string_view lo, std::string_view hi, size_t limit,
+                            GetRangeCallback done) {
+  Executor* pool = EnsureAsyncPool();
+  auto cb = std::make_shared<GetRangeCallback>(std::move(done));
+  OBS_COUNTER_INC("cluster.async.submitted");
+  const bool admitted = pool->TrySubmit([this, pool, cb, table = std::string(table),
+                                         partition = std::string(partition),
+                                         lo = std::string(lo), hi = std::string(hi), limit]() {
+    auto result = ReadRange(table, partition, lo, hi, limit);
+    OBS_COUNTER_INC("cluster.async.completed");
+    SetAsyncGauges(pool);
+    (*cb)(std::move(result));
+  });
+  SetAsyncGauges(pool);
+  if (!admitted) {
+    OBS_COUNTER_INC("cluster.async.rejected");
+    (*cb)(Status::Unavailable("async pipeline at capacity"));
+  }
+}
+
+std::future<Status> Cluster::AsyncMutate(std::string_view table, std::string_view partition,
+                                         std::string_view clustering, const Row& update) {
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::future<Status> future = promise->get_future();
+  AsyncMutate(table, partition, clustering, update,
+              [promise](Status s) { promise->set_value(std::move(s)); });
+  return future;
+}
+
+std::future<Result<std::pair<std::string, std::string>>> Cluster::AsyncReadFloorCell(
+    std::string_view table, std::string_view partition, std::string_view clustering,
+    std::string_view column) {
+  auto promise = std::make_shared<std::promise<Result<std::pair<std::string, std::string>>>>();
+  auto future = promise->get_future();
+  AsyncReadFloorCell(table, partition, clustering, column,
+                     [promise](Result<std::pair<std::string, std::string>> r) {
+                       promise->set_value(std::move(r));
+                     });
+  return future;
+}
+
+std::future<Result<std::vector<std::pair<std::string, Row>>>> Cluster::AsyncGetRange(
+    std::string_view table, std::string_view partition, std::string_view lo,
+    std::string_view hi, size_t limit) {
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<std::pair<std::string, Row>>>>>();
+  auto future = promise->get_future();
+  AsyncGetRange(table, partition, lo, hi, limit,
+                [promise](Result<std::vector<std::pair<std::string, Row>>> r) {
+                  promise->set_value(std::move(r));
+                });
+  return future;
 }
 
 void Cluster::ResetPerfCounters() {

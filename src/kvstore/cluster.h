@@ -7,7 +7,9 @@
 #define MINICRYPT_SRC_KVSTORE_CLUSTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/executor.h"
 #include "src/common/status.h"
 #include "src/common/thread_util.h"
 #include "src/kvstore/block_cache.h"
@@ -73,6 +76,23 @@ struct ClusterOptions {
   // cluster). Consulted at every fault point: replica reads/writes, media
   // latency, commit-log appends, LWT acks, node flaps, and LWW clock skew.
   FaultInjector* fault_injector = nullptr;
+
+  // --- Async pipeline (docs/CONCURRENCY.md) ----------------------------------
+
+  // Workers for concurrent replica fan-out: a QUORUM write issues all RF
+  // replica legs at once and returns on the quorum'th ack. 0 = synchronous
+  // fan-out on the coordinator thread in replica order — required for
+  // seed-exact replay of engine-level fault ordinals (docs/TESTING.md).
+  // The pool is only created when replication_factor > 1.
+  int replica_fanout_threads = 4;
+
+  // Workers + queue bound for the Async* entry points (AsyncMutate,
+  // AsyncReadFloorCell, AsyncGetRange). The pool is created lazily on first
+  // Async* call; when its queue is full, submissions complete immediately
+  // with Unavailable ("async pipeline at capacity") — bounded admission is
+  // the overload policy, mirroring a real coordinator shedding load.
+  int async_api_threads = 8;
+  size_t async_queue_limit = 4096;
 
   // Zero-latency, single-node profile for unit tests.
   static ClusterOptions ForTest();
@@ -150,6 +170,49 @@ class Cluster {
   // Deletes the named cells of one row (tombstones).
   Status DeleteRow(std::string_view table, std::string_view partition,
                    std::string_view clustering, const std::vector<std::string>& columns);
+
+  // --- Async data path ---------------------------------------------------------
+  //
+  // The same request pipeline as the synchronous calls, executed on the
+  // cluster's coordinator pool: the callback fires exactly once, from a pool
+  // thread (or inline, with Unavailable, when the bounded queue is full).
+  // The synchronous methods above are the blocking equivalents — same
+  // pipeline body, run on the caller's thread. See docs/CONCURRENCY.md.
+
+  using WriteCallback = std::function<void(Status)>;
+  using ReadFloorCellCallback =
+      std::function<void(Result<std::pair<std::string, std::string>>)>;
+  using GetRangeCallback =
+      std::function<void(Result<std::vector<std::pair<std::string, Row>>>)>;
+
+  // Async Write (LWW mutate). Callback receives the write status.
+  void AsyncMutate(std::string_view table, std::string_view partition,
+                   std::string_view clustering, const Row& update, WriteCallback done);
+
+  // Async ReadFloorCell (the version-probe primitive clients poll with).
+  void AsyncReadFloorCell(std::string_view table, std::string_view partition,
+                          std::string_view clustering, std::string_view column,
+                          ReadFloorCellCallback done);
+
+  // Async ReadRange.
+  void AsyncGetRange(std::string_view table, std::string_view partition, std::string_view lo,
+                     std::string_view hi, size_t limit, GetRangeCallback done);
+
+  // Future overloads of the same entry points.
+  std::future<Status> AsyncMutate(std::string_view table, std::string_view partition,
+                                  std::string_view clustering, const Row& update);
+  std::future<Result<std::pair<std::string, std::string>>> AsyncReadFloorCell(
+      std::string_view table, std::string_view partition, std::string_view clustering,
+      std::string_view column);
+  std::future<Result<std::vector<std::pair<std::string, Row>>>> AsyncGetRange(
+      std::string_view table, std::string_view partition, std::string_view lo,
+      std::string_view hi, size_t limit = 0);
+
+  // Blocks until every in-flight replica leg has completed. A quorum write
+  // returns on the quorum'th ack while straggler legs finish in the
+  // background; audits and topology changes call this first so they never
+  // observe (or mutate) mid-flight state.
+  void Quiesce();
 
   // --- Fault injection / fault tolerance ---------------------------------------
   //
@@ -237,6 +300,7 @@ class Cluster {
   friend class KvSession;
 
   struct PaxosShard;
+  struct ReplicaFanout;  // shared state of one write's concurrent replica legs
 
   void ChargeRtt(int round_trips);
   void ChargeTransfer(size_t bytes);
@@ -274,9 +338,31 @@ class Cluster {
   // failing ones. Unavailable (with hints already queued — the classic
   // ambiguous write) when fewer than `required_acks` replicas persisted it.
   // `engines` and `replicas` are parallel arrays from ReplicasFor.
+  //
+  // Two-phase fan-out: phase 1 (under down_mu_, in replica order) resolves
+  // down-ness and draws the coordinator fault points, producing a per-replica
+  // plan; phase 2 runs the engine legs — concurrently on the replica pool
+  // when configured, else inline in replica order. Returns on the
+  // required_acks'th ack; stragglers complete in the background (Quiesce
+  // waits for them).
+  //
+  // partition_tombstone_ts != 0 turns the write into a whole-partition
+  // tombstone (DeletePartition); that path skips the per-replica coordinator
+  // fault points, preserving the historical fault-ordinal stream.
   Status ApplyToReplicas(std::string_view table, const std::vector<Node*>& replicas,
                          const std::vector<StorageEngine*>& engines, std::string_view partition,
-                         std::string_view clustering, const Row& stamped, size_t required_acks);
+                         std::string_view clustering, const Row& stamped, size_t required_acks,
+                         uint64_t partition_tombstone_ts = 0);
+
+  // Runs replica leg `i` of a fan-out: injected delay, the engine apply (or
+  // partition tombstone), hint queueing on failure, ack bookkeeping.
+  void RunReplicaLeg(const std::shared_ptr<ReplicaFanout>& fanout, size_t i);
+
+  // Marks one background leg finished and wakes Quiesce.
+  void FinishPendingLeg();
+
+  // Creates the Async* API pool on first use.
+  Executor* EnsureAsyncPool();
 
   // Blocking read repair (Cassandra's monotonic quorum reads, standing in
   // for its Paxos round repair): writes `merged` back to each replica in
@@ -338,6 +424,21 @@ class Cluster {
 
   mutable std::mutex tables_mu_;
   std::map<std::string, bool, std::less<>> tables_;  // name -> server_compression
+
+  // --- Async pipeline state (docs/CONCURRENCY.md) ------------------------------
+
+  // Replica fan-out pool; null when replica_fanout_threads == 0 or RF == 1
+  // (fan-out then runs inline in replica order — the deterministic mode).
+  std::unique_ptr<Executor> replica_pool_;
+
+  // Async* API pool, created lazily under async_pool_mu_.
+  std::mutex async_pool_mu_;
+  std::unique_ptr<Executor> async_pool_;
+
+  // Count of replica legs still running on the pool; Quiesce waits for 0.
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+  size_t pending_legs_ = 0;
 };
 
 }  // namespace minicrypt

@@ -146,12 +146,20 @@ CommitLog::CommitLog(std::unique_ptr<LogSink> sink, Media* media, FaultInjector*
     : sink_(std::move(sink)),
       media_(media),
       fault_injector_(fault_injector),
-      sync_every_appends_(sync_every_appends == 0 ? 1 : sync_every_appends) {}
+      sync_every_appends_(sync_every_appends == 0 ? 1 : sync_every_appends),
+      open_group_(std::make_shared<Group>()) {}
+
+void CommitLog::WaitForLeaderLocked(std::unique_lock<std::mutex>& lock) const {
+  cv_.wait(lock, [this]() { return !leader_active_; });
+}
 
 Status CommitLog::Append(std::string_view encoded_key, const Row& update) {
-  // The span covers framing plus the sequential media write — the per-update
-  // durability (fsync-equivalent) charge on the write path.
+  // The span covers framing plus the (possibly batched) sequential media
+  // write — the per-update durability (fsync-equivalent) charge.
   OBS_SPAN("commitlog.append");
+  // The fault point and the framing stay outside the lock: per-record
+  // semantics (a failed append rejects exactly one mutation) and per-record
+  // fault ordinals are unchanged by batching.
   if (fault_injector_ != nullptr && fault_injector_->Fire(FaultPoint::kCommitLogAppend)) {
     OBS_COUNTER_INC("commitlog.append.injected_failures");
     return Status::Unavailable("injected commit-log fsync failure");
@@ -167,21 +175,58 @@ Status CommitLog::Append(std::string_view encoded_key, const Row& update) {
 
   OBS_COUNTER_INC("commitlog.append.count");
   OBS_COUNTER_ADD("commitlog.append.bytes", record.size());
-  MC_RETURN_IF_ERROR(sink_->Append(record));
-  appended_bytes_ += record.size();
-  if (++appends_since_sync_ >= sync_every_appends_) {
-    // fsync-equivalent: everything appended so far survives a crash.
-    appends_since_sync_ = 0;
-    synced_bytes_ = appended_bytes_;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  std::shared_ptr<Group> mine = open_group_;
+  mine->records.push_back(std::move(record));
+  if (leader_active_) {
+    // Follower: the leader will flush this group (possibly batched with
+    // other appenders' records) and post the shared verdict.
+    cv_.wait(lock, [&]() { return mine->flushed; });
+    return mine->status;
   }
-  if (media_ != nullptr) {
-    media_->Write(record.size(), /*sequential=*/true);
+  // Leader: flush groups until no records are parked. Records that arrive
+  // while the sink write is in flight form the next group.
+  leader_active_ = true;
+  while (!open_group_->records.empty()) {
+    std::shared_ptr<Group> group = open_group_;
+    open_group_ = std::make_shared<Group>();
+    std::string bytes;
+    for (const std::string& r : group->records) {
+      bytes.append(r);
+    }
+    const uint64_t batch = group->records.size();
+    lock.unlock();
+    const Status s = sink_->Append(bytes);
+    if (s.ok() && media_ != nullptr) {
+      // One sequential media write per batch — the group-commit win.
+      media_->Write(bytes.size(), /*sequential=*/true);
+    }
+    lock.lock();
+    if (s.ok()) {
+      appended_bytes_ += bytes.size();
+      appends_since_sync_ += batch;
+      if (appends_since_sync_ >= sync_every_appends_) {
+        // fsync-equivalent: everything appended so far survives a crash.
+        appends_since_sync_ = 0;
+        synced_bytes_ = appended_bytes_;
+      }
+      OBS_COUNTER_INC("commitlog.group.commits");
+      OBS_COUNTER_ADD("commitlog.group.records", batch);
+    }
+    group->status = s;
+    group->flushed = true;
+    cv_.notify_all();
   }
-  return Status::Ok();
+  leader_active_ = false;
+  cv_.notify_all();
+  return mine->status;
 }
 
 Status CommitLog::Replay(
     const std::function<void(std::string_view key, const Row& row)>& apply) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForLeaderLocked(lock);
   std::string all;
   MC_RETURN_IF_ERROR(sink_->ReadAll(&all));
   ReplayPrefix(all, apply);
@@ -190,6 +235,8 @@ Status CommitLog::Replay(
 
 Status CommitLog::Recover(
     const std::function<void(std::string_view key, const Row& row)>& apply) {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForLeaderLocked(lock);
   std::string all;
   MC_RETURN_IF_ERROR(sink_->ReadAll(&all));
   const size_t valid_prefix = ReplayPrefix(all, apply);
@@ -205,6 +252,8 @@ Status CommitLog::Recover(
 }
 
 size_t CommitLog::Crash(uint64_t draw) {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForLeaderLocked(lock);
   const size_t unsynced = appended_bytes_ - synced_bytes_;
   const size_t dropped = static_cast<size_t>(draw % (unsynced + 1));
   if (dropped > 0) {
@@ -219,10 +268,17 @@ size_t CommitLog::Crash(uint64_t draw) {
 }
 
 Status CommitLog::Retire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  WaitForLeaderLocked(lock);
   appended_bytes_ = 0;
   synced_bytes_ = 0;
   appends_since_sync_ = 0;
   return sink_->Truncate();
+}
+
+size_t CommitLog::UnsyncedBytes() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return appended_bytes_ - synced_bytes_;
 }
 
 }  // namespace minicrypt

@@ -9,14 +9,24 @@
 // looks like. Recovery (`Recover`) replays every intact record and truncates
 // the segment at the last intact record, so post-restart appends can never
 // interleave with garbage left behind by the crash.
+//
+// Concurrency: Append is thread-safe and group-committed (docs/CONCURRENCY.md).
+// Concurrent appenders park their framed records in the open group; the first
+// one in becomes the leader and flushes whole groups — one sink append and one
+// sequential media write per batch — while followers wait for their group's
+// verdict. With a single appender every group holds one record and the
+// behavior is bit-identical to the historical per-record path.
 
 #ifndef MINICRYPT_SRC_KVSTORE_COMMIT_LOG_H_
 #define MINICRYPT_SRC_KVSTORE_COMMIT_LOG_H_
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/kvstore/media.h"
@@ -74,7 +84,9 @@ class CommitLog {
   CommitLog(std::unique_ptr<LogSink> sink, Media* media,
             FaultInjector* fault_injector = nullptr, uint64_t sync_every_appends = 1);
 
-  // Appends one record: the row update applied at `encoded_key`.
+  // Appends one record: the row update applied at `encoded_key`. Thread-safe;
+  // concurrent calls are group-committed (see file comment). Returns the
+  // durability verdict of the batch carrying this record.
   Status Append(std::string_view encoded_key, const Row& update);
 
   // Replays every intact record in order; stops at the first torn/corrupt
@@ -96,13 +108,33 @@ class CommitLog {
   Status Retire();
 
   // Bytes appended but not yet covered by a sync (introspection for tests).
-  size_t UnsyncedBytes() const { return appended_bytes_ - synced_bytes_; }
+  size_t UnsyncedBytes() const;
 
  private:
+  // One group commit: the records batched into a single sink append + media
+  // write, and the shared verdict every appender in the batch returns.
+  // Heap-allocated and shared so a follower's handle stays valid no matter
+  // how the leader advances open_group_.
+  struct Group {
+    std::vector<std::string> records;
+    Status status = Status::Ok();
+    bool flushed = false;
+  };
+
+  // Waits until no group-commit leader is mid-flush. Caller holds mu_.
+  void WaitForLeaderLocked(std::unique_lock<std::mutex>& lock) const;
+
   std::unique_ptr<LogSink> sink_;
   Media* media_;
   FaultInjector* fault_injector_;
   const uint64_t sync_every_appends_;
+
+  // mu_ guards everything below (and sink_ access ordering: only the leader
+  // touches the sink, with mu_ released during the flush itself).
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::shared_ptr<Group> open_group_;
+  bool leader_active_ = false;
   uint64_t appends_since_sync_ = 0;
   size_t appended_bytes_ = 0;
   size_t synced_bytes_ = 0;

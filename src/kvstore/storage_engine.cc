@@ -35,15 +35,34 @@ Status StorageEngine::ApplyEncoded(std::string_view encoded_key, const Row& row)
 Status StorageEngine::ApplyInternal(std::string_view encoded_key, const Row& update) {
   OBS_SPAN("engine.apply");
   OBS_COUNTER_INC("engine.memtable.applies");
-  std::lock_guard<std::mutex> lock(mu_);
-  if (log_ != nullptr) {
-    MC_RETURN_IF_ERROR(log_->Append(encoded_key, update));
+  bool want_flush = false;
+  {
+    // Shared gate: concurrent appliers overlap inside the thread-safe commit
+    // log (which group-commits their records). The log append happens outside
+    // mu_, so one replica leg's fsync wait never blocks another leg's
+    // memtable apply. Log order and memtable order can diverge between
+    // concurrent appliers; LWW cell timestamps make replay order-insensitive.
+    std::shared_lock<std::shared_mutex> gate(log_gate_);
+    if (log_ != nullptr) {
+      MC_RETURN_IF_ERROR(log_->Append(encoded_key, update));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    memtable_.Apply(encoded_key, update);
+    want_flush = memtable_.ApproxBytes() >= options_.memtable_flush_bytes;
   }
-  memtable_.Apply(encoded_key, update);
-  if (memtable_.ApproxBytes() >= options_.memtable_flush_bytes) {
-    MC_RETURN_IF_ERROR(FlushLocked());
+  if (want_flush) {
+    return MaybeFlush();
   }
   return Status::Ok();
+}
+
+Status StorageEngine::MaybeFlush() {
+  std::unique_lock<std::shared_mutex> gate(log_gate_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (memtable_.ApproxBytes() < options_.memtable_flush_bytes) {
+    return Status::Ok();  // a racing applier already flushed
+  }
+  return FlushLocked();
 }
 
 Status StorageEngine::FlushLocked() {
@@ -69,11 +88,13 @@ Status StorageEngine::FlushLocked() {
 }
 
 Status StorageEngine::Flush() {
+  std::unique_lock<std::shared_mutex> gate(log_gate_);
   std::lock_guard<std::mutex> lock(mu_);
   return FlushLocked();
 }
 
 Status StorageEngine::Crash(uint64_t tear_draw) {
+  std::unique_lock<std::shared_mutex> gate(log_gate_);
   std::lock_guard<std::mutex> lock(mu_);
   OBS_COUNTER_INC("engine.crash.count");
   // RAM is gone: memtable and any cached blocks. The commit log keeps its
@@ -88,6 +109,7 @@ Status StorageEngine::Crash(uint64_t tear_draw) {
 }
 
 Status StorageEngine::RecoverFromLog() {
+  std::unique_lock<std::shared_mutex> gate(log_gate_);
   std::lock_guard<std::mutex> lock(mu_);
   if (log_ == nullptr) {
     return Status::Ok();

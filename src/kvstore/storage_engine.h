@@ -2,10 +2,15 @@
 // memtable -> SSTables, with size-tiered full compaction, bloom-filter
 // skipping, a shared block cache, and the latency-modelled media layer.
 //
-// Thread-safe: a single engine mutex serializes structural changes (apply,
-// flush, compaction); reads take a snapshot of the sstable list under the
-// mutex and then run lock-free against immutable tables (media sleeps happen
-// outside the mutex so concurrent readers overlap on an SSD).
+// Thread-safe. Two locks, always acquired gate-then-mu (docs/CONCURRENCY.md):
+//  - log_gate_ (shared_mutex): appliers hold it shared, so concurrent Apply
+//    calls overlap inside the thread-safe commit log (which group-commits
+//    them); flush, crash, and recovery hold it exclusive, so log Retire/
+//    Crash/Recover never race an in-flight Append.
+//  - mu_: serializes the memtable and sstable list. Reads take a snapshot of
+//    the sstable list under mu_ and then run lock-free against immutable
+//    tables (media sleeps happen outside the mutex so concurrent readers
+//    overlap on an SSD).
 //
 // Corruption handling: SSTable reads verify per-block CRCs (format v2). A
 // read that hits a bad block returns Status::Corruption to the coordinator,
@@ -24,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -170,6 +176,11 @@ class StorageEngine {
 
   Status ApplyInternal(std::string_view encoded_key, const Row& update);
 
+  // Re-checks the memtable size under the exclusive gate and flushes if still
+  // over threshold (concurrent appliers race to flush; one wins, the rest
+  // no-op).
+  Status MaybeFlush();
+
   // Snapshot of immutable state for lock-free reads.
   struct ReadSnapshot {
     std::vector<std::shared_ptr<Sstable>> tables;  // newest first
@@ -194,6 +205,8 @@ class StorageEngine {
   BlockCache* cache_;
   Media* media_;
 
+  // Apply-vs-lifecycle gate; see the file comment. Lock order: gate, then mu_.
+  mutable std::shared_mutex log_gate_;
   mutable std::mutex mu_;
   Memtable memtable_;
   std::vector<std::shared_ptr<Sstable>> sstables_;  // newest first

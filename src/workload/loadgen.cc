@@ -1,0 +1,231 @@
+#include "src/workload/loadgen.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/obs/metrics.h"
+
+namespace minicrypt {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t MicrosBetween(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return b <= a ? 0
+               : static_cast<uint64_t>(
+                     std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+enum class OpClass { kRead, kWrite, kRange };
+
+// Completion state shared with every in-flight callback. Held by shared_ptr
+// so a straggler completing after RunOpenLoop gave up on the drain timeout
+// still writes into live memory.
+struct Completions {
+  static constexpr size_t kShards = 16;
+  struct Shard {
+    std::mutex mu;
+    Histogram all;
+    Histogram read;
+    Histogram write;
+    Histogram range;
+  };
+  std::array<Shard, kShards> shards;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  uint64_t done = 0;  // every issued op, measured or not
+  uint64_t measured_ok = 0;
+  uint64_t measured_errors = 0;
+
+  void Complete(OpClass cls, uint64_t latency_micros, bool measured, bool ok, size_t shard_idx,
+                uint64_t issued_so_far) {
+    if (measured) {
+      OBS_HISTOGRAM_RECORD("loadgen.latency", latency_micros);
+      Shard& shard = shards[shard_idx % kShards];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.all.Add(latency_micros);
+      switch (cls) {
+        case OpClass::kRead:
+          shard.read.Add(latency_micros);
+          break;
+        case OpClass::kWrite:
+          shard.write.Add(latency_micros);
+          break;
+        case OpClass::kRange:
+          shard.range.Add(latency_micros);
+          break;
+      }
+    }
+    OBS_COUNTER_INC("loadgen.completed");
+    if (!ok) {
+      OBS_COUNTER_INC("loadgen.errors");
+    }
+    uint64_t now_done;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      now_done = done;
+      if (measured) {
+        ok ? ++measured_ok : ++measured_errors;
+      }
+    }
+    // Backlog is approximate (issued_so_far is the dispatcher-local view at
+    // issue time); good enough for an overload gauge.
+    OBS_GAUGE_SET("loadgen.backlog",
+                  static_cast<int64_t>(issued_so_far > now_done ? issued_so_far - now_done : 0));
+    cv.notify_all();
+  }
+};
+
+}  // namespace
+
+std::string LoadPartitionFor(uint64_t key, uint64_t partitions) {
+  return "lp" + std::to_string(partitions == 0 ? 0 : key % partitions);
+}
+
+std::string LoadClusteringFor(uint64_t key) {
+  std::string digits = std::to_string(key);
+  std::string out = "k";
+  out.append(digits.size() < 12 ? 12 - digits.size() : 0, '0');
+  out.append(digits);
+  return out;
+}
+
+LoadGenResult RunOpenLoop(Cluster& cluster, const LoadGenOptions& options) {
+  LoadGenResult result;
+  const int dispatchers = std::max(1, options.dispatchers);
+  const double aggregate_ops_s =
+      std::max(1.0, static_cast<double>(options.clients) * options.per_client_ops_s);
+  const double per_dispatcher_ops_us = aggregate_ops_s / 1e6 / dispatchers;
+
+  auto completions = std::make_shared<Completions>();
+  std::atomic<uint64_t> issued{0};
+  std::atomic<uint64_t> offered{0};
+
+  Counter* rejected_counter = MetricsRegistry::Instance().GetCounter("cluster.async.rejected");
+  const uint64_t rejected_before = rejected_counter->Value();
+
+  const SteadyClock::time_point start = SteadyClock::now();
+  const SteadyClock::time_point measured_start =
+      start + std::chrono::microseconds(options.warmup_micros);
+  const SteadyClock::time_point end =
+      measured_start + std::chrono::microseconds(options.duration_micros);
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(dispatchers));
+  for (int d = 0; d < dispatchers; ++d) {
+    threads.emplace_back([&, d]() {
+      Rng rng(options.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(d) + 1);
+      const std::string value(options.value_bytes, 'v');
+      SteadyClock::time_point next = start;
+      for (;;) {
+        // Exponential inter-arrival gap of this dispatcher's Poisson slice.
+        // The schedule is absolute: falling behind never stretches it — late
+        // issues simply carry their queueing delay into the histogram.
+        const double u = std::max(1e-12, 1.0 - rng.NextDouble());
+        const double gap_us = -std::log(u) / per_dispatcher_ops_us;
+        next += std::chrono::microseconds(static_cast<uint64_t>(gap_us));
+        if (next >= end) {
+          return;
+        }
+        if (SteadyClock::now() < next) {
+          std::this_thread::sleep_until(next);
+        }
+        const bool measured = next >= measured_start;
+        const double cls_draw = rng.NextDouble();
+        const OpClass cls = cls_draw < options.read_fraction ? OpClass::kRead
+                            : cls_draw < options.read_fraction + options.range_fraction
+                                ? OpClass::kRange
+                                : OpClass::kWrite;
+        const uint64_t key = rng.Uniform(std::max<uint64_t>(1, options.keyspace));
+        const std::string partition = LoadPartitionFor(key, options.partitions);
+        const std::string clustering = LoadClusteringFor(key);
+
+        OBS_COUNTER_INC("loadgen.arrivals");
+        const uint64_t issue_count = issued.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (measured) {
+          offered.fetch_add(1, std::memory_order_relaxed);
+        }
+        const SteadyClock::time_point scheduled = next;
+        auto finish = [completions, cls, measured, scheduled, issue_count](bool ok) {
+          completions->Complete(cls, MicrosBetween(scheduled, SteadyClock::now()), measured, ok,
+                                static_cast<size_t>(issue_count), issue_count);
+        };
+        switch (cls) {
+          case OpClass::kRead:
+            cluster.AsyncReadFloorCell(
+                options.table, partition, clustering, "v",
+                [finish](Result<std::pair<std::string, std::string>> r) { finish(r.ok()); });
+            break;
+          case OpClass::kRange:
+            cluster.AsyncGetRange(
+                options.table, partition, clustering, std::string(13, '\xff'),
+                options.range_limit,
+                [finish](Result<std::vector<std::pair<std::string, Row>>> r) {
+                  // An empty range is a valid answer; only transport-level
+                  // failures count as errors.
+                  finish(r.ok() || r.status().IsNotFound());
+                });
+            break;
+          case OpClass::kWrite: {
+            Row update;
+            update.cells["v"] = Cell{value, 0, false};
+            cluster.AsyncMutate(options.table, partition, clustering, update,
+                                [finish](Status s) { finish(s.ok()); });
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  // Drain: every callback fires exactly once (rejections fire inline), so
+  // done converges to issued unless the cluster wedges — bound the wait so a
+  // harness bug fails loudly instead of hanging CI.
+  const uint64_t total_issued = issued.load(std::memory_order_relaxed);
+  {
+    std::unique_lock<std::mutex> lock(completions->mu);
+    result.drained = completions->cv.wait_for(lock, std::chrono::seconds(60), [&]() {
+      return completions->done >= total_issued;
+    });
+  }
+  const SteadyClock::time_point drained_at = SteadyClock::now();
+
+  for (Completions::Shard& shard : completions->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    result.latency.Merge(shard.all);
+    result.read_latency.Merge(shard.read);
+    result.write_latency.Merge(shard.write);
+    result.range_latency.Merge(shard.range);
+  }
+  {
+    std::lock_guard<std::mutex> lock(completions->mu);
+    result.ok = completions->measured_ok;
+    result.errors = completions->measured_errors;
+  }
+  result.offered = offered.load(std::memory_order_relaxed);
+  result.rejected = rejected_counter->Value() - rejected_before;
+  // Goodput over the measured window plus drain tail: completed work per
+  // wall-clock second actually spent.
+  result.elapsed_s =
+      static_cast<double>(MicrosBetween(measured_start, drained_at)) / 1e6;
+  result.goodput_ops_s =
+      result.elapsed_s > 0 ? static_cast<double>(result.ok) / result.elapsed_s : 0.0;
+  return result;
+}
+
+}  // namespace minicrypt

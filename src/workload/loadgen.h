@@ -1,0 +1,94 @@
+// Open-loop (YCSB-style) load generator for the async cluster API.
+//
+// Closed-loop drivers (driver.h) hide overload: a slow server throttles its
+// own clients, so measured latency stays flat while offered load silently
+// drops — the coordinated-omission trap. This generator instead simulates
+// `clients` independent Poisson clients by merging them into one aggregate
+// arrival process (the superposition of N Poisson streams at rate r is one
+// Poisson stream at rate N*r), issues each operation through the cluster's
+// Async* entry points at its scheduled arrival time, and measures latency
+// from the *scheduled* arrival — not from when the dispatcher got around to
+// issuing it. Queueing delay anywhere (dispatcher behind schedule, executor
+// queue, replica fan-out) therefore lands in the histogram, which is what
+// makes p999 meaningful. See docs/LOAD_TESTING.md.
+
+#ifndef MINICRYPT_SRC_WORKLOAD_LOADGEN_H_
+#define MINICRYPT_SRC_WORKLOAD_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/kvstore/cluster.h"
+
+namespace minicrypt {
+
+struct LoadGenOptions {
+  // Simulated open-loop clients and the per-client think rate. The aggregate
+  // offered load is clients * per_client_ops_s, independent of how fast the
+  // server answers.
+  int clients = 1000;
+  double per_client_ops_s = 20.0;
+
+  uint64_t duration_micros = 2'000'000;
+  // Arrivals in the first `warmup_micros` are issued but not recorded.
+  uint64_t warmup_micros = 0;
+
+  // Op mix: reads are ReadFloorCell probes, ranges are bounded GetRange
+  // scans, the rest are single-row mutations.
+  double read_fraction = 0.70;
+  double range_fraction = 0.05;
+  size_t range_limit = 16;
+
+  // Keys are uniform over [0, keyspace), spread over `partitions` ring
+  // partitions. The harness preloads the same layout.
+  uint64_t keyspace = 10'000;
+  uint64_t partitions = 64;
+  size_t value_bytes = 128;
+
+  // Dispatcher threads sharing the aggregate arrival stream. Each runs an
+  // independent Poisson process at rate/dispatchers (their superposition is
+  // the aggregate process), so dispatch itself never serializes.
+  int dispatchers = 4;
+
+  uint64_t seed = 1;
+  std::string table = "load";
+};
+
+struct LoadGenResult {
+  // Measured-window arrivals and their outcomes (ok + errors == offered once
+  // every callback has fired).
+  uint64_t offered = 0;
+  uint64_t ok = 0;
+  uint64_t errors = 0;    // non-ok completions, including rejections
+  uint64_t rejected = 0;  // bounded-admission rejections (cluster.async.rejected delta)
+  bool drained = true;    // false: timed out waiting for straggler callbacks
+
+  double elapsed_s = 0.0;
+  double goodput_ops_s = 0.0;  // ok / elapsed — completed work, not offered
+
+  // Latency from scheduled arrival to completion callback, microseconds.
+  Histogram latency;        // all recorded ops
+  Histogram read_latency;   // ReadFloorCell probes
+  Histogram write_latency;  // mutations
+  Histogram range_latency;  // range scans
+
+  double P50Micros() const { return latency.Percentile(0.50); }
+  double P99Micros() const { return latency.Percentile(0.99); }
+  double P999Micros() const { return latency.Percentile(0.999); }
+};
+
+// Runs the open-loop schedule against `cluster` (the table must exist and be
+// preloaded with options.keyspace keys in the documented layout — see
+// LoadKeyParts). Blocks until the window has elapsed and every issued
+// operation's callback has fired (or a drain timeout expires).
+LoadGenResult RunOpenLoop(Cluster& cluster, const LoadGenOptions& options);
+
+// Key layout shared by the generator and the preload path: key k lives in
+// partition "lp<k % partitions>" at clustering "k<k padded to 12 digits>".
+std::string LoadPartitionFor(uint64_t key, uint64_t partitions);
+std::string LoadClusteringFor(uint64_t key);
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_WORKLOAD_LOADGEN_H_

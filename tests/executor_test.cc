@@ -1,0 +1,184 @@
+// Bounded thread-pool executor: admission, backpressure, shutdown-drain, and
+// exception behavior (docs/CONCURRENCY.md).
+
+#include "src/common/executor.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/thread_util.h"
+
+namespace minicrypt {
+namespace {
+
+TEST(ExecutorTest, RunsSubmittedTasks) {
+  Executor::Options options;
+  options.threads = 4;
+  Executor executor(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(executor.Submit([&ran]() { ran.fetch_add(1); }));
+  }
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ExecutorTest, TrySubmitFailsFastWhenQueueFull) {
+  Executor::Options options;
+  options.threads = 1;
+  options.queue_limit = 2;
+  Executor executor(options);
+
+  // Park the single worker so subsequent tasks pile up in the queue.
+  StartGate release;
+  ASSERT_TRUE(executor.TrySubmit([&release]() { release.Wait(); }));
+  // Give the worker a moment to dequeue the parked task; then the queue
+  // accepts exactly queue_limit more.
+  while (executor.InFlight() != 1) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(executor.TrySubmit([]() {}));
+  EXPECT_TRUE(executor.TrySubmit([]() {}));
+  // Full: bounded admission means the caller hears "no" immediately instead
+  // of blocking behind an unbounded backlog.
+  EXPECT_FALSE(executor.TrySubmit([]() {}));
+  EXPECT_EQ(executor.QueueDepth(), 2u);
+
+  release.Open();
+  executor.Shutdown();
+}
+
+TEST(ExecutorTest, SubmitBlocksForSpaceThenSucceeds) {
+  Executor::Options options;
+  options.threads = 1;
+  options.queue_limit = 1;
+  Executor executor(options);
+
+  StartGate release;
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(executor.TrySubmit([&release]() { release.Wait(); }));
+  while (executor.InFlight() != 1) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(executor.TrySubmit([&ran]() { ran.fetch_add(1); }));
+
+  // Queue is at capacity: Submit must wait for space, not fail.
+  std::thread producer([&]() { EXPECT_TRUE(executor.Submit([&ran]() { ran.fetch_add(1); })); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.Open();
+  producer.join();
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ExecutorTest, ShutdownDrainsAdmittedTasks) {
+  Executor::Options options;
+  options.threads = 2;
+  options.queue_limit = 1024;
+  Executor executor(options);
+  std::atomic<int> ran{0};
+  StartGate release;
+  // Two parked workers + a deep queue: Shutdown must run everything admitted.
+  ASSERT_TRUE(executor.TrySubmit([&]() {
+    release.Wait();
+    ran.fetch_add(1);
+  }));
+  ASSERT_TRUE(executor.TrySubmit([&]() {
+    release.Wait();
+    ran.fetch_add(1);
+  }));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(executor.TrySubmit([&ran]() { ran.fetch_add(1); }));
+  }
+  std::thread opener([&release]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    release.Open();
+  });
+  executor.Shutdown();
+  opener.join();
+  EXPECT_EQ(ran.load(), 52);
+  // After shutdown, nothing is admitted (by either path).
+  EXPECT_FALSE(executor.TrySubmit([]() {}));
+  EXPECT_FALSE(executor.Submit([]() {}));
+}
+
+TEST(ExecutorTest, ShutdownIsIdempotentAndImpliedByDestruction) {
+  Executor::Options options;
+  options.threads = 2;
+  auto executor = std::make_unique<Executor>(options);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(executor->Submit([&ran]() { ran.fetch_add(1); }));
+  executor->Shutdown();
+  executor->Shutdown();
+  executor.reset();  // destructor re-enters Shutdown
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ExecutorTest, ExceptionsAreCountedAndDoNotKillWorkers) {
+  Executor::Options options;
+  options.threads = 1;
+  Executor executor(options);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(executor.Submit([]() { throw std::runtime_error("task boom"); }));
+  // The worker survives and keeps draining.
+  ASSERT_TRUE(executor.Submit([&ran]() { ran.fetch_add(1); }));
+  executor.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(executor.uncaught_exceptions(), 1u);
+}
+
+TEST(ExecutorTest, SubmitFuturePropagatesResultAndException) {
+  Executor::Options options;
+  options.threads = 2;
+  Executor executor(options);
+
+  std::future<int> value = executor.SubmitFuture([]() { return 41 + 1; });
+  EXPECT_EQ(value.get(), 42);
+
+  std::future<int> thrown =
+      executor.SubmitFuture([]() -> int { throw std::runtime_error("future boom"); });
+  EXPECT_THROW(thrown.get(), std::runtime_error);
+  // Futures carry their exception to the caller; the swallow-counter is only
+  // for fire-and-forget tasks.
+  EXPECT_EQ(executor.uncaught_exceptions(), 0u);
+}
+
+TEST(ExecutorTest, SubmitFutureAfterShutdownRunsInline) {
+  Executor::Options options;
+  options.threads = 1;
+  Executor executor(options);
+  executor.Shutdown();
+  std::future<int> value = executor.SubmitFuture([]() { return 7; });
+  EXPECT_EQ(value.get(), 7);  // future is always satisfied
+}
+
+TEST(ExecutorTest, GaugesTrackQueueAndInflight) {
+  Executor::Options options;
+  options.threads = 1;
+  options.queue_limit = 8;
+  Executor executor(options);
+  EXPECT_EQ(executor.QueueDepth(), 0u);
+  EXPECT_EQ(executor.InFlight(), 0u);
+  EXPECT_EQ(executor.thread_count(), 1);
+
+  StartGate release;
+  ASSERT_TRUE(executor.TrySubmit([&release]() { release.Wait(); }));
+  while (executor.InFlight() != 1) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(executor.TrySubmit([]() {}));
+  EXPECT_EQ(executor.QueueDepth(), 1u);
+  release.Open();
+  executor.Shutdown();
+  EXPECT_EQ(executor.QueueDepth(), 0u);
+  EXPECT_EQ(executor.InFlight(), 0u);
+}
+
+}  // namespace
+}  // namespace minicrypt
