@@ -6,15 +6,23 @@
 // baseline (lower is better). See docs/LOAD_TESTING.md.
 //
 //   load_harness [--revision=REV] [--out=PATH] [--clients=N]
-//                [--duration-s=S] [--seed=N] [--smoke]
+//                [--duration-s=S] [--seed=N] [--nodes=N]
+//                [--bootstrap-mid-load] [--smoke]
 //
 // --smoke shrinks the run (fewer clients, shorter window, smaller keyspace)
 // for the CI perf job; the full default sustains 1000 open-loop clients.
+// --nodes overrides the paper's 3-node ring (e.g. 32 for the scale smoke);
+// --bootstrap-mid-load adds one node halfway through the measured window, so
+// the latency gate covers streaming + the dual-apply ownership flip under
+// open-loop traffic (docs/LOAD_TESTING.md).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <thread>
 
 #include "bench/bench_util.h"
 #include "src/kvstore/cluster.h"
@@ -59,6 +67,8 @@ int LoadHarnessMain(int argc, char** argv) {
   std::string revision = "dev";
   std::string out_path;
   bool smoke = false;
+  int nodes = 0;  // 0 = the paper's 3-node ring
+  bool bootstrap_mid_load = false;
   LoadGenOptions lopts;
   lopts.clients = 1000;
   lopts.per_client_ops_s = 8.0;
@@ -78,12 +88,16 @@ int LoadHarnessMain(int argc, char** argv) {
           std::atof(std::string(arg.substr(strlen("--duration-s="))).c_str()) * 1e6);
     } else if (arg.rfind("--seed=", 0) == 0) {
       lopts.seed = std::strtoull(std::string(arg.substr(strlen("--seed="))).c_str(), nullptr, 0);
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      nodes = std::atoi(std::string(arg.substr(strlen("--nodes="))).c_str());
+    } else if (arg == "--bootstrap-mid-load") {
+      bootstrap_mid_load = true;
     } else if (arg == "--smoke") {
       smoke = true;
     } else {
       std::fprintf(stderr,
                    "usage: load_harness [--revision=REV] [--out=PATH] [--clients=N] "
-                   "[--duration-s=S] [--seed=N] [--smoke]\n");
+                   "[--duration-s=S] [--seed=N] [--nodes=N] [--bootstrap-mid-load] [--smoke]\n");
       return 2;
     }
   }
@@ -104,6 +118,9 @@ int LoadHarnessMain(int argc, char** argv) {
   copts.consistency = Consistency::kQuorum;
   copts.async_api_threads = 16;
   copts.async_queue_limit = 16'384;
+  if (nodes > 0) {
+    copts.node_count = nodes;
+  }
   Cluster cluster(copts);
   Status s = cluster.CreateTable(lopts.table);
   if (!s.ok()) {
@@ -138,7 +155,38 @@ int LoadHarnessMain(int argc, char** argv) {
                static_cast<double>(lopts.duration_micros) / 1e6,
                static_cast<double>(lopts.warmup_micros) / 1e6,
                static_cast<unsigned long long>(lopts.keyspace), smoke ? " (smoke)" : "");
+  // Mid-load bootstrap: fire roughly halfway through the measured window so
+  // streaming and the quiesced ownership flips overlap peak traffic. Aborted
+  // writes re-resolve and retry inside the coordinator, so the open-loop
+  // histogram absorbs the flip as latency, not as errors.
+  std::thread bootstrapper;
+  std::atomic<int> bootstrap_ok{-1};  // -1 = not requested
+  if (bootstrap_mid_load) {
+    bootstrapper = std::thread([&] {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(lopts.warmup_micros + lopts.duration_micros / 2));
+      Status bs = cluster.BootstrapNode().status();
+      for (int attempt = 0; attempt < 16 && cluster.Topology().inflight; ++attempt) {
+        bs = cluster.ResumeTopology();
+        if (bs.ok()) {
+          break;
+        }
+      }
+      bootstrap_ok.store(bs.ok() && !cluster.Topology().inflight ? 1 : 0);
+    });
+  }
   const LoadGenResult result = RunOpenLoop(cluster, lopts);
+  if (bootstrapper.joinable()) {
+    bootstrapper.join();
+  }
+  if (bootstrap_mid_load) {
+    std::fprintf(stderr, "[load] bootstrap mid-load: ok=%d serving=%zu\n", bootstrap_ok.load(),
+                 cluster.ServingNodes().size());
+    if (bootstrap_ok.load() != 1) {
+      std::fprintf(stderr, "[load] FAIL: mid-load bootstrap did not complete\n");
+      return 1;
+    }
+  }
   std::fprintf(stderr,
                "[load] offered=%llu ok=%llu errors=%llu rejected=%llu drained=%d\n"
                "[load] goodput=%.0f ops/s p50=%.0fus p99=%.0fus p999=%.0fus\n",
@@ -177,6 +225,8 @@ int LoadHarnessMain(int argc, char** argv) {
   JsonEscapeAppend(&json, revision);
   json += "\",\n";
   json += "  \"dispatch_level\": \"load\",\n";
+  json += "  \"nodes\": " + std::to_string(static_cast<int>(cluster.NodeCount())) + ",\n";
+  json += "  \"bootstrap_ok\": " + std::to_string(bootstrap_ok.load()) + ",\n";
   json += "  \"clients\": " + std::to_string(lopts.clients) + ",\n";
   json += "  \"offered_ops\": " + std::to_string(result.offered) + ",\n";
   json += "  \"errors\": " + std::to_string(result.errors) + ",\n";

@@ -39,24 +39,17 @@ ClusterOptions ClusterOptions::ForTest() {
 
 Cluster::Cluster(ClusterOptions options)
     : options_(options), ring_(options.vnodes),
-      paxos_locks_(std::make_unique<std::mutex[]>(kPaxosShards)),
       node_down_(static_cast<size_t>(options.node_count), false),
-      hints_(static_cast<size_t>(options.node_count)) {
+      hints_(static_cast<size_t>(options.node_count)),
+      paxos_locks_(std::make_unique<std::mutex[]>(kPaxosShards)) {
   // Thread the shared injector down to each node's durability path.
   options_.engine.fault_injector = options_.fault_injector;
   for (int i = 0; i < options_.node_count; ++i) {
-    std::unique_ptr<Media> media;
-    if (options_.media.has_value()) {
-      MediaProfile profile = *options_.media;
-      profile.latency_scale *= options_.latency_scale;
-      media = std::make_unique<SimulatedMedia>(profile, options_.clock, options_.fault_injector);
-    } else {
-      media = std::make_unique<NullMedia>();
-    }
-    nodes_.push_back(std::make_unique<Node>(i, options_.block_cache_bytes, std::move(media),
-                                            options_.engine));
+    nodes_.push_back(MakeNode(i));
     ring_.AddNode(i);
+    membership_[i] = MembershipState::kServing;
   }
+  UpdateServingGauge();
   // Replica fan-out pool: only worth spinning up when a write actually has
   // more than one leg. replica_fanout_threads == 0 selects the synchronous
   // deterministic mode (docs/CONCURRENCY.md).
@@ -82,6 +75,95 @@ Cluster::~Cluster() {
   }
 }
 
+std::unique_ptr<Node> Cluster::MakeNode(int id) {
+  std::unique_ptr<Media> media;
+  if (options_.media.has_value()) {
+    MediaProfile profile = *options_.media;
+    profile.latency_scale *= options_.latency_scale;
+    media = std::make_unique<SimulatedMedia>(profile, options_.clock, options_.fault_injector);
+  } else {
+    media = std::make_unique<NullMedia>();
+  }
+  return std::make_unique<Node>(id, options_.block_cache_bytes, std::move(media),
+                                options_.engine);
+}
+
+Node* Cluster::NodeAt(int node) const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+    return nullptr;
+  }
+  return nodes_[static_cast<size_t>(node)].get();
+}
+
+std::vector<Node*> Cluster::SnapshotNodes() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    out.push_back(node.get());
+  }
+  return out;
+}
+
+size_t Cluster::NodeCount() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  return nodes_.size();
+}
+
+HashRing Cluster::RingSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  return ring_;
+}
+
+MembershipState Cluster::NodeMembership(int node) const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  auto it = membership_.find(node);
+  return it == membership_.end() ? MembershipState::kRemoved : it->second;
+}
+
+std::vector<int> Cluster::ServingNodes() const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  std::vector<int> out;
+  for (const auto& [id, state] : membership_) {
+    if (state == MembershipState::kServing) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+TopologyStatus Cluster::Topology() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  TopologyStatus out;
+  if (inflight_.has_value()) {
+    out.inflight = true;
+    out.kind = inflight_->kind;
+    out.node = inflight_->node;
+    out.stage = inflight_->stage;
+    out.token_moves = inflight_->token_moves;
+  }
+  return out;
+}
+
+std::optional<Cluster::TopologyOp> Cluster::GetInflight() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_;
+}
+
+void Cluster::SetInflight(const std::optional<TopologyOp>& op) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_ = op;
+}
+
+void Cluster::UpdateServingGauge() {
+  int64_t serving = 0;
+  for (const auto& [id, state] : membership_) {
+    serving += state == MembershipState::kServing ? 1 : 0;
+  }
+  OBS_GAUGE_SET("ring.serving_nodes", serving);
+}
+
 Status Cluster::CreateTable(std::string_view name, bool server_compression) {
   std::lock_guard<std::mutex> lock(tables_mu_);
   tables_.emplace(std::string(name), server_compression);
@@ -89,9 +171,11 @@ Status Cluster::CreateTable(std::string_view name, bool server_compression) {
 }
 
 Status Cluster::DropTable(std::string_view name) {
-  std::lock_guard<std::mutex> lock(tables_mu_);
-  tables_.erase(std::string(name));
-  for (auto& node : nodes_) {
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    tables_.erase(std::string(name));
+  }
+  for (Node* node : SnapshotNodes()) {
     node->DropTable(name);
   }
   return Status::Ok();
@@ -127,9 +211,18 @@ void Cluster::ChargeTransfer(size_t bytes) {
   }
 }
 
-Result<std::vector<Node*>> Cluster::ReplicasFor(std::string_view table,
-                                                std::string_view partition,
-                                                std::vector<StorageEngine*>* engines) {
+namespace {
+// Message Write/WriteIf/Delete* match to distinguish a racing ownership flip
+// (re-resolve and retry) from a genuine ambiguous-write Unavailable.
+constexpr std::string_view kTopologyAbortMsg = "topology changed during write";
+
+bool IsTopologyAbort(const Status& s) {
+  return s.IsAborted() && s.message() == kTopologyAbortMsg;
+}
+}  // namespace
+
+Result<Cluster::ReplicaSet> Cluster::ResolveReplicas(std::string_view table,
+                                                     std::string_view partition) {
   bool server_compression = false;
   {
     std::lock_guard<std::mutex> lock(tables_mu_);
@@ -139,20 +232,42 @@ Result<std::vector<Node*>> Cluster::ReplicasFor(std::string_view table,
     }
     server_compression = it->second;
   }
+  ReplicaSet rs;
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
+  // Epoch and rings are read under one shared lock; flips mutate both under
+  // the exclusive lock, so the snapshot is internally consistent.
+  rs.epoch = topology_epoch_.load(std::memory_order_acquire);
   const std::vector<int> ids = ring_.Replicas(partition, options_.replication_factor);
-  std::vector<Node*> out;
-  out.reserve(ids.size());
+  rs.natural.reserve(ids.size());
   for (int id : ids) {
     Node* node = nodes_[static_cast<size_t>(id)].get();
-    out.push_back(node);
-    if (engines != nullptr) {
-      engines->push_back(node->EngineFor(table, server_compression));
+    rs.natural.push_back(node);
+    rs.natural_engines.push_back(node->EngineFor(table, server_compression));
+  }
+  if (pending_ring_.has_value()) {
+    for (int id : pending_ring_->Replicas(partition, options_.replication_factor)) {
+      if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+        continue;
+      }
+      Node* node = nodes_[static_cast<size_t>(id)].get();
+      rs.pending.push_back(node);
+      rs.pending_engines.push_back(node->EngineFor(table, server_compression));
     }
   }
-  if (out.empty()) {
+  if (rs.natural.empty()) {
     return Status::Unavailable("no replicas available");
   }
-  return out;
+  return rs;
+}
+
+Result<std::vector<Node*>> Cluster::ReplicasFor(std::string_view table,
+                                                std::string_view partition,
+                                                std::vector<StorageEngine*>* engines) {
+  MC_ASSIGN_OR_RETURN(ReplicaSet rs, ResolveReplicas(table, partition));
+  if (engines != nullptr) {
+    *engines = std::move(rs.natural_engines);
+  }
+  return std::move(rs.natural);
 }
 
 size_t Cluster::RequiredAcks(size_t replica_count) const {
@@ -163,9 +278,7 @@ Status Cluster::Write(std::string_view table, std::string_view partition,
                       std::string_view clustering, const Row& update) {
   OBS_SPAN("cluster.write");
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
-  std::vector<StorageEngine*> engines;
-  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
-  (void)replicas;
+  MC_ASSIGN_OR_RETURN(ReplicaSet rs, ResolveReplicas(table, partition));
 
   // Stamp cells with a cluster-unique monotonic timestamp. The kClockSkew
   // point models a coordinator with a stale wall clock: the write is stamped
@@ -193,8 +306,18 @@ Status Cluster::Write(std::string_view table, std::string_view partition,
 
   ChargeRtt(1);
   ChargeTransfer(bytes);
-  return ApplyToReplicas(table, replicas, engines, partition, clustering, stamped,
-                         RequiredAcks(engines.size()));
+  // An ownership flip between resolution and phase 1 aborts the apply before
+  // any leg runs or fault point draws; re-resolve against the new topology
+  // and retry. Bounded: back-to-back flips are a test-only pathology.
+  for (int attempt = 0;; ++attempt) {
+    const Status s = ApplyToReplicas(table, rs, partition, clustering, stamped,
+                                     RequiredAcks(rs.natural_engines.size()));
+    if (!IsTopologyAbort(s) || attempt >= 3) {
+      return s;
+    }
+    OBS_COUNTER_INC("ring.topology_retries");
+    MC_ASSIGN_OR_RETURN(rs, ResolveReplicas(table, partition));
+  }
 }
 
 Status Cluster::WriteIf(std::string_view table, std::string_view partition,
@@ -203,9 +326,7 @@ Status Cluster::WriteIf(std::string_view table, std::string_view partition,
   OBS_SPAN("cluster.lwt");
   OBS_COUNTER_INC("cluster.lwt.attempts");
   stats_.lwt_attempts.fetch_add(1, std::memory_order_relaxed);
-  std::vector<StorageEngine*> engines;
-  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
-  (void)replicas;
+  MC_ASSIGN_OR_RETURN(ReplicaSet rs, ResolveReplicas(table, partition));
 
   // LWT costs the base round trip plus the Paxos rounds (paper §8.2: the
   // lightweight transaction "introduces further stress").
@@ -221,6 +342,12 @@ Status Cluster::WriteIf(std::string_view table, std::string_view partition,
       Fnv1a64(EncodeRowKey(partition, clustering) + std::string(table)) % kPaxosShards;
   std::lock_guard<std::mutex> paxos(paxos_locks_[shard]);
 
+  // A racing ownership flip aborts the commit before any replica applied it;
+  // the whole round (condition read included) re-runs against the new
+  // topology, still under the Paxos lock.
+  for (int attempt = 0;; ++attempt) {
+  const std::vector<Node*>& replicas = rs.natural;
+  const std::vector<StorageEngine*>& engines = rs.natural_engines;
   FaultInjector* fi = options_.fault_injector;
   const size_t quorum = engines.size() / 2 + 1;
   const std::vector<size_t> live = LiveIndexes(replicas);
@@ -300,8 +427,14 @@ Status Cluster::WriteIf(std::string_view table, std::string_view partition,
   // LWT commits require a quorum regardless of the configured plain-write
   // consistency (Cassandra's SERIAL path), or the next condition read could
   // miss this write entirely.
-  MC_RETURN_IF_ERROR(
-      ApplyToReplicas(table, replicas, engines, partition, clustering, stamped, quorum));
+  const Status applied =
+      ApplyToReplicas(table, rs, partition, clustering, stamped, quorum);
+  if (IsTopologyAbort(applied) && attempt < 3) {
+    OBS_COUNTER_INC("ring.topology_retries");
+    MC_ASSIGN_OR_RETURN(rs, ResolveReplicas(table, partition));
+    continue;
+  }
+  MC_RETURN_IF_ERROR(applied);
   if (fi != nullptr && fi->Fire(FaultPoint::kLwtAmbiguous, table)) {
     // The classic ambiguous write: the update IS applied (and durable at a
     // quorum), but the coordinator's ack is lost. Clients must re-read and
@@ -310,6 +443,7 @@ Status Cluster::WriteIf(std::string_view table, std::string_view partition,
     return Status::Unavailable("injected: LWT applied but coordinator timed out");
   }
   return Status::Ok();
+  }
 }
 
 std::vector<size_t> Cluster::LiveIndexesLocked(const std::vector<Node*>& replicas) const {
@@ -360,6 +494,9 @@ Status Cluster::ReadOne(std::string_view table, const std::vector<Node*>& replic
 }
 
 void Cluster::SetNodeDown(int node, bool down) {
+  if (!down && NodeMembership(node) == MembershipState::kRemoved) {
+    return;  // retired nodes never come back
+  }
   std::lock_guard<std::mutex> lock(down_mu_);
   if (node < 0 || static_cast<size_t>(node) >= node_down_.size()) {
     return;
@@ -421,28 +558,37 @@ void Cluster::ReplayHintsLocked(int node) {
 
 void Cluster::ChaosTick() {
   FaultInjector* fi = options_.fault_injector;
-  if (fi == nullptr || nodes_.empty()) {
+  if (fi == nullptr) {
     return;
   }
   uint64_t draw = 0;
   if (!fi->Fire(FaultPoint::kNodeFlap, {}, &draw)) {
     return;
   }
+  // Flap only serving members — retired nodes are permanently down, and a
+  // node mid-join/mid-leave is the topology driver's to crash (via scripted
+  // faults), not the flapper's. For the default all-serving cluster the
+  // candidate list is [0..n), identical to the historical behavior, so
+  // seeded chaos schedules replay unchanged.
+  const std::vector<int> candidates = ServingNodes();
+  if (candidates.empty()) {
+    return;
+  }
   std::lock_guard<std::mutex> lock(down_mu_);
-  const auto node = static_cast<size_t>(draw % nodes_.size());
+  const auto node = static_cast<size_t>(candidates[draw % candidates.size()]);
   if (node_down_[node]) {
     node_down_[node] = false;
     OBS_COUNTER_INC("cluster.flap.up");
     ReplayHintsLocked(static_cast<int>(node));
     return;
   }
-  // Never take down a majority: quorum reads/writes must stay possible or
-  // the whole run degenerates to Unavailable.
+  // Never take down a majority of the serving set: quorum reads/writes must
+  // stay possible or the whole run degenerates to Unavailable.
   size_t down = 0;
-  for (const bool d : node_down_) {
-    down += d ? 1 : 0;
+  for (int id : candidates) {
+    down += node_down_[static_cast<size_t>(id)] ? 1 : 0;
   }
-  if ((down + 1) * 2 > node_down_.size()) {
+  if ((down + 1) * 2 > candidates.size()) {
     return;
   }
   node_down_[node] = true;
@@ -451,9 +597,21 @@ void Cluster::ChaosTick() {
 
 void Cluster::HealAllNodes() {
   Quiesce();  // straggler legs may still queue hints; settle them first
+  // Retired nodes stay down forever; collect them before taking down_mu_
+  // (lock order: ring_mu_ before down_mu_).
+  std::vector<bool> removed;
+  {
+    std::shared_lock<std::shared_mutex> lock(ring_mu_);
+    removed.resize(nodes_.size(), false);
+    for (const auto& [id, state] : membership_) {
+      if (state == MembershipState::kRemoved && static_cast<size_t>(id) < removed.size()) {
+        removed[static_cast<size_t>(id)] = true;
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(down_mu_);
   for (size_t node = 0; node < node_down_.size(); ++node) {
-    if (node_down_[node]) {
+    if (node_down_[node] && !(node < removed.size() && removed[node])) {
       node_down_[node] = false;
       ReplayHintsLocked(static_cast<int>(node));
     }
@@ -471,17 +629,19 @@ void Cluster::ReplayAllHints() {
 }
 
 std::vector<int> Cluster::ReplicaNodesFor(std::string_view partition) const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
   return ring_.Replicas(partition, options_.replication_factor);
 }
 
 Result<std::vector<std::pair<std::string, Row>>> Cluster::DebugPartitionRows(
     int node, std::string_view table, std::string_view partition) {
   Quiesce();  // invariant checks must never observe a mid-flight replica leg
-  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+  Node* target = NodeAt(node);
+  if (target == nullptr) {
     return Status::InvalidArgument("no such node: " + std::to_string(node));
   }
   std::vector<std::pair<std::string, Row>> out;
-  StorageEngine* engine = nodes_[static_cast<size_t>(node)]->FindEngine(table);
+  StorageEngine* engine = target->FindEngine(table);
   if (engine == nullptr) {
     return out;  // node never saw a write for this table
   }
@@ -523,12 +683,29 @@ struct Cluster::ReplicaFanout {
   size_t done = 0;
 };
 
-Status Cluster::ApplyToReplicas(std::string_view table, const std::vector<Node*>& replicas,
-                                const std::vector<StorageEngine*>& engines,
+Status Cluster::ApplyToReplicas(std::string_view table, const ReplicaSet& rs,
                                 std::string_view partition, std::string_view clustering,
                                 const Row& stamped, size_t required_acks,
                                 uint64_t partition_tombstone_ts) {
   FaultInjector* fi = options_.fault_injector;
+  // Concatenate natural + pending legs. Pending endpoints (nodes gaining this
+  // partition under an open topology window) raise the ack requirement by
+  // their count — Cassandra's pending-endpoint rule. Any required_acks +
+  // |pending| acks out of the combined set leave at least quorum(natural)
+  // holders in the pre-flip replica set AND at least a quorum of the
+  // post-flip set, so quorum reads intersect every acked write on both sides
+  // of the flip.
+  std::vector<Node*> replicas = rs.natural;
+  std::vector<StorageEngine*> engines = rs.natural_engines;
+  if (!rs.pending.empty()) {
+    replicas.insert(replicas.end(), rs.pending.begin(), rs.pending.end());
+    engines.insert(engines.end(), rs.pending_engines.begin(), rs.pending_engines.end());
+    required_acks += rs.pending.size();
+    if (partition_tombstone_ts == 0) {
+      OBS_COUNTER_ADD("ring.dual_apply.legs", rs.pending.size());
+    }
+  }
+
   auto fanout = std::make_shared<ReplicaFanout>();
   fanout->table = std::string(table);
   fanout->partition = std::string(partition);
@@ -548,6 +725,14 @@ Status Cluster::ApplyToReplicas(std::string_view table, const std::vector<Node*>
   size_t legs = 0;
   {
     std::lock_guard<std::mutex> lock(down_mu_);
+    // Validate the resolution's topology epoch under the same lock
+    // CommitTopology holds while flipping ownership: a stale epoch means the
+    // replica set no longer reflects the ring, so abort before any leg runs
+    // or fault point draws — the caller re-resolves and retries, and the
+    // fault-ordinal streams stay aligned with the retried attempt.
+    if (rs.epoch != topology_epoch_.load(std::memory_order_acquire)) {
+      return Status::Aborted(std::string(kTopologyAbortMsg));
+    }
     if (partition_tombstone_ts == 0) {
       OBS_COUNTER_ADD("cluster.replica.fanout", engines.size());
     }
@@ -706,6 +891,443 @@ void Cluster::Quiesce() {
   quiesce_cv_.wait(lock, [this]() { return pending_legs_ == 0; });
 }
 
+// --- Elastic topology --------------------------------------------------------
+
+Status Cluster::PersistMembership(const std::string& context) {
+  FaultInjector* fi = options_.fault_injector;
+  if (fi != nullptr && fi->Fire(FaultPoint::kTopologyPersist, context)) {
+    OBS_COUNTER_INC("ring.persist_failures");
+    return Status::Unavailable("injected: membership persist failed: " + context);
+  }
+  OBS_COUNTER_INC("ring.persists");
+  return Status::Ok();
+}
+
+void Cluster::CommitTopology(const std::function<void()>& fn) {
+  std::unique_lock<std::shared_mutex> ring_lock(ring_mu_);
+  std::lock_guard<std::mutex> down_lock(down_mu_);
+  fn();
+  topology_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+Status Cluster::StreamPendingRanges() {
+  // Snapshot the window under the shared lock; the scans below then run
+  // against ring copies. The window cannot flip mid-stream — topology_mu_
+  // (held by every caller) serializes streaming with the flip.
+  HashRing natural(options_.vnodes);
+  HashRing pending(options_.vnodes);
+  std::vector<int> sources;
+  {
+    std::shared_lock<std::shared_mutex> lock(ring_mu_);
+    if (!pending_ring_.has_value()) {
+      return Status::Ok();  // already flipped (resume past the stream stage)
+    }
+    natural = ring_;
+    pending = *pending_ring_;
+    for (const auto& [id, state] : membership_) {
+      if (state == MembershipState::kServing || state == MembershipState::kLeaving) {
+        sources.push_back(id);
+      }
+    }
+  }
+  std::vector<std::pair<std::string, bool>> tables;
+  {
+    std::lock_guard<std::mutex> lock(tables_mu_);
+    for (const auto& [name, compression] : tables_) {
+      tables.emplace_back(name, compression);
+    }
+  }
+  FaultInjector* fi = options_.fault_injector;
+  const std::string hi(96, '\xff');
+  const int rf = options_.replication_factor;
+  for (const auto& [table, compression] : tables) {
+    if (fi != nullptr && fi->Fire(FaultPoint::kStreamInterrupt, "table=" + table)) {
+      // Session torn mid-transfer. Rows already applied are harmless (LWW
+      // re-application is idempotent); the caller's stage is unchanged, so
+      // ResumeTopology re-streams from scratch.
+      OBS_COUNTER_INC("stream.interrupted");
+      return Status::Unavailable("injected: stream interrupted on table " + table);
+    }
+    OBS_COUNTER_INC("stream.sessions");
+    // For each partition, the gaining targets are the pending-ring replicas
+    // that are not natural replicas. Merged across every up source replica
+    // (raw rows: timestamps, tombstones, and partition-tombstone markers
+    // included — a missed tombstone would resurrect deleted data).
+    std::map<std::string, std::vector<int>> gaining;  // partition -> targets
+    std::map<int, std::map<std::string, Row>> outbound;  // target -> rows
+    for (int src : sources) {
+      if (IsNodeDown(src)) {
+        continue;  // remaining sources cover its ranges (RF-fold redundancy)
+      }
+      Node* source_node = NodeAt(src);
+      StorageEngine* source = source_node == nullptr ? nullptr : source_node->FindEngine(table);
+      if (source == nullptr) {
+        continue;  // replica never saw a write for this table
+      }
+      (void)source->ScanEncodedForRepair("", hi, [&](std::string_view key, const Row& row) {
+        auto decoded = DecodeRowKey(key);
+        if (!decoded.ok()) {
+          return;
+        }
+        const std::string partition(decoded->partition);
+        auto it = gaining.find(partition);
+        if (it == gaining.end()) {
+          std::vector<int> targets;
+          const std::vector<int> before = natural.Replicas(partition, rf);
+          for (int id : pending.Replicas(partition, rf)) {
+            if (std::find(before.begin(), before.end(), id) == before.end()) {
+              targets.push_back(id);
+            }
+          }
+          it = gaining.emplace(partition, std::move(targets)).first;
+        }
+        for (int target : it->second) {
+          outbound[target][std::string(key)].MergeNewer(row);
+        }
+      });
+    }
+    for (auto& [target, rows] : outbound) {
+      if (IsNodeDown(target)) {
+        return Status::Unavailable("stream target node " + std::to_string(target) + " is down");
+      }
+      Node* node = NodeAt(target);
+      if (node == nullptr) {
+        return Status::InvalidArgument("stream target node missing: " + std::to_string(target));
+      }
+      StorageEngine* engine = node->EngineFor(table, compression);
+      size_t applied = 0;
+      for (const auto& [key, row] : rows) {
+        if (engine->ApplyEncoded(key, row).ok()) {
+          ++applied;
+        }
+      }
+      OBS_COUNTER_ADD("stream.rows_streamed", applied);
+      OBS_COUNTER_INC("stream.ranges_streamed");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<int> Cluster::BootstrapNode() {
+  std::lock_guard<std::mutex> topo(topology_mu_);
+  if (GetInflight().has_value()) {
+    return Status::InvalidArgument("a topology change is already in flight");
+  }
+  const int id = static_cast<int>(NodeCount());
+  MC_RETURN_IF_ERROR(PersistMembership("bootstrap plan node=" + std::to_string(id)));
+  {
+    // nodes_ growth holds BOTH locks, so readers holding either are safe; the
+    // vector may reallocate but Node objects live behind stable unique_ptrs.
+    std::unique_lock<std::shared_mutex> ring_lock(ring_mu_);
+    std::lock_guard<std::mutex> down_lock(down_mu_);
+    nodes_.push_back(MakeNode(id));
+    node_down_.push_back(false);
+    hints_.emplace_back();
+    membership_[id] = MembershipState::kJoining;
+  }
+  SetInflight(
+      TopologyOp{TopologyStatus::Kind::kBootstrap, id, TopologyStatus::Stage::kPlanned, 0});
+  OBS_COUNTER_INC("ring.bootstraps.started");
+  MC_RETURN_IF_ERROR(RunBootstrap());
+  return id;
+}
+
+Status Cluster::RunBootstrap() {
+  TopologyOp op = *GetInflight();
+  if (op.stage == TopologyStatus::Stage::kPlanned) {
+    MC_RETURN_IF_ERROR(PersistMembership("bootstrap stream node=" + std::to_string(op.node)));
+    CommitTopology([&]() {
+      HashRing next = ring_;
+      next.AddNodeWithTokens(op.node, HashRing::PlanTokens(op.node, options_.vnodes));
+      pending_ring_ = std::move(next);
+      membership_[op.node] = MembershipState::kStreaming;
+    });
+    op.stage = TopologyStatus::Stage::kStreaming;
+    SetInflight(op);
+    // Writes resolved before the window opened either already fanned out
+    // (their acks satisfy the pre-window quorum, which post-flip quorums
+    // intersect) or abort on the epoch check and retry with dual-apply.
+    Quiesce();
+  }
+  if (IsNodeDown(op.node)) {
+    return Status::Unavailable("bootstrap target node " + std::to_string(op.node) +
+                               " is down; restart it and resume");
+  }
+  MC_RETURN_IF_ERROR(StreamPendingRanges());
+  Quiesce();
+  // Drain hints before the flip so nothing the new owner should hold is
+  // parked in a queue. A hint queued after this drain is still safe: its
+  // write dual-applied to the pending owner, so the acked copy count already
+  // satisfies the post-flip quorum.
+  ReplayAllHints();
+  MC_RETURN_IF_ERROR(PersistMembership("bootstrap flip node=" + std::to_string(op.node)));
+  CommitTopology([&]() {
+    ring_ = *pending_ring_;
+    pending_ring_.reset();
+    membership_[op.node] = MembershipState::kServing;
+    UpdateServingGauge();
+  });
+  SetInflight(std::nullopt);
+  OBS_COUNTER_INC("ring.bootstraps");
+  return Status::Ok();
+}
+
+Status Cluster::DecommissionNode(int node) {
+  std::lock_guard<std::mutex> topo(topology_mu_);
+  if (GetInflight().has_value()) {
+    return Status::InvalidArgument("a topology change is already in flight");
+  }
+  if (NodeMembership(node) != MembershipState::kServing) {
+    return Status::InvalidArgument("node " + std::to_string(node) + " is not serving");
+  }
+  if (IsNodeDown(node)) {
+    return Status::Unavailable("cannot decommission node " + std::to_string(node) +
+                               " while down");
+  }
+  if (ServingNodes().size() <= static_cast<size_t>(options_.replication_factor)) {
+    return Status::InvalidArgument(
+        "decommission would leave fewer serving nodes than the replication factor");
+  }
+  MC_RETURN_IF_ERROR(PersistMembership("decommission plan node=" + std::to_string(node)));
+  CommitTopology([&]() {
+    HashRing next = ring_;
+    next.RemoveNode(node);
+    pending_ring_ = std::move(next);
+    membership_[node] = MembershipState::kLeaving;
+  });
+  SetInflight(TopologyOp{TopologyStatus::Kind::kDecommission, node,
+                         TopologyStatus::Stage::kStreaming, 0});
+  OBS_COUNTER_INC("ring.decommissions.started");
+  Quiesce();
+  return RunDecommission();
+}
+
+Status Cluster::RunDecommission() {
+  TopologyOp op = *GetInflight();
+  if (op.stage != TopologyStatus::Stage::kFlipped) {
+    if (IsNodeDown(op.node)) {
+      return Status::Unavailable("leaving node " + std::to_string(op.node) +
+                                 " is down; restart it and resume, or cancel");
+    }
+    MC_RETURN_IF_ERROR(StreamPendingRanges());
+    Quiesce();
+    ReplayAllHints();
+    MC_RETURN_IF_ERROR(PersistMembership("decommission flip node=" + std::to_string(op.node)));
+    CommitTopology([&]() {
+      ring_ = *pending_ring_;
+      pending_ring_.reset();
+      membership_[op.node] = MembershipState::kDrained;
+      UpdateServingGauge();
+    });
+    op.stage = TopologyStatus::Stage::kFlipped;
+    SetInflight(op);
+  }
+  MC_RETURN_IF_ERROR(PersistMembership("decommission retire node=" + std::to_string(op.node)));
+  {
+    std::unique_lock<std::shared_mutex> ring_lock(ring_mu_);
+    std::lock_guard<std::mutex> down_lock(down_mu_);
+    membership_[op.node] = MembershipState::kRemoved;
+    node_down_[static_cast<size_t>(op.node)] = true;  // permanently down
+    hints_[static_cast<size_t>(op.node)].clear();     // will never replay
+  }
+  SetInflight(std::nullopt);
+  OBS_COUNTER_INC("ring.decommissions");
+  return Status::Ok();
+}
+
+Result<size_t> Cluster::RebalanceTokens(size_t max_moves) {
+  std::lock_guard<std::mutex> topo(topology_mu_);
+  if (GetInflight().has_value()) {
+    return Status::InvalidArgument("a topology change is already in flight");
+  }
+  Quiesce();  // survey settled state, not mid-flight legs
+  OBS_SPAN("ring.rebalance");
+
+  // Survey per-partition sizes. Per node: sum across its table engines. Per
+  // partition: max across replicas (converged replicas agree; max tolerates
+  // a straggler that missed recent writes).
+  std::map<std::string, size_t> partition_bytes;
+  const std::vector<int> serving = ServingNodes();
+  for (int id : serving) {
+    if (IsNodeDown(id)) {
+      continue;
+    }
+    Node* node = NodeAt(id);
+    if (node == nullptr) {
+      continue;
+    }
+    std::map<std::string, size_t> local;
+    node->ForEachEngine([&](const std::string& table, StorageEngine* engine) {
+      (void)table;
+      std::map<std::string, size_t> sizes;
+      if (engine->PartitionSizes(&sizes).ok()) {
+        for (const auto& [partition, bytes] : sizes) {
+          local[partition] += bytes;
+        }
+      }
+    });
+    for (const auto& [partition, bytes] : local) {
+      auto& slot = partition_bytes[partition];
+      slot = std::max(slot, bytes);
+    }
+  }
+  if (partition_bytes.empty()) {
+    return static_cast<size_t>(0);
+  }
+
+  const int rf = options_.replication_factor;
+  const auto load_of = [&](const HashRing& ring) {
+    std::map<int, size_t> load;
+    for (int id : serving) {
+      load[id] = 0;
+    }
+    for (const auto& [partition, bytes] : partition_bytes) {
+      for (int id : ring.Replicas(partition, rf)) {
+        load[id] += bytes;
+      }
+    }
+    return load;
+  };
+  HashRing trial = RingSnapshot();
+  std::map<int, size_t> load = load_of(trial);
+  for (const auto& [id, bytes] : load) {
+    // Dynamic metric name: the OBS_ macros cache one interned pointer per
+    // call site, so per-node gauges go through the registry directly.
+    if (MetricsRegistry::Instance().enabled()) {
+      MetricsRegistry::Instance()
+          .GetGauge("ring.node_bytes." + std::to_string(id))
+          ->Set(static_cast<double>(bytes));
+    }
+  }
+
+  // Greedy: move one hot-node vnode token at a time to the coldest node,
+  // picking the token that minimizes the post-move maximum load; stop when
+  // the spread is within 20% or no candidate move helps.
+  size_t moves = 0;
+  while (moves < max_moves) {
+    int hot = -1;
+    int cold = -1;
+    size_t hot_bytes = 0;
+    size_t cold_bytes = 0;
+    for (const auto& [id, bytes] : load) {
+      if (hot == -1 || bytes > hot_bytes) {
+        hot = id;
+        hot_bytes = bytes;
+      }
+      if (cold == -1 || bytes < cold_bytes) {
+        cold = id;
+        cold_bytes = bytes;
+      }
+    }
+    if (hot == cold || hot_bytes * 5 <= cold_bytes * 6) {
+      break;  // hot <= 1.2 * cold: balanced enough
+    }
+    uint64_t best_token = 0;
+    size_t best_max = hot_bytes;
+    std::map<int, size_t> best_load;
+    bool found = false;
+    for (uint64_t token : trial.TokensOf(hot)) {
+      HashRing candidate = trial;
+      if (!candidate.MoveToken(token, cold)) {
+        continue;
+      }
+      std::map<int, size_t> cand_load = load_of(candidate);
+      size_t cand_max = 0;
+      for (const auto& [id, bytes] : cand_load) {
+        cand_max = std::max(cand_max, bytes);
+      }
+      if (cand_max < best_max) {
+        best_max = cand_max;
+        best_token = token;
+        best_load = std::move(cand_load);
+        found = true;
+      }
+    }
+    if (!found) {
+      break;
+    }
+    trial.MoveToken(best_token, cold);
+    load = std::move(best_load);
+    ++moves;
+  }
+  if (moves == 0) {
+    return static_cast<size_t>(0);
+  }
+
+  MC_RETURN_IF_ERROR(PersistMembership("rebalance plan moves=" + std::to_string(moves)));
+  CommitTopology([&]() { pending_ring_ = trial; });
+  SetInflight(
+      TopologyOp{TopologyStatus::Kind::kRebalance, -1, TopologyStatus::Stage::kStreaming, moves});
+  Quiesce();
+  MC_RETURN_IF_ERROR(RunRebalance());
+  return moves;
+}
+
+Status Cluster::RunRebalance() {
+  const TopologyOp op = *GetInflight();
+  MC_RETURN_IF_ERROR(StreamPendingRanges());
+  Quiesce();
+  ReplayAllHints();
+  MC_RETURN_IF_ERROR(PersistMembership("rebalance flip"));
+  CommitTopology([&]() {
+    ring_ = *pending_ring_;
+    pending_ring_.reset();
+  });
+  SetInflight(std::nullopt);
+  OBS_COUNTER_INC("ring.rebalances");
+  OBS_COUNTER_ADD("ring.tokens_moved", op.token_moves);
+  return Status::Ok();
+}
+
+Status Cluster::ResumeTopology() {
+  std::lock_guard<std::mutex> topo(topology_mu_);
+  const std::optional<TopologyOp> op = GetInflight();
+  if (!op.has_value()) {
+    return Status::Ok();
+  }
+  OBS_COUNTER_INC("ring.topology_resumes");
+  switch (op->kind) {
+    case TopologyStatus::Kind::kBootstrap:
+      return RunBootstrap();
+    case TopologyStatus::Kind::kDecommission:
+      return RunDecommission();
+    case TopologyStatus::Kind::kRebalance:
+      return RunRebalance();
+    case TopologyStatus::Kind::kNone:
+      break;
+  }
+  return Status::Ok();
+}
+
+Status Cluster::CancelTopology() {
+  std::lock_guard<std::mutex> topo(topology_mu_);
+  const std::optional<TopologyOp> op = GetInflight();
+  if (!op.has_value()) {
+    return Status::Ok();
+  }
+  if (op->stage == TopologyStatus::Stage::kFlipped) {
+    return Status::InvalidArgument("ownership already flipped; resume instead");
+  }
+  MC_RETURN_IF_ERROR(PersistMembership("topology cancel node=" + std::to_string(op->node)));
+  CommitTopology([&]() {
+    pending_ring_.reset();
+    if (op->kind == TopologyStatus::Kind::kBootstrap) {
+      // Rows already streamed to the joining node die with it; it never
+      // served a read and never counted toward a natural quorum.
+      membership_[op->node] = MembershipState::kRemoved;
+      node_down_[static_cast<size_t>(op->node)] = true;
+      hints_[static_cast<size_t>(op->node)].clear();
+      UpdateServingGauge();
+    } else if (op->kind == TopologyStatus::Kind::kDecommission) {
+      membership_[op->node] = MembershipState::kServing;
+      UpdateServingGauge();
+    }
+  });
+  SetInflight(std::nullopt);
+  OBS_COUNTER_INC("ring.cancels");
+  return Status::Ok();
+}
+
 namespace {
 // True when `have` is missing a cell of `merged` or holds an older copy
 // (timestamp ties with different content also repair, so the deterministic
@@ -767,8 +1389,12 @@ size_t Cluster::RepairContacted(std::string_view table, const std::vector<Node*>
 }
 
 Status Cluster::CrashNode(int node) {
-  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+  Node* target = NodeAt(node);
+  if (target == nullptr) {
     return Status::InvalidArgument("no such node: " + std::to_string(node));
+  }
+  if (NodeMembership(node) == MembershipState::kRemoved) {
+    return Status::InvalidArgument("node " + std::to_string(node) + " is retired");
   }
   {
     std::lock_guard<std::mutex> lock(down_mu_);
@@ -785,7 +1411,6 @@ Status Cluster::CrashNode(int node) {
   // crash below never races an apply.
   Quiesce();
   OBS_COUNTER_INC("cluster.node.crashes");
-  Node* target = nodes_[static_cast<size_t>(node)].get();
   FaultInjector* fi = options_.fault_injector;
   Status first = Status::Ok();
   target->ForEachEngine([&](const std::string& table, StorageEngine* engine) {
@@ -807,11 +1432,14 @@ Status Cluster::CrashNode(int node) {
 }
 
 Status Cluster::RestartNode(int node) {
-  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+  Node* target = NodeAt(node);
+  if (target == nullptr) {
     return Status::InvalidArgument("no such node: " + std::to_string(node));
   }
+  if (NodeMembership(node) == MembershipState::kRemoved) {
+    return Status::InvalidArgument("node " + std::to_string(node) + " is retired");
+  }
   Quiesce();  // no leg may race the log replay below
-  Node* target = nodes_[static_cast<size_t>(node)].get();
   Status first = Status::Ok();
   target->ForEachEngine([&](const std::string& table, StorageEngine* engine) {
     (void)table;
@@ -828,14 +1456,24 @@ Status Cluster::RestartNode(int node) {
 }
 
 bool Cluster::NodeReplicates(int node, std::string_view partition) const {
+  std::shared_lock<std::shared_mutex> lock(ring_mu_);
   const std::vector<int> ids = ring_.Replicas(partition, options_.replication_factor);
-  return std::find(ids.begin(), ids.end(), node) != ids.end();
+  if (std::find(ids.begin(), ids.end(), node) != ids.end()) {
+    return true;
+  }
+  // A node gaining the partition under an open topology window counts too:
+  // scrub's rebuild must not discard ranges mid-stream to a joining node.
+  if (pending_ring_.has_value()) {
+    const std::vector<int> next = pending_ring_->Replicas(partition, options_.replication_factor);
+    return std::find(next.begin(), next.end(), node) != next.end();
+  }
+  return false;
 }
 
 size_t Cluster::RebuildRangeFromPeers(int node, const std::string& table, StorageEngine* engine,
                                       const QuarantinedRange& range) {
   std::map<std::string, Row> merged;
-  for (const auto& peer : nodes_) {
+  for (Node* peer : SnapshotNodes()) {
     if (peer->id() == node || IsNodeDown(peer->id())) {
       continue;
     }
@@ -867,7 +1505,8 @@ size_t Cluster::RebuildRangeFromPeers(int node, const std::string& table, Storag
 }
 
 Result<size_t> Cluster::ScrubNode(int node) {
-  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
+  Node* target = NodeAt(node);
+  if (target == nullptr) {
     return Status::InvalidArgument("no such node: " + std::to_string(node));
   }
   if (IsNodeDown(node)) {
@@ -875,7 +1514,6 @@ Result<size_t> Cluster::ScrubNode(int node) {
   }
   Quiesce();  // scrub rebuilds from peer scans; settle in-flight writes
   OBS_SPAN("cluster.scrub_node");
-  Node* target = nodes_[static_cast<size_t>(node)].get();
   size_t blocks_rebuilt = 0;
   Status first = Status::Ok();
   target->ForEachEngine([&](const std::string& table, StorageEngine* engine) {
@@ -918,9 +1556,14 @@ Status Cluster::AntiEntropyRepair(std::string_view table_name) {
   // Snapshot every up replica's raw rows (timestamps, tombstones, and
   // partition-tombstone markers included — anti-entropy must converge
   // deletes too, or a missed tombstone resurrects data).
+  // Snapshot the node set and ring once: anti-entropy runs under a settled
+  // topology (topology ops Quiesce around flips), and a consistent snapshot
+  // keeps the replica sets stable across the whole pass.
+  const std::vector<Node*> all_nodes = SnapshotNodes();
+  const HashRing ring = RingSnapshot();
   const std::string hi(96, '\xff');
   std::map<int, std::map<std::string, Row>> rows_by_node;
-  for (const auto& node : nodes_) {
+  for (Node* node : all_nodes) {
     if (IsNodeDown(node->id())) {
       continue;
     }
@@ -959,7 +1602,7 @@ Status Cluster::AntiEntropyRepair(std::string_view table_name) {
   for (const std::string& partition : partitions) {
     OBS_COUNTER_INC("repair.partitions_checked");
     std::vector<Replica> replicas;
-    for (int id : ring_.Replicas(partition, options_.replication_factor)) {
+    for (int id : ring.Replicas(partition, options_.replication_factor)) {
       if (IsNodeDown(id)) {
         continue;
       }
@@ -967,7 +1610,7 @@ Status Cluster::AntiEntropyRepair(std::string_view table_name) {
       r.id = id;
       // EngineFor (not FindEngine): a replica that never saw a write still
       // participates — everything it is missing streams to it below.
-      r.engine = nodes_[static_cast<size_t>(id)]->EngineFor(table, server_compression);
+      r.engine = all_nodes[static_cast<size_t>(id)]->EngineFor(table, server_compression);
       replicas.push_back(std::move(r));
     }
     if (replicas.size() < 2) {
@@ -1333,33 +1976,44 @@ Result<std::vector<std::pair<std::string, Row>>> Cluster::ReadRange(std::string_
 
 Status Cluster::DeletePartition(std::string_view table, std::string_view partition) {
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
-  std::vector<StorageEngine*> engines;
-  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
+  MC_ASSIGN_OR_RETURN(ReplicaSet rs, ResolveReplicas(table, partition));
   ChargeRtt(1);
   const uint64_t ts = NextTimestamp();
-  return ApplyToReplicas(table, replicas, engines, partition, "", Row{},
-                         RequiredAcks(engines.size()), ts);
+  for (int attempt = 0;; ++attempt) {
+    const Status s = ApplyToReplicas(table, rs, partition, "", Row{},
+                                     RequiredAcks(rs.natural_engines.size()), ts);
+    if (!IsTopologyAbort(s) || attempt >= 3) {
+      return s;
+    }
+    OBS_COUNTER_INC("ring.topology_retries");
+    MC_ASSIGN_OR_RETURN(rs, ResolveReplicas(table, partition));
+  }
 }
 
 Status Cluster::DeleteRow(std::string_view table, std::string_view partition,
                           std::string_view clustering, const std::vector<std::string>& columns) {
   stats_.writes.fetch_add(1, std::memory_order_relaxed);
-  std::vector<StorageEngine*> engines;
-  MC_ASSIGN_OR_RETURN(std::vector<Node*> replicas, ReplicasFor(table, partition, &engines));
-  (void)replicas;
+  MC_ASSIGN_OR_RETURN(ReplicaSet rs, ResolveReplicas(table, partition));
   ChargeRtt(1);
   Row tombstones;
   const uint64_t ts = NextTimestamp();
   for (const auto& column : columns) {
     tombstones.cells[column] = Cell{"", ts, true};
   }
-  return ApplyToReplicas(table, replicas, engines, partition, clustering, tombstones,
-                         RequiredAcks(engines.size()));
+  for (int attempt = 0;; ++attempt) {
+    const Status s = ApplyToReplicas(table, rs, partition, clustering, tombstones,
+                                     RequiredAcks(rs.natural_engines.size()));
+    if (!IsTopologyAbort(s) || attempt >= 3) {
+      return s;
+    }
+    OBS_COUNTER_INC("ring.topology_retries");
+    MC_ASSIGN_OR_RETURN(rs, ResolveReplicas(table, partition));
+  }
 }
 
 size_t Cluster::TableAtRestBytes(std::string_view table) {
   size_t bytes = 0;
-  StorageEngine* engine = nodes_.front()->FindEngine(table);
+  StorageEngine* engine = NodeAt(0)->FindEngine(table);
   if (engine != nullptr) {
     bytes = engine->AtRestBytes() + engine->MemtableBytes();
   }
@@ -1368,8 +2022,8 @@ size_t Cluster::TableAtRestBytes(std::string_view table) {
 
 BlockCacheStats Cluster::CacheStats() const {
   BlockCacheStats out;
-  for (const auto& node : nodes_) {
-    const BlockCacheStats s = const_cast<Node*>(node.get())->cache()->Stats();
+  for (Node* node : SnapshotNodes()) {
+    const BlockCacheStats s = node->cache()->Stats();
     out.hits += s.hits;
     out.misses += s.misses;
     out.evictions += s.evictions;
@@ -1379,10 +2033,8 @@ BlockCacheStats Cluster::CacheStats() const {
 }
 
 const MediaStats* Cluster::NodeMediaStats(int node) const {
-  if (node < 0 || static_cast<size_t>(node) >= nodes_.size()) {
-    return nullptr;
-  }
-  return &nodes_[static_cast<size_t>(node)]->media()->stats();
+  Node* target = NodeAt(node);
+  return target == nullptr ? nullptr : &target->media()->stats();
 }
 
 Status Cluster::FlushAll() {
@@ -1394,7 +2046,7 @@ Status Cluster::FlushAll() {
       names.push_back(name);
     }
   }
-  for (auto& node : nodes_) {
+  for (Node* node : SnapshotNodes()) {
     for (const auto& name : names) {
       StorageEngine* engine = node->FindEngine(name);
       if (engine != nullptr) {
@@ -1409,7 +2061,7 @@ void Cluster::WarmCaches(std::string_view table) {
   // Reads round-robin across replicas, so every replica's hot set is the full
   // table: warm everything everywhere (the mirrored-cache model — effective
   // cluster memory equals ONE node's cache, as with real RF=N replication).
-  for (auto& node : nodes_) {
+  for (Node* node : SnapshotNodes()) {
     StorageEngine* engine = node->FindEngine(table);
     if (engine != nullptr) {
       engine->WarmCache();
@@ -1547,7 +2199,7 @@ void Cluster::ResetPerfCounters() {
   stats_.lwt_failures = 0;
   stats_.bytes_to_client = 0;
   stats_.bytes_from_client = 0;
-  for (auto& node : nodes_) {
+  for (Node* node : SnapshotNodes()) {
     node->media()->ResetStats();
   }
 }

@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -96,6 +97,33 @@ struct ClusterOptions {
 
   // Zero-latency, single-node profile for unit tests.
   static ClusterOptions ForTest();
+};
+
+// Per-node position in the persisted membership state machine
+// (docs/ARCHITECTURE.md "Ring membership"). Forward transitions:
+//   bootstrap:    kJoining -> kStreaming -> kServing
+//   decommission: kServing -> kLeaving -> kDrained -> kRemoved
+// Every edge is gated on a persisted record (the kTopologyPersist fault
+// point), so a crash between edges resumes from the last persisted state.
+enum class MembershipState {
+  kServing,    // full ring member
+  kJoining,    // node object exists, tokens planned, not yet streaming
+  kStreaming,  // pending ring active; ranges streaming in, writes dual-applied
+  kLeaving,    // pending ring active; ranges streaming out, writes dual-applied
+  kDrained,    // ownership flipped away; node holds no ranges, not yet retired
+  kRemoved,    // retired: permanently down, hints dropped, slot kept for id stability
+};
+
+// Introspection snapshot of the (at most one) in-flight topology change.
+struct TopologyStatus {
+  enum class Kind { kNone, kBootstrap, kDecommission, kRebalance };
+  // Streaming stage progression; a crash at any stage resumes idempotently.
+  enum class Stage { kPlanned, kStreaming, kFlipped };
+  bool inflight = false;
+  Kind kind = Kind::kNone;
+  int node = -1;        // bootstrap/decommission subject (-1 for rebalance)
+  Stage stage = Stage::kPlanned;
+  size_t token_moves = 0;  // rebalance: tokens scheduled to move
 };
 
 struct ClusterStats {
@@ -214,6 +242,54 @@ class Cluster {
   // observe (or mutate) mid-flight state.
   void Quiesce();
 
+  // --- Elastic topology (docs/ARCHITECTURE.md "Ring membership") ---------------
+  //
+  // At most one topology change runs at a time; all three are synchronous,
+  // crash-resumable (every state edge is gated on a persisted membership
+  // record — the kTopologyPersist fault point), and safe under live traffic:
+  // while a pending ring is active, writes dual-apply to natural + pending
+  // owners with required_acks = quorum(natural) + |pending|, so no acked
+  // write is orphaned by the ownership flip.
+
+  // Adds a node online: plants its vnode tokens in a pending ring, streams
+  // the ranges it will own from existing replicas (ScanEncodedForRepair),
+  // drains hints, then atomically flips it to serving. Returns the new node
+  // id. On error the transition parks at its last persisted state; call
+  // ResumeTopology to continue or CancelTopology to roll back.
+  Result<int> BootstrapNode();
+
+  // Removes a serving node online: streams the ranges other nodes gain to
+  // them, flips ownership away (kDrained), then retires the node (kRemoved:
+  // permanently down, hints dropped; the slot stays so node ids are stable).
+  // InvalidArgument when removal would leave fewer serving nodes than the
+  // replication factor.
+  Status DecommissionNode(int node);
+
+  // Load-aware rebalance: surveys per-partition sizes across serving nodes
+  // (StorageEngine::PartitionSizes, exported as ring.node_bytes gauges) and
+  // moves up to `max_moves` vnode tokens from hot to cold nodes through the
+  // same pending-ring streaming window. Returns tokens moved (0 when the
+  // ring is already balanced within 20%).
+  Result<size_t> RebalanceTokens(size_t max_moves = 4);
+
+  // Continues the in-flight topology change from its last persisted stage
+  // (idempotent re-streaming; LWW makes replayed rows harmless). Ok when
+  // nothing is in flight.
+  Status ResumeTopology();
+
+  // Rolls back an in-flight change that has not flipped ownership yet: the
+  // pending ring is discarded; a joining node is retired, a leaving node
+  // returns to serving. InvalidArgument after the flip (resume instead).
+  Status CancelTopology();
+
+  MembershipState NodeMembership(int node) const;
+  std::vector<int> ServingNodes() const;
+  TopologyStatus Topology() const;
+  // Total node slots ever created (including retired ones).
+  size_t NodeCount() const;
+  // Copy of the natural ring (tests audit token ownership through this).
+  HashRing RingSnapshot() const;
+
   // --- Fault injection / fault tolerance ---------------------------------------
   //
   // Models node outages with hinted handoff, Cassandra-style: writes while a
@@ -302,11 +378,69 @@ class Cluster {
   struct PaxosShard;
   struct ReplicaFanout;  // shared state of one write's concurrent replica legs
 
+  // One partition's resolved write targets under the current topology: the
+  // natural set (current ring) plus pending endpoints — nodes that gain the
+  // partition under the in-flight topology change. `epoch` is the topology
+  // epoch the resolution was taken at; ApplyToReplicas re-validates it under
+  // down_mu_ and aborts (retryably) when an ownership flip raced the write.
+  struct ReplicaSet {
+    std::vector<Node*> natural;
+    std::vector<StorageEngine*> natural_engines;
+    std::vector<Node*> pending;
+    std::vector<StorageEngine*> pending_engines;
+    uint64_t epoch = 0;
+  };
+
+  // The one in-flight topology change (persisted alongside membership_).
+  struct TopologyOp {
+    TopologyStatus::Kind kind = TopologyStatus::Kind::kNone;
+    int node = -1;
+    TopologyStatus::Stage stage = TopologyStatus::Stage::kPlanned;
+    size_t token_moves = 0;
+  };
+
   void ChargeRtt(int round_trips);
   void ChargeTransfer(size_t bytes);
 
+  Result<ReplicaSet> ResolveReplicas(std::string_view table, std::string_view partition);
+
   Result<std::vector<Node*>> ReplicasFor(std::string_view table, std::string_view partition,
                                          std::vector<StorageEngine*>* engines);
+
+  // nodes_ accessors that take ring_mu_ shared (the vector grows under the
+  // exclusive lock during bootstrap; holding either ring_mu_ or down_mu_
+  // makes reads safe — growth holds both).
+  Node* NodeAt(int node) const;
+  std::vector<Node*> SnapshotNodes() const;
+
+  std::unique_ptr<Node> MakeNode(int id);
+
+  // --- Topology internals (topology_mu_ held by all callers) -----------------
+
+  // The persisted-membership write barrier: models committing the membership
+  // record to the system table. Draws kTopologyPersist; on a trip nothing is
+  // mutated and the transition cleanly aborts at its previous state.
+  Status PersistMembership(const std::string& context);
+
+  // Runs `fn` under exclusive ring_mu_ + down_mu_ and bumps the topology
+  // epoch, so in-flight writes resolved against the old topology abort and
+  // retry instead of landing on stale owners.
+  void CommitTopology(const std::function<void()>& fn);
+
+  // Streams every (partition, row) a node gains under pending_ring_ from the
+  // serving/leaving replicas that hold it (raw rows; LWW-idempotent).
+  // Unavailable on an injected kStreamInterrupt or a down target — the
+  // caller's stage is unchanged and the stream re-runs on resume.
+  Status StreamPendingRanges();
+
+  // Stage drivers, resumable from the persisted op stage.
+  Status RunBootstrap();
+  Status RunDecommission();
+  Status RunRebalance();
+
+  std::optional<TopologyOp> GetInflight() const;
+  void SetInflight(const std::optional<TopologyOp>& op);
+  void UpdateServingGauge();
 
   // Indexes into `replicas` whose node is currently up. Caller holds down_mu_.
   std::vector<size_t> LiveIndexesLocked(const std::vector<Node*>& replicas) const;
@@ -349,9 +483,15 @@ class Cluster {
   // partition_tombstone_ts != 0 turns the write into a whole-partition
   // tombstone (DeletePartition); that path skips the per-replica coordinator
   // fault points, preserving the historical fault-ordinal stream.
-  Status ApplyToReplicas(std::string_view table, const std::vector<Node*>& replicas,
-                         const std::vector<StorageEngine*>& engines, std::string_view partition,
-                         std::string_view clustering, const Row& stamped, size_t required_acks,
+  // `required_acks` is the natural-set requirement; when the resolution
+  // carries pending endpoints the effective requirement becomes
+  // required_acks + |pending| with acks counted from all legs (Cassandra's
+  // pending-endpoint rule), which preserves quorum intersection across the
+  // ownership flip in both directions. Aborted("topology changed...") when
+  // rs.epoch is stale — callers re-resolve and retry.
+  Status ApplyToReplicas(std::string_view table, const ReplicaSet& rs,
+                         std::string_view partition, std::string_view clustering,
+                         const Row& stamped, size_t required_acks,
                          uint64_t partition_tombstone_ts = 0);
 
   // Runs replica leg `i` of a fan-out: injected delay, the engine apply (or
@@ -393,8 +533,28 @@ class Cluster {
   void ReplayHintsLocked(int node);
 
   ClusterOptions options_;
+
+  // Topology state. ring_mu_ guards ring_, pending_ring_, membership_, and
+  // nodes_ growth (the data path takes it shared per resolution; ownership
+  // flips take it exclusive). Lock order: ring_mu_ before down_mu_. nodes_
+  // only ever grows and retired slots stay allocated, so Node*/engine
+  // pointers remain stable for in-flight legs across any topology change.
+  mutable std::shared_mutex ring_mu_;
   HashRing ring_;
+  std::optional<HashRing> pending_ring_;  // set while a topology window is open
+  std::map<int, MembershipState> membership_;
   std::vector<std::unique_ptr<Node>> nodes_;
+
+  // Bumped (under ring_mu_ exclusive + down_mu_) at every window open/flip/
+  // cancel; writes validate their resolution epoch in ApplyToReplicas.
+  std::atomic<uint64_t> topology_epoch_{0};
+
+  // Serializes topology operations end to end (streaming included).
+  std::mutex topology_mu_;
+  // Guards inflight_ only, so Topology() never blocks behind a stream.
+  mutable std::mutex inflight_mu_;
+  std::optional<TopologyOp> inflight_;
+
   ClusterStats stats_;
   std::atomic<uint64_t> timestamp_{0};
   std::atomic<uint64_t> read_rr_{0};

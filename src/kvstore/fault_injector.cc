@@ -12,7 +12,8 @@ constexpr std::string_view kPointNames[kFaultPointCount] = {
     "media_read_error", "media_write_error", "media_latency",
     "commitlog_append", "lwt_ambiguous",     "replica_drop",
     "replica_delay",    "node_flap",         "clock_skew",
-    "crash",            "media_corruption",
+    "crash",            "media_corruption",  "topology_persist",
+    "stream_interrupt",
 };
 
 // SplitMix64 finalizer: a cheap bijective mix with full avalanche, so the

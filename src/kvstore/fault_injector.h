@@ -39,9 +39,11 @@ enum class FaultPoint : int {
   kClockSkew,            // LWW timestamp skew on plain writes
   kCrash,                // node crash; the draw sizes the torn commit-log tail
   kMediaCorruption,      // seeded bit-flip in a stored SSTable block
+  kTopologyPersist,      // membership state-machine persist fails (no transition)
+  kStreamInterrupt,      // range-streaming session aborts mid-transfer
 };
 
-inline constexpr int kFaultPointCount = 11;
+inline constexpr int kFaultPointCount = 13;
 
 std::string_view FaultPointName(FaultPoint point);
 

@@ -42,6 +42,15 @@ void Node::ForEachEngine(
   }
 }
 
+size_t Node::ApproximateBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bytes = 0;
+  for (auto& [table, engine] : engines_) {
+    bytes += engine->AtRestBytes() + engine->MemtableBytes();
+  }
+  return bytes;
+}
+
 void Node::DropTable(std::string_view table) {
   std::lock_guard<std::mutex> lock(mu_);
   engines_.erase(std::string(table));

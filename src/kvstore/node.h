@@ -41,6 +41,11 @@ class Node {
 
   void DropTable(std::string_view table);
 
+  // Stored bytes across every engine (at rest + memtable) — the coarse load
+  // signal the cluster's token rebalancer falls back on and exports as the
+  // ring.node_bytes gauge.
+  size_t ApproximateBytes();
+
  private:
   int id_;
   BlockCache cache_;

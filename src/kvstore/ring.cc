@@ -5,20 +5,57 @@
 #include "src/kvstore/bloom.h"  // Fnv1a64
 
 namespace minicrypt {
+namespace {
+
+// Murmur3's 64-bit finalizer. FNV-1a alone leaves vnode labels that differ
+// only in their trailing digits ("…-vnode-3" vs "…-vnode-4") in tight token
+// clusters, which collapses each node's 16 vnodes into one or two contiguous
+// mega-ranges: load concentrates behind a single token and per-token
+// rebalancing becomes all-or-nothing. The finalizer's avalanche spreads
+// planted tokens uniformly so ranges are fine-grained; Token() applies the
+// same mix so sequential partition names spread instead of clustering.
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::vector<uint64_t> HashRing::PlanTokens(int node_id, int vnodes) {
+  std::vector<uint64_t> tokens;
+  tokens.reserve(static_cast<size_t>(vnodes));
+  for (int v = 0; v < vnodes; ++v) {
+    const std::string label = "node-" + std::to_string(node_id) + "-vnode-" + std::to_string(v);
+    tokens.push_back(Mix64(Fnv1a64(label)));
+  }
+  return tokens;
+}
 
 void HashRing::AddNode(int node_id) {
-  if (std::find(node_ids_.begin(), node_ids_.end(), node_id) != node_ids_.end()) {
+  AddNodeWithTokens(node_id, PlanTokens(node_id, vnodes_));
+}
+
+void HashRing::AddNodeWithTokens(int node_id, const std::vector<uint64_t>& tokens) {
+  if (Contains(node_id)) {
     return;
   }
   node_ids_.push_back(node_id);
-  for (int v = 0; v < vnodes_; ++v) {
-    const std::string label = "node-" + std::to_string(node_id) + "-vnode-" + std::to_string(v);
-    ring_[Fnv1a64(label)] = node_id;
+  for (const uint64_t token : tokens) {
+    // emplace never steals a colliding token from its current owner (a 2^-64
+    // event per pair, but silently dropping a vnode would skew placement).
+    if (ring_.emplace(token, node_id).second) {
+      ++token_counts_[node_id];
+    }
   }
 }
 
 void HashRing::RemoveNode(int node_id) {
   node_ids_.erase(std::remove(node_ids_.begin(), node_ids_.end(), node_id), node_ids_.end());
+  token_counts_.erase(node_id);
   for (auto it = ring_.begin(); it != ring_.end();) {
     if (it->second == node_id) {
       it = ring_.erase(it);
@@ -28,14 +65,37 @@ void HashRing::RemoveNode(int node_id) {
   }
 }
 
-uint64_t HashRing::Token(std::string_view partition_key) { return Fnv1a64(partition_key); }
+bool HashRing::MoveToken(uint64_t token, int to_node) {
+  if (!Contains(to_node)) {
+    return false;
+  }
+  auto it = ring_.find(token);
+  if (it == ring_.end() || it->second == to_node) {
+    return false;
+  }
+  auto counts = token_counts_.find(it->second);
+  if (counts != token_counts_.end() && --counts->second == 0) {
+    token_counts_.erase(counts);
+  }
+  ++token_counts_[to_node];
+  it->second = to_node;
+  return true;
+}
+
+// The partitioner needs avalanche too: sequential partition names ("p0",
+// "p1", …) differ only in trailing digits, and raw FNV-1a maps such families
+// into tight token clusters that land on one or two nodes regardless of how
+// well the vnode tokens are spread.
+uint64_t HashRing::Token(std::string_view partition_key) { return Mix64(Fnv1a64(partition_key)); }
 
 std::vector<int> HashRing::Replicas(std::string_view partition_key, int rf) const {
   std::vector<int> out;
   if (ring_.empty() || rf <= 0) {
     return out;
   }
-  const size_t want = std::min(static_cast<size_t>(rf), node_ids_.size());
+  // A member may own zero tokens after a full rebalance away; only nodes
+  // actually owning tokens are reachable by the walk.
+  const size_t want = std::min(static_cast<size_t>(rf), token_counts_.size());
   auto it = ring_.lower_bound(Token(partition_key));
   for (size_t walked = 0; out.size() < want && walked < 2 * ring_.size(); ++walked) {
     if (it == ring_.end()) {
@@ -47,6 +107,35 @@ std::vector<int> HashRing::Replicas(std::string_view partition_key, int rf) cons
     ++it;
   }
   return out;
+}
+
+int HashRing::PrimaryOwner(std::string_view partition_key) const {
+  if (ring_.empty()) {
+    return -1;
+  }
+  auto it = ring_.lower_bound(Token(partition_key));
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+bool HashRing::Contains(int node_id) const {
+  return std::find(node_ids_.begin(), node_ids_.end(), node_id) != node_ids_.end();
+}
+
+std::vector<uint64_t> HashRing::TokensOf(int node_id) const {
+  std::vector<uint64_t> out;
+  for (const auto& [token, id] : ring_) {
+    if (id == node_id) {
+      out.push_back(token);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, int>> HashRing::TokenDump() const {
+  return {ring_.begin(), ring_.end()};
 }
 
 }  // namespace minicrypt

@@ -1,5 +1,8 @@
 // Consistent-hash ring with virtual nodes — how the cluster places partitions
-// on nodes (Cassandra-style token ring).
+// on nodes (Cassandra-style token ring). The ring is elastic: membership
+// changes plant/retire token sets and RebalanceTokens moves individual vnode
+// tokens between nodes; a partition's replica set is always the first rf
+// distinct owners at/after its token walking clockwise.
 
 #ifndef MINICRYPT_SRC_KVSTORE_RING_H_
 #define MINICRYPT_SRC_KVSTORE_RING_H_
@@ -20,19 +23,49 @@ class HashRing {
   void AddNode(int node_id);
   void RemoveNode(int node_id);
 
+  // The token set AddNode(node_id) would plant — stable across process runs
+  // (pure FNV-1a of "node-<id>-vnode-<v>"), so a membership plan persisted
+  // before a crash re-derives the same tokens after restart.
+  static std::vector<uint64_t> PlanTokens(int node_id, int vnodes);
+
+  // AddNode with an explicit token set (the persisted plan). Tokens already
+  // owned by another node are skipped, never stolen.
+  void AddNodeWithTokens(int node_id, const std::vector<uint64_t>& tokens);
+
+  // Reassigns one token to `to_node` (which must be a member). Only the key
+  // range ending at `token` changes primary ownership. False when the token
+  // is not on the ring or `to_node` is unknown.
+  bool MoveToken(uint64_t token, int to_node);
+
   // The first `rf` distinct nodes at/after the partition's token, walking the
   // ring clockwise. If rf >= node count, every node is returned.
   std::vector<int> Replicas(std::string_view partition_key, int rf) const;
 
+  // Owner of the first token at/after the partition's token (-1 on an empty
+  // ring) — the head of the replica walk.
+  int PrimaryOwner(std::string_view partition_key) const;
+
   // Token of a partition key (exposed for tests).
   static uint64_t Token(std::string_view partition_key);
 
+  bool Contains(int node_id) const;
+  std::vector<uint64_t> TokensOf(int node_id) const;
+  // Full (token, owner) dump in token order — property tests walk this to
+  // prove ownership is a total partition of the token space.
+  std::vector<std::pair<uint64_t, int>> TokenDump() const;
+
   size_t node_count() const { return node_ids_.size(); }
+  const std::vector<int>& node_ids() const { return node_ids_; }
+  int vnodes() const { return vnodes_; }
 
  private:
   int vnodes_;
   std::map<uint64_t, int> ring_;  // token -> node id
   std::vector<int> node_ids_;
+  // Tokens currently owned per node; a member rebalanced down to zero tokens
+  // is unreachable by the replica walk, and Replicas caps its want at the
+  // count of nodes that actually own tokens.
+  std::map<int, size_t> token_counts_;
 };
 
 }  // namespace minicrypt

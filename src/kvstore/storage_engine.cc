@@ -545,4 +545,19 @@ size_t StorageEngine::QuarantinedCount() const {
   return quarantined_.size();
 }
 
+Status StorageEngine::PartitionSizes(std::map<std::string, size_t>* out) {
+  const std::string hi(96, '\xff');
+  return ScanEncodedForRepair("", hi, [&](std::string_view key, const Row& row) {
+    auto decoded = DecodeRowKey(key);
+    if (!decoded.ok()) {
+      return;
+    }
+    size_t bytes = key.size();
+    for (const auto& [name, cell] : row.cells) {
+      bytes += name.size() + cell.value.size();
+    }
+    (*out)[std::string(decoded->partition)] += bytes;
+  });
+}
+
 }  // namespace minicrypt

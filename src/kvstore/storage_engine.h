@@ -26,6 +26,7 @@
 #define MINICRYPT_SRC_KVSTORE_STORAGE_ENGINE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -162,6 +163,12 @@ class StorageEngine {
   size_t SstableCount() const;
   size_t MemtableBytes() const;
   size_t QuarantinedCount() const;
+
+  // Approximate live bytes per partition (key + cell payloads of the merged
+  // row set). Feeds the cluster's load-aware token rebalancer and the
+  // ring.node_bytes gauges; corruption on a source table degrades to the
+  // rows that scanned cleanly rather than failing the survey.
+  Status PartitionSizes(std::map<std::string, size_t>* out);
 
  private:
   // Fully merges all SSTables into one, dropping shadowed cells, cells under

@@ -911,13 +911,477 @@ TEST(ModelCheckChaos, CrashCorruptionScheduleHoldsInvariants) {
   EXPECT_GT(rebuilt->Value(), rebuilt_before) << "scrub never rebuilt a quarantined block";
 }
 
+// --- Topology churn schedule -------------------------------------------------
+//
+// The third first-class chaos mode (docs/TESTING.md): a controller thread
+// bootstraps, decommissions, and rebalances the ring while client traffic
+// runs at QUORUM, interleaved with node crashes (torn commit logs) and one
+// scripted block corruption per cycle. kTopologyPersist / kStreamInterrupt
+// are both rate-armed and scripted, so membership ops park mid-state-machine
+// and must be driven home by ResumeTopology. The worker loop checks
+// read-your-own-acked-writes continuously across ownership flips; the final
+// audit re-verifies all five invariants on whatever ring the churn left
+// behind. Override MC_CHAOS_NODES to change the starting ring size.
+
+int ChaosNodes() {
+  if (const char* env = std::getenv("MC_CHAOS_NODES")) {
+    return std::atoi(env);
+  }
+  return 8;
+}
+
+// Drives a parked topology op to completion: restart crashed participants,
+// then ResumeTopology, bounded. Ops that abort before parking (a plan-edge
+// persist fault) leave nothing inflight and need no resume.
+void DriveTopologyToCompletion(Cluster* cluster) {
+  for (int attempt = 0; attempt < 64 && cluster->Topology().inflight; ++attempt) {
+    for (int n = 0; n < static_cast<int>(cluster->NodeCount()); ++n) {
+      if (cluster->NodeMembership(n) != MembershipState::kRemoved && cluster->IsNodeDown(n)) {
+        (void)cluster->RestartNode(n);
+      }
+    }
+    if (cluster->ResumeTopology().ok()) {
+      break;
+    }
+  }
+  EXPECT_FALSE(cluster->Topology().inflight) << "topology op did not converge under resume";
+}
+
+TEST(ModelCheckChaos, TopologyChurnScheduleHoldsInvariants) {
+  const uint64_t seed = ChaosSeed();
+  const int iters = ChaosIters();
+  const int start_nodes = ChaosNodes();
+  const int period = ChaosCrashPeriod();
+  std::fprintf(stderr,
+               "[chaos] topology churn seed=0x%llx iters=%d nodes=%d period=%d "
+               "(set MC_CHAOS_SEED / MC_CHAOS_NODES to replay)\n",
+               static_cast<unsigned long long>(seed), iters, start_nodes, period);
+
+  SimulatedClock clock;
+  FaultInjector injector(seed);
+  injector.SetRate(FaultPoint::kCrash, 1.0);  // every tear-draw counts as a trip
+  injector.SetRate(FaultPoint::kMediaLatency, 0.03);
+  injector.set_latency_spike_base_micros(200);
+  injector.SetRate(FaultPoint::kTopologyPersist, 0.04);
+  injector.SetRate(FaultPoint::kStreamInterrupt, 0.04);
+  // Deterministic floor for the resume machinery regardless of seed: the
+  // first persist edge and the first stream session each trip once.
+  injector.Script(FaultPoint::kTopologyPersist, 1);
+  injector.Script(FaultPoint::kStreamInterrupt, 1);
+
+  ClusterOptions copts = ChaosClusterOptions(&clock, &injector);
+  copts.node_count = start_nodes;
+  copts.engine.commitlog_sync_every_appends = 4;  // crashes tear real unsynced tails
+  Cluster cluster(copts);
+  const SymmetricKey key = SymmetricKey::FromSeed("topology-chaos");
+  const MiniCryptOptions base_options = ChaosClientOptions(seed + 1);
+  GenericClient setup(&cluster, base_options, key);
+  ASSERT_TRUE(setup.CreateTable().ok());
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeyspace = 96;
+  std::vector<ThreadTrack> tracks(kThreads);
+  std::atomic<long> ops_done{0};
+  std::atomic<bool> workers_done{false};
+  std::atomic<int> topology_ops{0};
+
+  // The controller owns the node lifecycle (no ChaosTick flaps): every cycle
+  // runs one membership change (rotating bootstrap / decommission /
+  // rebalance), then one crash->restart with a torn log, then one scripted
+  // block corruption flushed to at-rest form and scrubbed — all while the
+  // workers keep QUORUM traffic flowing.
+  std::thread controller([&] {
+    Rng crng(seed ^ 0x70B0C4A5ULL);
+    uint64_t corruption_scripted = 0;
+    int cycle = 0;
+    auto wait_ops = [&](long delta) {
+      const long target = ops_done.load(std::memory_order_relaxed) + delta;
+      while (ops_done.load(std::memory_order_relaxed) < target && !workers_done.load()) {
+        std::this_thread::yield();
+      }
+    };
+    while (!workers_done.load()) {
+      wait_ops(period +
+               static_cast<long>(crng.Uniform(static_cast<uint64_t>(period) + 1)));
+      if (workers_done.load()) {
+        break;
+      }
+      // 1) Membership churn under live traffic. A fault-parked op is resumed
+      // to completion within its own cycle, so cycles never overlap.
+      const int kind = cycle % 3;
+      if (kind == 0) {
+        if (!cluster.BootstrapNode().ok()) {
+          DriveTopologyToCompletion(&cluster);
+        }
+        topology_ops.fetch_add(1);
+      } else if (kind == 1) {
+        const std::vector<int> serving = cluster.ServingNodes();
+        if (serving.size() > static_cast<size_t>(copts.replication_factor) + 1) {
+          const int victim = serving[crng.Uniform(serving.size())];
+          if (!cluster.DecommissionNode(victim).ok()) {
+            DriveTopologyToCompletion(&cluster);
+          }
+          topology_ops.fetch_add(1);
+        }
+      } else {
+        if (!cluster.RebalanceTokens(4).ok()) {
+          DriveTopologyToCompletion(&cluster);
+        }
+        topology_ops.fetch_add(1);
+      }
+      // 2) Crash -> outage traffic -> restart (log replay + hint drain).
+      const std::vector<int> serving = cluster.ServingNodes();
+      const int node = serving[crng.Uniform(serving.size())];
+      if (cluster.CrashNode(node).ok()) {
+        wait_ops(5 + static_cast<long>(crng.Uniform(15)));
+        EXPECT_TRUE(cluster.RestartNode(node).ok());
+      }
+      // 3) One corrupt block in flight at a time (see the crash schedule).
+      if (injector.trips(FaultPoint::kMediaCorruption) == corruption_scripted) {
+        injector.Script(FaultPoint::kMediaCorruption, 1);
+        ++corruption_scripted;
+      }
+      EXPECT_TRUE(cluster.FlushAll().ok());
+      for (int n : cluster.ServingNodes()) {
+        auto r = cluster.ScrubNode(n);
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+      }
+      ++cycle;
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MiniCryptOptions options = ChaosClientOptions(seed ^ (0x9E3779B97F4A7C15ULL * (t + 1)));
+      GenericClient worker(&cluster, options, key);
+      ThreadTrack& track = tracks[static_cast<size_t>(t)];
+      std::map<uint64_t, int> own_acked_op;
+      const std::string own_tag = "t" + std::to_string(t) + "#";
+      Rng rng(seed + 100 + static_cast<uint64_t>(t));
+      for (int op = 0; op < iters; ++op) {
+        ops_done.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t k = rng.Uniform(kKeyspace);
+        const int kind = static_cast<int>(rng.Uniform(100));
+        if (kind < 50) {  // put
+          const std::string value = "t" + std::to_string(t) + "#" + std::to_string(op);
+          const Status s = worker.Put(k, value);
+          RecordOp(&track, k, /*is_delete=*/false, value, s);
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
+        } else if (kind < 65) {  // delete
+          const Status s = worker.Delete(k);
+          RecordOp(&track, k, /*is_delete=*/true, "", s);
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
+        } else if (kind < 90) {  // get: admissible status, never own-stale
+          auto got = worker.Get(k);
+          const Status s = got.status();
+          EXPECT_TRUE(s.ok() || s.IsNotFound() || s.IsUnavailable() || s.IsAborted() ||
+                      s.IsCorruption())
+              << s.ToString();
+          if (got.ok() && got->rfind(own_tag, 0) == 0) {
+            const int read_op = std::atoi(got->c_str() + own_tag.size());
+            auto acked = own_acked_op.find(k);
+            if (acked != own_acked_op.end()) {
+              EXPECT_GE(read_op, acked->second)
+                  << "stale read across a topology flip: key " << k << " returned own value '"
+                  << *got << "' older than this thread's acked op " << acked->second;
+            }
+          }
+        } else {  // narrow range
+          const Status s = worker.GetRange(k, k + 8).status();
+          EXPECT_TRUE(s.ok() || s.IsUnavailable() || s.IsAborted() || s.IsCorruption())
+              << s.ToString();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  workers_done.store(true);
+  controller.join();
+
+  // Tiny MC_CHAOS_ITERS overrides may finish before the first cycle; the
+  // schedule must still contain one membership change (the scripted persist
+  // and stream faults fire on it) and one corrupted block.
+  if (topology_ops.load() == 0) {
+    // The scripted plan-edge persist fault aborts the first attempt with
+    // nothing inflight; keep trying until a node actually joins so the
+    // stream path (and its scripted interrupt) runs too.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (cluster.BootstrapNode().ok()) {
+        break;
+      }
+      DriveTopologyToCompletion(&cluster);
+      if (cluster.ServingNodes().size() > static_cast<size_t>(start_nodes)) {
+        break;
+      }
+    }
+    ASSERT_GT(cluster.ServingNodes().size(), static_cast<size_t>(start_nodes));
+    topology_ops.fetch_add(1);
+  }
+  if (injector.trips(FaultPoint::kCrash) == 0) {
+    const int node = cluster.ServingNodes().front();
+    ASSERT_TRUE(cluster.CrashNode(node).ok());
+    ASSERT_TRUE(cluster.RestartNode(node).ok());
+  }
+  if (injector.trips(FaultPoint::kMediaCorruption) == 0) {
+    Row backstop;
+    backstop.cells["v"] = Cell{"corruption-backstop", 0, false};
+    ASSERT_TRUE(
+        cluster.Write(base_options.table, "zz-backstop", EncodeKey64(0), backstop).ok());
+    injector.Script(FaultPoint::kMediaCorruption, 1);
+    ASSERT_TRUE(cluster.FlushAll().ok());
+  }
+
+  // Final audit: stop injecting, restart whatever is down (retired nodes stay
+  // down forever), drain hints, scrub serving nodes to convergence, one
+  // Merkle repair pass — then re-verify the five invariants.
+  injector.Heal();
+  for (int n = 0; n < static_cast<int>(cluster.NodeCount()); ++n) {
+    if (cluster.NodeMembership(n) != MembershipState::kRemoved && cluster.IsNodeDown(n)) {
+      ASSERT_TRUE(cluster.RestartNode(n).ok());
+    }
+  }
+  cluster.ReplayAllHints();
+  for (int n = 0; n < static_cast<int>(cluster.NodeCount()); ++n) {
+    if (cluster.NodeMembership(n) != MembershipState::kRemoved) {
+      EXPECT_EQ(cluster.PendingHints(n), 0u) << "node " << n << " still has hints after heal";
+    }
+  }
+  size_t scrub_pass = 0;
+  for (int pass = 0; pass < 6; ++pass) {
+    scrub_pass = 0;
+    for (int n : cluster.ServingNodes()) {
+      auto r = cluster.ScrubNode(n);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      scrub_pass += *r;
+    }
+    if (scrub_pass == 0) {
+      break;
+    }
+  }
+  EXPECT_EQ(scrub_pass, 0u) << "scrub did not converge with injection healed";
+  ASSERT_TRUE(cluster.AntiEntropyRepair(base_options.table).ok());
+  SCOPED_TRACE("topology chaos seed 0x" + std::to_string(seed) + " — rerun with MC_CHAOS_SEED");
+
+  // Invariants (a) + (c): every acked write durable across membership churn,
+  // final value admissible.
+  GenericClient reader(&cluster, base_options, key);
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    ASSERT_TRUE(got.ok() || got.status().IsNotFound())
+        << "key " << k << ": " << got.status().ToString();
+    bool acked_put_candidate = false;
+    bool delete_candidate = false;
+    bool value_matches_candidate = false;
+    bool touched = false;
+    for (const ThreadTrack& track : tracks) {
+      auto it = track.find(k);
+      if (it == track.end()) {
+        continue;
+      }
+      touched = true;
+      const KeyTrack& kt = it->second;
+      std::vector<const ChaosOp*> candidates;
+      if (kt.last_acked.has_value()) {
+        candidates.push_back(&*kt.last_acked);
+      }
+      for (const ChaosOp& op : kt.unacked) {
+        candidates.push_back(&op);
+      }
+      if (kt.last_acked.has_value() && !kt.last_acked->is_delete) {
+        acked_put_candidate = true;
+      }
+      for (const ChaosOp* op : candidates) {
+        if (op->is_delete) {
+          delete_candidate = true;
+        } else if (got.ok() && *got == op->value) {
+          value_matches_candidate = true;
+        }
+      }
+    }
+    if (!touched) {
+      EXPECT_TRUE(got.status().IsNotFound()) << "untouched key " << k << " has a value";
+    } else if (got.ok()) {
+      EXPECT_TRUE(value_matches_candidate)
+          << "key " << k << " holds '" << *got << "', which no thread could have written last";
+    } else {
+      EXPECT_TRUE(delete_candidate || !acked_put_candidate)
+          << "key " << k << " lost an acknowledged put across membership churn";
+    }
+  }
+
+  // Anti-entropy mutate pass (see RunInvariantsUnderFire) so the strict pack
+  // integrity check below cannot trip on a split abandoned mid-outage.
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    if (got.ok()) {
+      ASSERT_TRUE(reader.Put(k, *got).ok());
+    } else {
+      ASSERT_TRUE(got.status().IsNotFound()) << got.status().ToString();
+      const Status s = reader.Delete(k);
+      ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+    }
+  }
+
+  // Invariant (b): pack integrity on every replica of the churned ring.
+  const PackCrypter crypter(base_options, key);
+  CheckPackIntegrity(&cluster, crypter, base_options);
+  // Invariant (d): replicas converge on the final ownership map.
+  for (int p = 0; p < base_options.hash_partitions; ++p) {
+    CheckReplicaConvergence(&cluster, base_options.table, PartitionLabel(p));
+  }
+
+  // The schedule must actually have churned membership, crashed, parked a
+  // topology op on a persist fault, interrupted a stream, and corrupted a
+  // block — otherwise the run proved nothing about elasticity under faults.
+  EXPECT_GT(topology_ops.load(), 0);
+  EXPECT_GT(injector.trips(FaultPoint::kCrash), 0u) << injector.Summary();
+  EXPECT_GT(injector.trips(FaultPoint::kTopologyPersist), 0u) << injector.Summary();
+  EXPECT_GT(injector.trips(FaultPoint::kStreamInterrupt), 0u) << injector.Summary();
+  EXPECT_GT(injector.trips(FaultPoint::kMediaCorruption), 0u) << injector.Summary();
+}
+
+// Acceptance: on a 32-node ring, decommissioning a loaded node under live
+// QUORUM traffic completes, and the five invariants hold afterward — no
+// acked write lost (a), packs intact on every replica (b), final values
+// admissible (c), replicas converged (d), and no reader ever saw a value
+// older than its own acked write (e, checked inline by the workers).
+TEST(ModelCheckChaos, ThirtyTwoNodeDecommissionUnderLoadHoldsInvariants) {
+  SimulatedClock clock;
+  ClusterOptions copts = ClusterOptions::ForTest();
+  copts.node_count = 32;
+  copts.replication_factor = 3;
+  copts.consistency = Consistency::kQuorum;
+  copts.clock = &clock;
+  Cluster cluster(copts);
+  const SymmetricKey key = SymmetricKey::FromSeed("scale-decommission");
+  MiniCryptOptions options;
+  options.pack_rows = 4;
+  options.hash_partitions = 4;
+  GenericClient setup(&cluster, options, key);
+  ASSERT_TRUE(setup.CreateTable().ok());
+
+  constexpr uint64_t kKeyspace = 96;
+  for (uint64_t k = 0; k < kKeyspace; ++k) {  // the victim must hold real data
+    ASSERT_TRUE(setup.Put(k, "seed#" + std::to_string(k)).ok());
+  }
+
+  constexpr int kThreads = 2;
+  std::vector<ThreadTrack> tracks(kThreads);
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      GenericClient worker(&cluster, options, key);
+      ThreadTrack& track = tracks[static_cast<size_t>(t)];
+      std::map<uint64_t, int> own_acked_op;
+      const std::string own_tag = "t" + std::to_string(t) + "#";
+      Rng rng(0x32DEC0 + static_cast<uint64_t>(t));
+      while (!start.load()) {
+        std::this_thread::yield();
+      }
+      for (int op = 0; op < 120; ++op) {
+        const uint64_t k = rng.Uniform(kKeyspace);
+        if (rng.Bernoulli(0.7)) {
+          const std::string value = "t" + std::to_string(t) + "#" + std::to_string(op);
+          const Status s = worker.Put(k, value);
+          RecordOp(&track, k, /*is_delete=*/false, value, s);
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
+        } else {
+          auto got = worker.Get(k);
+          const Status s = got.status();
+          EXPECT_TRUE(s.ok() || s.IsNotFound() || s.IsUnavailable() || s.IsAborted())
+              << s.ToString();
+          if (got.ok() && got->rfind(own_tag, 0) == 0) {
+            const int read_op = std::atoi(got->c_str() + own_tag.size());
+            auto acked = own_acked_op.find(k);
+            if (acked != own_acked_op.end()) {
+              EXPECT_GE(read_op, acked->second) << "stale own read during decommission, key "
+                                                << k;
+            }
+          }
+        }
+      }
+    });
+  }
+
+  start.store(true);
+  constexpr int kVictim = 7;
+  ASSERT_TRUE(cluster.DecommissionNode(kVictim).ok());
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  EXPECT_EQ(cluster.NodeMembership(kVictim), MembershipState::kRemoved);
+  EXPECT_EQ(cluster.ServingNodes().size(), 31u);
+  EXPECT_FALSE(cluster.RingSnapshot().Contains(kVictim));
+  cluster.ReplayAllHints();
+
+  // (a) + (c): every key readable with an admissible value; preloaded keys
+  // that nobody overwrote must still hold their seed value.
+  GenericClient reader(&cluster, options, key);
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    ASSERT_TRUE(got.ok()) << "key " << k << " lost in decommission: "
+                          << got.status().ToString();
+    bool admissible = (*got == "seed#" + std::to_string(k));
+    for (const ThreadTrack& track : tracks) {
+      auto it = track.find(k);
+      if (it == track.end()) {
+        continue;
+      }
+      if (it->second.last_acked.has_value() && *got == it->second.last_acked->value) {
+        admissible = true;
+      }
+      for (const ChaosOp& op : it->second.unacked) {
+        if (*got == op.value) {
+          admissible = true;
+        }
+      }
+    }
+    EXPECT_TRUE(admissible) << "key " << k << " holds unexplained value '" << *got << "'";
+  }
+
+  // (b) + (d): pack integrity and replica convergence on the 31-node ring,
+  // with no replica set referencing the retired node.
+  const PackCrypter crypter(options, key);
+  CheckPackIntegrity(&cluster, crypter, options);
+  for (int p = 0; p < options.hash_partitions; ++p) {
+    const std::string partition = PartitionLabel(p);
+    for (int node : cluster.ReplicaNodesFor(partition)) {
+      EXPECT_NE(node, kVictim);
+    }
+    CheckReplicaConvergence(&cluster, options.table, partition);
+  }
+}
+
 // Satellite: same seed => identical fault schedule and identical final state.
 // A failing chaos run can therefore be replayed exactly via MC_CHAOS_SEED.
-std::pair<std::string, std::string> RunSingleThreadedChaos(uint64_t seed, int ops) {
+// With `with_topology`, a bootstrap runs mid-sequence: its kTopologyPersist /
+// kStreamInterrupt draws join the recorded schedule and its deterministic
+// resume loop must replay identically too.
+std::pair<std::string, std::string> RunSingleThreadedChaos(uint64_t seed, int ops,
+                                                           bool with_topology = false) {
   SimulatedClock clock;
   FaultInjector injector(seed);
   injector.set_record_schedule(true);
   ArmAllFaultPoints(&injector);
+  if (with_topology) {
+    injector.SetRate(FaultPoint::kTopologyPersist, 0.3);
+    injector.SetRate(FaultPoint::kStreamInterrupt, 0.3);
+    // At least one of each must land whatever the seed draws, so the
+    // recorded schedule always exercises the park/resume path.
+    injector.Script(FaultPoint::kTopologyPersist, 1);
+    injector.Script(FaultPoint::kStreamInterrupt, 1);
+  }
 
   ClusterOptions copts = ChaosClusterOptions(&clock, &injector);
   // Seed-exact replay needs a deterministic fault-ordinal stream. Concurrent
@@ -936,6 +1400,20 @@ std::pair<std::string, std::string> RunSingleThreadedChaos(uint64_t seed, int op
   for (int op = 0; op < ops; ++op) {
     if (op % 3 == 0) {
       cluster.ChaosTick();
+    }
+    if (with_topology && op == ops / 2) {
+      // One membership change mid-sequence. Its persist edges and stream
+      // sessions draw fault ordinals like any other point; the bounded
+      // resume loop (heal flapped nodes, resume, repeat) is deterministic,
+      // so the whole bootstrap replays exactly under the same seed.
+      (void)cluster.BootstrapNode();
+      for (int attempt = 0; attempt < 32 && cluster.Topology().inflight; ++attempt) {
+        cluster.HealAllNodes();
+        if (cluster.ResumeTopology().ok()) {
+          break;
+        }
+      }
+      EXPECT_FALSE(cluster.Topology().inflight) << "seeded bootstrap did not converge";
     }
     const uint64_t k = rng.Uniform(kKeyspace);
     const int kind = static_cast<int>(rng.Uniform(10));
@@ -969,6 +1447,17 @@ TEST(ModelCheckChaos, SameSeedReplaysScheduleAndState) {
 
   const auto other = RunSingleThreadedChaos(0xD5EEE, 160);
   EXPECT_NE(first.first, other.first) << "different seeds produced identical schedules";
+}
+
+TEST(ModelCheckChaos, SameSeedReplaysTopologyScheduleAndState) {
+  const auto first = RunSingleThreadedChaos(0x70D05EEDULL, 160, /*with_topology=*/true);
+  const auto second = RunSingleThreadedChaos(0x70D05EEDULL, 160, /*with_topology=*/true);
+  EXPECT_EQ(first.first, second.first) << "topology fault schedule not reproducible";
+  EXPECT_EQ(first.second, second.second) << "final state not reproducible";
+  // The schedule must actually contain topology fault draws — an empty
+  // "topology_persist:" section would mean the bootstrap never drew faults
+  // and the test proved nothing about replaying them.
+  EXPECT_EQ(first.first.find("topology_persist:;"), std::string::npos);
 }
 
 }  // namespace

@@ -20,14 +20,16 @@ Row ValueRow(std::string value) {
 
 TEST(Replication, EveryReplicaServesConsistentReads) {
   // With RF = node count, reads round-robin over replicas; repeated reads of
-  // the same key must all succeed and agree (writes are applied to every
-  // replica synchronously).
+  // the same key must all succeed and agree. The write acks at the required
+  // count and stragglers settle in the background, so Quiesce() is the
+  // barrier before asserting read-your-write at CL=ONE on every replica.
   ClusterOptions o = ClusterOptions::ForTest();
   o.node_count = 3;
   o.replication_factor = 3;
   Cluster cluster(o);
   ASSERT_TRUE(cluster.CreateTable("t").ok());
   ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("x")).ok());
+  cluster.Quiesce();
   for (int i = 0; i < 9; ++i) {  // covers every replica several times
     auto row = cluster.Read("t", "p", EncodeKey64(1));
     ASSERT_TRUE(row.ok()) << i;
@@ -46,6 +48,7 @@ TEST(Replication, PartialReplicationStillServes) {
                               ValueRow(std::to_string(k)))
                     .ok());
   }
+  cluster.Quiesce();  // settle straggler replica legs before CL=ONE reads
   for (uint64_t k = 0; k < 200; ++k) {
     auto row = cluster.Read("t", "part" + std::to_string(k % 17), EncodeKey64(k));
     ASSERT_TRUE(row.ok()) << k;
@@ -62,6 +65,7 @@ TEST(Replication, FloorAndRangeConsistentAcrossReplicaChoices) {
   for (uint64_t k = 0; k < 50; k += 5) {
     ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(k), ValueRow("v")).ok());
   }
+  cluster.Quiesce();  // settle straggler replica legs before CL=ONE reads
   for (int i = 0; i < 6; ++i) {
     auto floor = cluster.ReadFloor("t", "p", EncodeKey64(23));
     ASSERT_TRUE(floor.ok());
@@ -82,6 +86,7 @@ TEST(Replication, LwtVisibleToSubsequentRoundRobinReads) {
                   .WriteIf("t", "p", EncodeKey64(1), ValueRow("first"),
                            LwtCondition::NotExists())
                   .ok());
+  cluster.Quiesce();  // settle straggler replica legs before CL=ONE reads
   for (int i = 0; i < 6; ++i) {
     auto row = cluster.Read("t", "p", EncodeKey64(1));
     ASSERT_TRUE(row.ok());
