@@ -62,6 +62,7 @@ GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
                              const SymmetricKey& key, std::shared_ptr<PackCache> cache)
     : cluster_(cluster),
       options_(options),
+      key_(key),
       crypter_(options, key),
       cache_(std::move(cache)),
       clock_(cluster->options().clock),
@@ -782,6 +783,12 @@ Status GenericClient::MutateWithRetries(uint64_t key, const std::function<void(P
 Status GenericClient::Put(uint64_t key, std::string_view value) {
   OBS_SPAN("client.put");
   stats_.puts.fetch_add(1, std::memory_order_relaxed);
+  // Index-first maintenance: the index entry lands before the primary row,
+  // so the index is always a superset of live rows and GetRangeByValue can
+  // filter stale entries instead of ever missing a live one.
+  if (index_add_hook_) {
+    MC_RETURN_IF_ERROR(index_add_hook_(key, value));
+  }
   const std::string encoded = EncodeKey64(key);
   const std::string val(value);
   return MutateWithRetries(

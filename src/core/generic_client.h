@@ -31,6 +31,13 @@
 
 namespace minicrypt {
 
+// Secondary-index types live in src/index (which links against this
+// library); GenericClient only holds a handle, so forward declarations keep
+// the layering acyclic. The index entry points below are implemented in
+// src/index/indexed_ops.cc — using them requires linking mc_index.
+class SecondaryIndex;
+struct SecondaryIndexOptions;
+
 // Per-client counters, exposed for tests and benches. CreateTable() resets
 // them: it marks the start of a fresh client session over the table, so
 // counters always describe work since the table was (re)created.
@@ -96,12 +103,36 @@ class GenericClient {
   // their IDs never change (paper §5.3).
   Status Delete(uint64_t key);
 
+  // --- Secondary index (src/index; implemented in indexed_ops.cc) ---------------
+
+  // Creates (or attaches to) an encrypted secondary index over this table's
+  // row values and its backing table. After this call every Put maintains
+  // the index *before* writing the primary row, so the index is always a
+  // superset of live rows (stale entries are filtered by GetRangeByValue,
+  // never trusted). One index per client handle.
+  Status CreateIndex(const SecondaryIndexOptions& iopts);
+
+  // Rows whose indexed attribute lies in [lo, hi] (inclusive), sorted by
+  // primary key. Point predicates are lo == hi. Every index candidate is
+  // re-read from the primary table and its attribute re-verified, so the
+  // result is exact even while the index holds stale or duplicate entries.
+  Result<std::vector<std::pair<uint64_t, std::string>>> GetRangeByValue(uint64_t lo, uint64_t hi);
+
+  // The attached index, or nullptr before CreateIndex.
+  const std::shared_ptr<SecondaryIndex>& index() const { return index_; }
+
   // --- Bulk load -----------------------------------------------------------------
 
   // Packs a sorted stream of rows per partition and inserts whole packs;
   // used to preload benches (and by APPEND-mode mergers via the same codec
   // path). Rows need not be globally sorted.
   Status BulkLoad(const std::vector<std::pair<uint64_t, std::string>>& rows);
+
+  // BulkLoad plus index maintenance: index entries are written first (as
+  // segments / leaves wholesale), mirroring the index-first ordering of Put.
+  // Falls back to plain BulkLoad when no index is attached. Implemented in
+  // src/index/indexed_ops.cc.
+  Status BulkLoadIndexed(const std::vector<std::pair<uint64_t, std::string>>& rows);
 
   // --- Introspection ---------------------------------------------------------------
 
@@ -192,10 +223,18 @@ class GenericClient {
 
   Cluster* cluster_;
   MiniCryptOptions options_;
+  // Retained for lazily constructed companions (the secondary index derives
+  // its own subkeys from it); the crypter/ciphers above hold derived keys.
+  SymmetricKey key_;
   PackCrypter crypter_;
   std::optional<PackIdCipher> packid_cipher_;
   std::optional<OpeCipher> ope_;
   std::shared_ptr<PackCache> cache_;  // nullptr = caching off
+  // Set by CreateIndex: Put calls the hook (index-first) before the primary
+  // RMW loop. The hook indirection keeps generic_client.cc free of index
+  // types, so mc_core does not link mc_index.
+  std::shared_ptr<SecondaryIndex> index_;
+  std::function<Status(uint64_t key, std::string_view value)> index_add_hook_;
   GenericClientStats stats_;
   Clock* clock_;
   // One client can serve many threads (benches do); the jitter RNG is the

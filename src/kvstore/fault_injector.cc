@@ -13,7 +13,7 @@ constexpr std::string_view kPointNames[kFaultPointCount] = {
     "commitlog_append", "lwt_ambiguous",     "replica_drop",
     "replica_delay",    "node_flap",         "clock_skew",
     "crash",            "media_corruption",  "topology_persist",
-    "stream_interrupt",
+    "stream_interrupt", "index_split",       "index_persist",
 };
 
 // SplitMix64 finalizer: a cheap bijective mix with full avalanche, so the

@@ -41,9 +41,11 @@ enum class FaultPoint : int {
   kMediaCorruption,      // seeded bit-flip in a stored SSTable block
   kTopologyPersist,      // membership state-machine persist fails (no transition)
   kStreamInterrupt,      // range-streaming session aborts mid-transfer
+  kIndexSplit,           // secondary-index lazy-sort/split aborts before the commit point
+  kIndexPersist,         // secondary-index buffer truncation/seal persist skipped
 };
 
-inline constexpr int kFaultPointCount = 13;
+inline constexpr int kFaultPointCount = 15;
 
 std::string_view FaultPointName(FaultPoint point);
 

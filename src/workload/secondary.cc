@@ -1,0 +1,70 @@
+#include "src/workload/secondary.h"
+
+#include <algorithm>
+
+#include "src/common/random.h"
+#include "src/index/indexed_value.h"
+
+namespace minicrypt {
+
+namespace {
+
+// splitmix64 finalizer: a cheap, statistically solid 64-bit mixer, so each
+// row's attribute draw is independent of its key without materializing an Rng
+// per row.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SecondaryWorkload::SecondaryWorkload(SecondaryWorkloadOptions options)
+    : options_(options),
+      attr_domain_(options.attr_domain != 0 ? options.attr_domain
+                                            : (options.row_count > 0 ? options.row_count : 1)) {
+  const double span = options_.range_selectivity * static_cast<double>(attr_domain_);
+  range_span_ = span < 1.0 ? 1 : static_cast<uint64_t>(span);
+  if (range_span_ > attr_domain_) {
+    range_span_ = attr_domain_;
+  }
+}
+
+uint64_t SecondaryWorkload::AttrFor(uint64_t key) const {
+  return Mix64(key ^ Mix64(options_.seed)) % attr_domain_;
+}
+
+std::string SecondaryWorkload::ValueFor(uint64_t key) const {
+  Rng rng(Mix64(options_.seed ^ 0x5eca11ull) ^ key);
+  return EncodeIndexedValue(AttrFor(key), rng.AlphaString(options_.payload_bytes));
+}
+
+std::vector<std::pair<uint64_t, std::string>> SecondaryWorkload::MaterializeRows() const {
+  std::vector<std::pair<uint64_t, std::string>> rows;
+  rows.reserve(options_.row_count);
+  for (uint64_t k = 0; k < options_.row_count; ++k) {
+    rows.emplace_back(k, ValueFor(k));
+  }
+  return rows;
+}
+
+std::pair<uint64_t, uint64_t> SecondaryWorkload::RangeFor(uint64_t index) const {
+  const uint64_t starts = attr_domain_ > range_span_ ? attr_domain_ - range_span_ + 1 : 1;
+  const uint64_t lo = Mix64(options_.seed ^ (index * 0x2545f4914f6cdd1dull + 0xabcd)) % starts;
+  return {lo, lo + range_span_ - 1};
+}
+
+std::vector<uint64_t> SecondaryWorkload::OracleRange(uint64_t lo, uint64_t hi) const {
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k < options_.row_count; ++k) {
+    const uint64_t attr = AttrFor(k);
+    if (attr >= lo && attr <= hi) {
+      keys.push_back(k);
+    }
+  }
+  return keys;  // ascending by construction
+}
+
+}  // namespace minicrypt

@@ -1,0 +1,69 @@
+// Secondary-predicate workload: rows in the canonical indexed-value layout
+// (src/index/indexed_value.h — 8-byte big-endian attribute prefix followed by
+// a payload) plus deterministic range predicates over the attribute domain.
+//
+// Shared by bench/fig_secondary_range.cc and the index differential tests so
+// both drive the exact same data shape: attributes are a seeded permutation-
+// free hash of the primary key (uniform over the domain, NOT correlated with
+// key order — a secondary index earns nothing on attributes that mirror the
+// primary order), and every query is reproducible from (seed, index).
+
+#ifndef MINICRYPT_SRC_WORKLOAD_SECONDARY_H_
+#define MINICRYPT_SRC_WORKLOAD_SECONDARY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace minicrypt {
+
+struct SecondaryWorkloadOptions {
+  uint64_t row_count = 1000;
+
+  // Attributes are uniform over [0, attr_domain). 0 = derive row_count (so
+  // about one row per attribute value, duplicates included).
+  uint64_t attr_domain = 0;
+
+  // Payload bytes appended after the attribute prefix.
+  size_t payload_bytes = 64;
+
+  // Fraction of the attribute domain one range predicate spans.
+  double range_selectivity = 0.01;
+
+  uint64_t seed = 1;
+};
+
+class SecondaryWorkload {
+ public:
+  explicit SecondaryWorkload(SecondaryWorkloadOptions options);
+
+  // Deterministic attribute of row `key` (uniform over the domain, decorrelated
+  // from key order).
+  uint64_t AttrFor(uint64_t key) const;
+
+  // Row value: EncodeIndexedValue(AttrFor(key), payload(key)).
+  std::string ValueFor(uint64_t key) const;
+
+  // All rows, keys 0..row_count-1, for BulkLoadIndexed.
+  std::vector<std::pair<uint64_t, std::string>> MaterializeRows() const;
+
+  // The `index`-th range predicate [lo, hi] (inclusive), spanning
+  // range_selectivity of the domain. Deterministic per (seed, index).
+  std::pair<uint64_t, uint64_t> RangeFor(uint64_t index) const;
+
+  // Plaintext oracle: keys whose attribute lies in [lo, hi], sorted.
+  std::vector<uint64_t> OracleRange(uint64_t lo, uint64_t hi) const;
+
+  uint64_t attr_domain() const { return attr_domain_; }
+  const SecondaryWorkloadOptions& options() const { return options_; }
+
+ private:
+  SecondaryWorkloadOptions options_;
+  uint64_t attr_domain_;
+  uint64_t range_span_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_WORKLOAD_SECONDARY_H_

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <vector>
 
 #include "src/common/random.h"
+#include "src/core/generic_client.h"
+#include "src/index/secondary_index.h"
 
 namespace minicrypt {
 namespace {
@@ -77,6 +81,156 @@ TEST(Ope, ImagesInjective) {
     images.insert(ope.Encrypt(m * 1000003));
   }
   EXPECT_EQ(images.size(), 2000u);
+}
+
+// The cipher is stateless: the order of Encrypt calls must not matter. Feed
+// adversarially non-monotone sequences (descending, zigzag, shuffled with
+// revisits) and require the images to agree with plaintext order pairwise.
+TEST(Ope, NonMonotoneInputSequencesPreserveOrder) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  std::vector<uint64_t> inputs;
+  for (uint64_t i = 50; i-- > 0;) {
+    inputs.push_back(i * 997);  // strictly descending
+  }
+  for (uint64_t i = 0; i < 50; ++i) {
+    inputs.push_back(i % 2 == 0 ? i : ~0ULL - i);  // zigzag across the domain
+  }
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    inputs.push_back(rng.Next() >> rng.Uniform(60));  // revisit-heavy shuffle
+  }
+  std::vector<std::string> images;
+  images.reserve(inputs.size());
+  for (uint64_t m : inputs) {
+    images.push_back(ope.Encrypt(m));
+  }
+  for (size_t a = 0; a < inputs.size(); ++a) {
+    for (size_t b = a + 1; b < inputs.size(); ++b) {
+      EXPECT_EQ(inputs[a] < inputs[b], images[a] < images[b]) << inputs[a] << " vs " << inputs[b];
+      EXPECT_EQ(inputs[a] == inputs[b], images[a] == images[b]);
+    }
+  }
+}
+
+// Duplicates interleaved anywhere in a stream always produce the identical
+// image (the index relies on this: re-routing an entry must find the same
+// leaf label its first insert chose).
+TEST(Ope, DuplicatesEncryptIdenticallyRegardlessOfInterleaving) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  Rng rng(13);
+  std::map<uint64_t, std::string> first_image;
+  for (int i = 0; i < 600; ++i) {
+    const uint64_t m = rng.Uniform(40);  // heavy duplication
+    const std::string e = ope.Encrypt(m);
+    auto [it, inserted] = first_image.emplace(m, e);
+    if (!inserted) {
+      EXPECT_EQ(it->second, e) << "duplicate of " << m << " changed image";
+    }
+  }
+}
+
+// Boundary encodings: neighborhoods of every power of two (where the binary
+// partition tree changes depth) must stay strictly monotone, emit fixed-width
+// images, and round-trip through Decrypt.
+TEST(Ope, PowerOfTwoBoundariesEncodeStrictlyMonotone) {
+  OpeCipher ope(SymmetricKey::FromSeed("k"));
+  std::vector<uint64_t> cases = {0, 1, 2, 3};
+  for (int bit = 2; bit < 64; ++bit) {
+    const uint64_t p = 1ULL << bit;
+    cases.push_back(p - 1);
+    cases.push_back(p);
+    if (p + 1 != 0) {
+      cases.push_back(p + 1);
+    }
+  }
+  cases.push_back(~0ULL - 1);
+  cases.push_back(~0ULL);
+  std::sort(cases.begin(), cases.end());
+  cases.erase(std::unique(cases.begin(), cases.end()), cases.end());
+  std::string prev;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const std::string e = ope.Encrypt(cases[i]);
+    ASSERT_EQ(e.size(), kOpeCiphertextBytes) << cases[i];
+    if (i > 0) {
+      EXPECT_LT(prev, e) << "images not strictly increasing at " << cases[i];
+    }
+    prev = e;
+    auto back = ope.Decrypt(e);
+    ASSERT_TRUE(back.ok()) << cases[i];
+    EXPECT_EQ(*back, cases[i]);
+  }
+}
+
+// Cross-check against the kTotalOrder secondary index: the sorted-leaf
+// partition is labeled with OPE images, so the server-visible lexicographic
+// label order must be exactly attribute order — decrypting each label gives a
+// strictly increasing sequence, every entry in a leaf has attr >= its label's
+// plaintext, and consecutive leaves never overlap. This pins the contract the
+// index's floor routing and range scans stand on.
+TEST(Ope, TotalOrderIndexLeafLabelsAgreeWithOpeOrder) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("ope-x");
+  MiniCryptOptions options;
+  options.pack_rows = 8;
+  GenericClient client(&cluster, options, key);
+  ASSERT_TRUE(client.CreateTable().ok());
+  SecondaryIndexOptions iopts;
+  iopts.leakage = IndexLeakage::kTotalOrder;
+  iopts.leaf_rows = 4;  // many leaves, many splits
+  ASSERT_TRUE(client.CreateIndex(iopts).ok());
+
+  Rng rng(5);
+  for (uint64_t pk = 0; pk < 120; ++pk) {
+    const uint64_t attr = rng.Uniform(60);
+    ASSERT_TRUE(client.Put(pk, EncodeIndexedValue(attr, "v")).ok());
+  }
+
+  const auto& index = client.index();
+  const OpeCipher& ope = index->ope();
+  auto leaves = cluster.ReadRange(index->backing_table(), kIndexLeafPartition, "",
+                                  std::string(kOpeCiphertextBytes, '\xff'));
+  ASSERT_TRUE(leaves.ok());
+  ASSERT_GT(leaves->size(), 3u) << "too few leaves to check ordering";
+
+  const PackCrypter crypter(MiniCryptOptions(), key.Derive("index-pack:attr"));
+  struct LeafFacts {
+    std::string label;
+    uint64_t label_attr;
+    uint64_t min_attr;
+    uint64_t max_attr;
+  };
+  std::vector<LeafFacts> facts;
+  for (const auto& [label, row] : *leaves) {
+    auto attr = ope.Decrypt(label);
+    ASSERT_TRUE(attr.ok()) << "leaf label is not an OPE image";
+    auto v = row.cells.find("v");
+    ASSERT_TRUE(v != row.cells.end());
+    auto pack = crypter.Open(v->second.value);
+    ASSERT_TRUE(pack.ok()) << pack.status().ToString();
+    ASSERT_GT(pack->size(), 0u);
+    LeafFacts f{label, *attr, ~0ULL, 0};
+    for (const auto& entry : pack->entries()) {
+      ASSERT_EQ(entry.key.size(), 16u);
+      auto entry_attr = DecodeKey64(entry.key.substr(0, 8));
+      ASSERT_TRUE(entry_attr.ok());
+      f.min_attr = std::min(f.min_attr, *entry_attr);
+      f.max_attr = std::max(f.max_attr, *entry_attr);
+    }
+    facts.push_back(std::move(f));
+  }
+  for (size_t i = 0; i < facts.size(); ++i) {
+    // Every entry belongs at or above its label's plaintext.
+    EXPECT_GE(facts[i].min_attr, facts[i].label_attr) << "entry below its leaf label";
+    if (i > 0) {
+      // ReadRange returned labels ascending; their plaintexts must ascend
+      // identically, and leaves must not overlap: attribute order, label
+      // order, and leaf partition order are one and the same.
+      EXPECT_LT(facts[i - 1].label, facts[i].label);
+      EXPECT_LT(facts[i - 1].label_attr, facts[i].label_attr)
+          << "label order disagrees with attribute order";
+      EXPECT_LT(facts[i - 1].max_attr, facts[i].label_attr) << "leaves overlap";
+    }
+  }
 }
 
 TEST(Ope, SortingCiphertextsSortsPlaintexts) {

@@ -1,0 +1,581 @@
+// Differential and property tests for the encrypted secondary index
+// (src/index/secondary_index.h; docs/INDEXING.md).
+//
+// The differential suite runs seeded random operation sequences against a
+// plaintext shadow map and requires GetRangeByValue to be byte-identical to
+// the oracle at every leakage level — while the index accumulates stale
+// entries (deletes, attribute rewrites) that only read-time verification can
+// hide. The POPE property suite pins the leakage contract itself: an
+// unqueried buffer is never sorted, and the number of materialized sorted
+// regions is bounded by the number of distinct queried ranges. The crash
+// suite aborts the drain/seal/split protocols at every fail point and proves
+// entries are duplicated, never lost. The fault suite drives the same
+// protocols from the cluster's deterministic FaultInjector (kIndexSplit /
+// kIndexPersist) and requires exact answers while the points trip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/random.h"
+#include "src/core/generic_client.h"
+#include "src/crypto/crypto.h"
+#include "src/index/secondary_index.h"
+#include "src/kvstore/fault_injector.h"
+#include "src/obs/metrics.h"
+#include "src/workload/secondary.h"
+
+namespace minicrypt {
+namespace {
+
+using Rows = std::vector<std::pair<uint64_t, std::string>>;
+
+MiniCryptOptions SmallPackOptions() {
+  MiniCryptOptions options;
+  options.pack_rows = 6;  // frequent primary splits under the test keyspaces
+  options.hash_partitions = 2;
+  return options;
+}
+
+SecondaryIndexOptions IndexOptions(IndexLeakage leakage, size_t leaf_rows = 5) {
+  SecondaryIndexOptions iopts;
+  iopts.leakage = leakage;
+  iopts.leaf_rows = leaf_rows;
+  return iopts;
+}
+
+// The plaintext oracle: rows of `model` whose indexed attribute lies in
+// [lo, hi], ascending by primary key — exactly what GetRangeByValue promises.
+Rows OracleRows(const std::map<uint64_t, std::string>& model, uint64_t lo, uint64_t hi) {
+  Rows out;
+  for (const auto& [pk, value] : model) {
+    const auto attr = DecodeIndexedAttr(value);
+    if (attr.has_value() && *attr >= lo && *attr <= hi) {
+      out.emplace_back(pk, value);
+    }
+  }
+  return out;
+}
+
+void ExpectMatchesOracle(GenericClient* client, const std::map<uint64_t, std::string>& model,
+                         uint64_t lo, uint64_t hi, std::string_view what) {
+  auto got = client->GetRangeByValue(lo, hi);
+  ASSERT_TRUE(got.ok()) << what << " [" << lo << ", " << hi << "]: " << got.status().ToString();
+  EXPECT_EQ(*got, OracleRows(model, lo, hi)) << what << " [" << lo << ", " << hi << "]";
+}
+
+// --- Differential suite -------------------------------------------------------
+
+class SecondaryIndexDifferential : public ::testing::TestWithParam<IndexLeakage> {};
+
+// Seeded random interleaving of puts (including attribute rewrites), deletes,
+// and range queries, each query checked byte-for-byte against the shadow map.
+// Deletes and rewrites leave stale index entries behind by design
+// (index-first maintenance never removes entries); the oracle match proves
+// read-time verification filters every one of them, at every leakage level.
+TEST_P(SecondaryIndexDifferential, RandomOpsMatchShadowOracle) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("index-diff");
+  GenericClient client(&cluster, SmallPackOptions(), key);
+  ASSERT_TRUE(client.CreateTable().ok());
+  ASSERT_TRUE(client.CreateIndex(IndexOptions(GetParam())).ok());
+
+  constexpr uint64_t kKeyspace = 150;
+  constexpr uint64_t kAttrDomain = 40;
+  std::map<uint64_t, std::string> model;
+  Rng rng(0x1DE7ED);  // fixed seed: a failure replays exactly
+  for (int op = 0; op < 600; ++op) {
+    const uint64_t pk = rng.Uniform(kKeyspace);
+    const int kind = static_cast<int>(rng.Uniform(100));
+    if (kind < 55) {  // put (rewrites draw a fresh attr, staling the old entry)
+      const uint64_t attr = rng.Uniform(kAttrDomain);
+      const std::string value = EncodeIndexedValue(attr, "p" + std::to_string(op));
+      ASSERT_TRUE(client.Put(pk, value).ok()) << "op " << op;
+      model[pk] = value;
+    } else if (kind < 65) {  // delete (the index keeps the entry; reads must not)
+      ASSERT_TRUE(client.Delete(pk).ok()) << "op " << op;
+      model.erase(pk);
+    } else if (kind < 72) {  // unindexed value: too short to decode an attribute
+      ASSERT_TRUE(client.Put(pk, "raw").ok()) << "op " << op;
+      model[pk] = "raw";
+    } else if (kind < 88) {  // range query
+      const uint64_t lo = rng.Uniform(kAttrDomain);
+      const uint64_t hi = lo + rng.Uniform(8);
+      ExpectMatchesOracle(&client, model, lo, hi, "mid-run range");
+    } else {  // point query
+      const uint64_t a = rng.Uniform(kAttrDomain);
+      ExpectMatchesOracle(&client, model, a, a, "mid-run point");
+    }
+  }
+
+  // Final audit: the full domain, every point, and an empty range.
+  ExpectMatchesOracle(&client, model, 0, kAttrDomain - 1, "final full");
+  ExpectMatchesOracle(&client, model, 0, ~0ULL, "final unbounded");
+  for (uint64_t a = 0; a < kAttrDomain; ++a) {
+    ExpectMatchesOracle(&client, model, a, a, "final point");
+  }
+  ExpectMatchesOracle(&client, model, kAttrDomain + 100, kAttrDomain + 200, "final empty");
+  EXPECT_FALSE(client.GetRangeByValue(5, 4).ok()) << "inverted range must be rejected";
+
+  // The run must have actually exercised stale filtering, or the oracle match
+  // proved less than it claims.
+  const SecondaryIndexStats& stats = client.index()->stats();
+  EXPECT_GT(stats.stale_filtered.load(), 0u);
+  EXPECT_GT(stats.lookups.load(), 0u);
+}
+
+// Bulk preload through the wholesale path (segments / sorted leaves written
+// directly), then the workload generator's own oracle over its query mix.
+TEST_P(SecondaryIndexDifferential, BulkLoadMatchesWorkloadOracle) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("index-bulk");
+  MiniCryptOptions options = SmallPackOptions();
+  options.pack_rows = 25;
+  GenericClient client(&cluster, options, key);
+  ASSERT_TRUE(client.CreateTable().ok());
+  ASSERT_TRUE(client.CreateIndex(IndexOptions(GetParam(), /*leaf_rows=*/40)).ok());
+
+  SecondaryWorkloadOptions wopts;
+  wopts.row_count = 400;
+  wopts.attr_domain = 120;
+  wopts.payload_bytes = 24;
+  wopts.range_selectivity = 0.05;
+  wopts.seed = 11;
+  SecondaryWorkload workload(wopts);
+  ASSERT_TRUE(client.BulkLoadIndexed(workload.MaterializeRows()).ok());
+
+  for (uint64_t q = 0; q < 24; ++q) {
+    const auto [lo, hi] = workload.RangeFor(q);
+    auto got = client.GetRangeByValue(lo, hi);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    std::vector<uint64_t> pks;
+    pks.reserve(got->size());
+    for (const auto& [pk, value] : *got) {
+      pks.push_back(pk);
+      EXPECT_EQ(value, workload.ValueFor(pk));
+    }
+    EXPECT_EQ(pks, workload.OracleRange(lo, hi)) << "query " << q;
+  }
+}
+
+// Concurrent writers racing puts and deletes while the index maintains itself
+// through the same LWT machinery as the primary table. Whatever interleaving
+// won, the index must agree with the primary table afterwards: a by-value
+// range returns exactly the surviving rows whose attribute is in range.
+TEST_P(SecondaryIndexDifferential, ConcurrentWritersStayConsistentWithPrimary) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("index-mt");
+  const MiniCryptOptions options = SmallPackOptions();
+  GenericClient setup(&cluster, options, key);
+  ASSERT_TRUE(setup.CreateTable().ok());
+  ASSERT_TRUE(setup.CreateIndex(IndexOptions(GetParam())).ok());
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeyspace = 80;
+  constexpr uint64_t kAttrDomain = 24;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      GenericClient worker(&cluster, options, key);
+      ASSERT_TRUE(worker.CreateIndex(IndexOptions(GetParam())).ok());
+      Rng rng(static_cast<uint64_t>(t) * 977 + 5);
+      for (int op = 0; op < 120; ++op) {
+        const uint64_t pk = rng.Uniform(kKeyspace);
+        if (rng.Bernoulli(0.8)) {
+          const std::string value = EncodeIndexedValue(
+              rng.Uniform(kAttrDomain), "t" + std::to_string(t) + "#" + std::to_string(op));
+          ASSERT_TRUE(worker.Put(pk, value).ok());
+        } else {
+          ASSERT_TRUE(worker.Delete(pk).ok());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  // The primary table is the ground truth for whatever final state the race
+  // produced; the index must reconstruct it exactly, range by range.
+  auto all = setup.GetRange(0, kKeyspace);
+  ASSERT_TRUE(all.ok());
+  std::map<uint64_t, std::string> model(all->begin(), all->end());
+  ExpectMatchesOracle(&setup, model, 0, kAttrDomain - 1, "post-race full");
+  for (uint64_t lo = 0; lo < kAttrDomain; lo += 5) {
+    ExpectMatchesOracle(&setup, model, lo, lo + 4, "post-race range");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Leakage, SecondaryIndexDifferential,
+                         ::testing::Values(IndexLeakage::kNoOrder, IndexLeakage::kQueriedOrder,
+                                           IndexLeakage::kTotalOrder),
+                         [](const auto& info) {
+                           return std::string(IndexLeakageName(info.param));
+                         });
+
+// --- POPE leakage properties --------------------------------------------------
+
+// Reads the server-visible sorted-leaf partition of the index's backing
+// table: any row existing there is order the server has learned.
+size_t ServerVisibleLeaves(Cluster* cluster, const std::string& backing_table) {
+  auto rows = cluster->ReadRange(backing_table, kIndexLeafPartition, "",
+                                 std::string(kOpeCiphertextBytes, '\xff'));
+  if (!rows.ok()) {
+    ADD_FAILURE() << rows.status().ToString();
+    return 0;
+  }
+  return rows->size();
+}
+
+// The core POPE no-leak property: inserts alone never sort anything. No
+// sorted leaf, no manifest, no drain — the server's view of an unqueried
+// index is an opaque buffer.
+TEST(SecondaryIndexPope, UnqueriedBufferIsNeverSorted) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("pope");
+  GenericClient client(&cluster, SmallPackOptions(), key);
+  ASSERT_TRUE(client.CreateTable().ok());
+  ASSERT_TRUE(client.CreateIndex(IndexOptions(IndexLeakage::kQueriedOrder)).ok());
+
+  Rng rng(42);
+  for (int i = 0; i < 120; ++i) {
+    const std::string value = EncodeIndexedValue(rng.Next(), "v" + std::to_string(i));
+    ASSERT_TRUE(client.Put(rng.Uniform(500), value).ok());
+  }
+
+  const auto& index = client.index();
+  auto regions = index->SortedRegions();
+  ASSERT_TRUE(regions.ok());
+  EXPECT_EQ(*regions, 0u);
+  EXPECT_EQ(index->stats().drains.load(), 0u);
+  EXPECT_EQ(ServerVisibleLeaves(&cluster, index->backing_table()), 0u);
+  EXPECT_TRUE(cluster.Read(index->backing_table(), kIndexRootPartition, kIndexRootRow)
+                  .status()
+                  .IsNotFound())
+      << "a manifest exists although nothing was ever queried";
+}
+
+// The leakage-audit bound: sorted regions never exceed the number of distinct
+// queried ranges. Re-querying a covered range leaks nothing new (and commits
+// no new drain); overlapping queries merge regions, shrinking the count.
+TEST(SecondaryIndexPope, SortedRegionsBoundedByDistinctQueriedRanges) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("pope2");
+  GenericClient client(&cluster, SmallPackOptions(), key);
+  ASSERT_TRUE(client.CreateTable().ok());
+  ASSERT_TRUE(client.CreateIndex(IndexOptions(IndexLeakage::kQueriedOrder)).ok());
+
+  std::map<uint64_t, std::string> model;
+  for (uint64_t pk = 0; pk < 100; ++pk) {
+    const std::string value = EncodeIndexedValue(pk, "v");
+    ASSERT_TRUE(client.Put(pk, value).ok());
+    model[pk] = value;
+  }
+  const auto& index = client.index();
+
+  // Distinct range #1.
+  ExpectMatchesOracle(&client, model, 10, 19, "range A");
+  EXPECT_EQ(index->SortedRegions().value(), 1u);
+  EXPECT_EQ(index->stats().drains.load(), 1u);
+
+  // Same range again: covered, answered from the sorted leaves — no drain.
+  ExpectMatchesOracle(&client, model, 10, 19, "range A again");
+  EXPECT_EQ(index->SortedRegions().value(), 1u);
+  EXPECT_EQ(index->stats().drains.load(), 1u);
+  // A strict sub-range is covered too.
+  ExpectMatchesOracle(&client, model, 12, 15, "range A subset");
+  EXPECT_EQ(index->SortedRegions().value(), 1u);
+  EXPECT_EQ(index->stats().drains.load(), 1u);
+
+  // Distinct, disjoint range #2.
+  ExpectMatchesOracle(&client, model, 40, 49, "range B");
+  EXPECT_EQ(index->SortedRegions().value(), 2u);
+
+  // Distinct range #3 spanning both: regions merge, the count shrinks.
+  ExpectMatchesOracle(&client, model, 5, 60, "range C");
+  EXPECT_EQ(index->SortedRegions().value(), 1u);
+
+  // The bound held throughout: 3 distinct ranges queried, never more than 2
+  // regions materialized at once — and the obs gauge mirrors the manifest.
+  EXPECT_LE(index->SortedRegions().value(), 3u);
+  EXPECT_EQ(MetricsRegistry::Instance().GetGauge("index.sorted_regions")->Value(),
+            static_cast<double>(index->SortedRegions().value()));
+}
+
+// kNoOrder is the zero-leakage end of the knob: queries are answered but no
+// leaf (and no manifest) ever materializes, whatever is asked.
+TEST(SecondaryIndexPope, NoOrderNeverMaterializesLeaves) {
+  Cluster cluster(ClusterOptions::ForTest());
+  const SymmetricKey key = SymmetricKey::FromSeed("pope3");
+  GenericClient client(&cluster, SmallPackOptions(), key);
+  ASSERT_TRUE(client.CreateTable().ok());
+  ASSERT_TRUE(client.CreateIndex(IndexOptions(IndexLeakage::kNoOrder)).ok());
+
+  std::map<uint64_t, std::string> model;
+  for (uint64_t pk = 0; pk < 60; ++pk) {
+    const std::string value = EncodeIndexedValue(pk % 20, "v" + std::to_string(pk));
+    ASSERT_TRUE(client.Put(pk, value).ok());
+    model[pk] = value;
+  }
+  for (uint64_t lo = 0; lo < 20; lo += 3) {
+    ExpectMatchesOracle(&client, model, lo, lo + 4, "no-order range");
+  }
+  const auto& index = client.index();
+  EXPECT_EQ(index->SortedRegions().value(), 0u);
+  EXPECT_EQ(index->stats().drains.load(), 0u);
+  EXPECT_EQ(ServerVisibleLeaves(&cluster, index->backing_table()), 0u);
+}
+
+// --- Crash-resume at every fail point -----------------------------------------
+
+struct CrashFixture {
+  Cluster cluster{ClusterOptions::ForTest()};
+  SymmetricKey key = SymmetricKey::FromSeed("index-crash");
+  GenericClient client;
+  std::map<uint64_t, std::string> model;
+
+  explicit CrashFixture(IndexLeakage leakage, size_t leaf_rows = 5,
+                        size_t buffer_seal_rows = 0)
+      : client(&cluster, SmallPackOptions(), key) {
+    EXPECT_TRUE(client.CreateTable().ok());
+    SecondaryIndexOptions iopts = IndexOptions(leakage, leaf_rows);
+    iopts.buffer_seal_rows = buffer_seal_rows;
+    EXPECT_TRUE(client.CreateIndex(iopts).ok());
+  }
+
+  Status Put(uint64_t pk, uint64_t attr) {
+    const std::string value = EncodeIndexedValue(attr, "v" + std::to_string(pk));
+    const Status s = client.Put(pk, value);
+    if (s.ok()) {
+      model[pk] = value;
+    }
+    return s;
+  }
+};
+
+// Drain aborts after writing leaves, before the manifest commit point. The
+// query still answers exactly (fallback scan), nothing was leaked into the
+// manifest, and the next query completes the drain from intact buffers.
+TEST(SecondaryIndexCrash, DrainAbortedBeforeManifestCommitLosesNothing) {
+  CrashFixture fx(IndexLeakage::kQueriedOrder);
+  for (uint64_t pk = 0; pk < 30; ++pk) {
+    ASSERT_TRUE(fx.Put(pk, pk).ok());
+  }
+  const auto& index = fx.client.index();
+
+  index->set_fail_point(SecondaryIndex::FailPoint::kAfterLeafWrite);
+  ExpectMatchesOracle(&fx.client, fx.model, 5, 12, "query during crash");
+  EXPECT_EQ(index->stats().drains.load(), 0u) << "aborted drain must not count as committed";
+  EXPECT_EQ(index->SortedRegions().value(), 0u) << "manifest committed past the abort point";
+
+  // Resume: the same query drains cleanly; the orphaned leaves from the
+  // crashed attempt are rewritten, not trusted.
+  index->set_fail_point(SecondaryIndex::FailPoint::kNone);
+  ExpectMatchesOracle(&fx.client, fx.model, 5, 12, "query after resume");
+  EXPECT_EQ(index->stats().drains.load(), 1u);
+  EXPECT_EQ(index->SortedRegions().value(), 1u);
+  ExpectMatchesOracle(&fx.client, fx.model, 0, 29, "full audit");
+}
+
+// Crash after the manifest commit, before buffer truncation: entries exist
+// twice (buffer and leaves). Queries dedup; a later overlapping drain retires
+// the duplicates.
+TEST(SecondaryIndexCrash, CrashAfterCommitLeavesDuplicatesNeverLoses) {
+  CrashFixture fx(IndexLeakage::kQueriedOrder);
+  for (uint64_t pk = 0; pk < 30; ++pk) {
+    ASSERT_TRUE(fx.Put(pk, pk).ok());
+  }
+  const auto& index = fx.client.index();
+
+  index->set_fail_point(SecondaryIndex::FailPoint::kAfterRootCommit);
+  ExpectMatchesOracle(&fx.client, fx.model, 5, 12, "query during crash");
+  EXPECT_EQ(index->stats().drains.load(), 1u) << "the commit point itself was reached";
+  index->set_fail_point(SecondaryIndex::FailPoint::kNone);
+
+  // The in-range entries are still in the buffer (truncation was skipped):
+  // server-visible duplicate state, tolerated by every query.
+  {
+    auto buf = fx.cluster.Read(index->backing_table(), kIndexBufferPartition, kIndexBufferRow);
+    ASSERT_TRUE(buf.ok()) << buf.status().ToString();
+  }
+  ExpectMatchesOracle(&fx.client, fx.model, 5, 12, "covered query with duplicates");
+  ExpectMatchesOracle(&fx.client, fx.model, 0, 29, "full audit with duplicates");
+
+  // A wider query re-drains the region; afterwards the full answer is still
+  // exact (the duplicate retirement lost nothing).
+  ExpectMatchesOracle(&fx.client, fx.model, 3, 20, "widening query");
+  ExpectMatchesOracle(&fx.client, fx.model, 0, 29, "final audit");
+}
+
+// Seal persists the segment but the buffer truncation is skipped: every
+// sealed entry is duplicated. Inserts keep converging and queries stay exact;
+// once the crash clears, the next overflowing seal retires the backlog.
+TEST(SecondaryIndexCrash, SealWithoutTruncationDuplicatesConverge) {
+  CrashFixture fx(IndexLeakage::kQueriedOrder, /*leaf_rows=*/5, /*buffer_seal_rows=*/8);
+  const auto& index = fx.client.index();
+  index->set_fail_point(SecondaryIndex::FailPoint::kAfterSegmentWrite);
+  for (uint64_t pk = 0; pk < 20; ++pk) {
+    ASSERT_TRUE(fx.Put(pk, pk).ok());
+  }
+  EXPECT_GT(index->stats().buffer_seals.load(), 0u) << "seal threshold never crossed";
+  ExpectMatchesOracle(&fx.client, fx.model, 0, 19, "query with seal duplicates");
+
+  index->set_fail_point(SecondaryIndex::FailPoint::kNone);
+  for (uint64_t pk = 20; pk < 40; ++pk) {
+    ASSERT_TRUE(fx.Put(pk, pk).ok());
+  }
+  ExpectMatchesOracle(&fx.client, fx.model, 0, 39, "full audit after resume");
+  ExpectMatchesOracle(&fx.client, fx.model, 7, 7, "point after resume");
+}
+
+// kTotalOrder leaf split aborted between right-insert and left-truncate: the
+// put fails, both halves of the range are readable (the right one twice), and
+// the retried put completes the split.
+TEST(SecondaryIndexCrash, TotalOrderSplitAbortRetainsBothHalves) {
+  CrashFixture fx(IndexLeakage::kTotalOrder, /*leaf_rows=*/4);
+  const auto& index = fx.client.index();
+  index->set_fail_point(SecondaryIndex::FailPoint::kAfterRightInsert);
+
+  // Fill one leaf past the oversize threshold; the split trips the crash.
+  uint64_t failed_pk = ~0ULL;
+  uint64_t pk = 0;
+  for (; pk < 30; ++pk) {
+    const Status s = fx.Put(pk, pk);
+    if (!s.ok()) {
+      ASSERT_TRUE(s.IsAborted()) << s.ToString();
+      failed_pk = pk;
+      break;
+    }
+  }
+  ASSERT_NE(failed_pk, ~0ULL) << "no split ever tripped; lower leaf_rows";
+  EXPECT_GT(index->stats().leaf_splits.load(), 0u);
+
+  // Mid-crash state: every acked row is still readable by value.
+  ExpectMatchesOracle(&fx.client, fx.model, 0, 40, "query mid-split");
+
+  // Resume: the retried put routes through the half-split leaf and finishes
+  // the job; nothing is lost, the new entry lands.
+  index->set_fail_point(SecondaryIndex::FailPoint::kNone);
+  ASSERT_TRUE(fx.Put(failed_pk, failed_pk).ok());
+  for (++pk; pk < 30; ++pk) {
+    ASSERT_TRUE(fx.Put(pk, pk).ok());
+  }
+  ExpectMatchesOracle(&fx.client, fx.model, 0, 40, "full audit after resume");
+}
+
+// --- Injected faults (the chaos leg's building block) -------------------------
+
+// Runs a seeded put/delete/query mix with kIndexSplit and kIndexPersist armed
+// at rates (plus one scripted trip each, so the run is never vacuous). Every
+// query must match the shadow map exactly while drains abort, seals skip
+// truncation, and splits crash mid-protocol.
+void RunInjectedFaultMix(IndexLeakage leakage, uint64_t seed) {
+  SimulatedClock clock;
+  FaultInjector injector(seed);
+  injector.SetRate(FaultPoint::kIndexSplit, 0.3);
+  injector.SetRate(FaultPoint::kIndexPersist, 0.3);
+  injector.Script(FaultPoint::kIndexSplit, 1);
+  injector.Script(FaultPoint::kIndexPersist, 1);
+
+  ClusterOptions copts = ClusterOptions::ForTest();
+  copts.clock = &clock;
+  copts.fault_injector = &injector;
+  Cluster cluster(copts);
+  const SymmetricKey key = SymmetricKey::FromSeed("index-fault");
+  MiniCryptOptions options = SmallPackOptions();
+  options.retry_jitter_seed = seed + 1;
+  GenericClient client(&cluster, options, key);
+  ASSERT_TRUE(client.CreateTable().ok());
+  ASSERT_TRUE(client.CreateIndex(IndexOptions(leakage)).ok());
+
+  constexpr uint64_t kKeyspace = 120;
+  constexpr uint64_t kAttrDomain = 32;
+  std::map<uint64_t, std::string> model;
+  Rng rng(seed);
+  for (int op = 0; op < 400; ++op) {
+    const uint64_t pk = rng.Uniform(kKeyspace);
+    const int kind = static_cast<int>(rng.Uniform(10));
+    if (kind < 6) {
+      const uint64_t attr = rng.Uniform(kAttrDomain);
+      const std::string value = EncodeIndexedValue(attr, "f" + std::to_string(op));
+      const Status s = client.Put(pk, value);
+      // kTotalOrder puts may abort mid-split (the injected crash); the row is
+      // then not written — index-first ordering keeps the model exact either
+      // way.
+      EXPECT_TRUE(s.ok() || s.IsAborted()) << s.ToString();
+      if (s.ok()) {
+        model[pk] = value;
+      }
+    } else if (kind < 7) {
+      ASSERT_TRUE(client.Delete(pk).ok());
+      model.erase(pk);
+    } else {
+      const uint64_t lo = rng.Uniform(kAttrDomain);
+      ExpectMatchesOracle(&client, model, lo, lo + rng.Uniform(6), "faulted range");
+    }
+  }
+
+  // Non-vacuity: the armed index fault points actually fired. kIndexPersist
+  // has no surface under kTotalOrder (entries go straight to leaves — there
+  // is no buffer to seal and no drain to truncate).
+  EXPECT_GT(injector.trips(FaultPoint::kIndexSplit), 0u) << injector.Summary();
+  if (leakage != IndexLeakage::kTotalOrder) {
+    EXPECT_GT(injector.trips(FaultPoint::kIndexPersist), 0u) << injector.Summary();
+  }
+
+  // Heal and audit: the surviving state answers exactly.
+  injector.Heal();
+  ExpectMatchesOracle(&client, model, 0, kAttrDomain - 1, "healed full audit");
+  for (uint64_t lo = 0; lo < kAttrDomain; lo += 4) {
+    ExpectMatchesOracle(&client, model, lo, lo + 3, "healed range");
+  }
+}
+
+TEST(SecondaryIndexFaults, QueriedOrderExactUnderInjectedFaults) {
+  RunInjectedFaultMix(IndexLeakage::kQueriedOrder, 0xFA17ED);
+}
+
+TEST(SecondaryIndexFaults, TotalOrderExactUnderInjectedFaults) {
+  RunInjectedFaultMix(IndexLeakage::kTotalOrder, 0xFA17EE);
+}
+
+// Drain fallback accounting: with kIndexSplit firing at rate 1.0 every drain
+// aborts, so every kQueriedOrder query must fall back to the unsorted scan —
+// correct answers, zero committed drains, zero leaked regions.
+TEST(SecondaryIndexFaults, PermanentDrainFailureDegradesToScan) {
+  SimulatedClock clock;
+  FaultInjector injector(0xDE6);
+  injector.SetRate(FaultPoint::kIndexSplit, 1.0);
+
+  ClusterOptions copts = ClusterOptions::ForTest();
+  copts.clock = &clock;
+  copts.fault_injector = &injector;
+  Cluster cluster(copts);
+  GenericClient client(&cluster, SmallPackOptions(), SymmetricKey::FromSeed("k"));
+  ASSERT_TRUE(client.CreateTable().ok());
+  ASSERT_TRUE(client.CreateIndex(IndexOptions(IndexLeakage::kQueriedOrder)).ok());
+
+  std::map<uint64_t, std::string> model;
+  for (uint64_t pk = 0; pk < 40; ++pk) {
+    const std::string value = EncodeIndexedValue(pk, "v");
+    ASSERT_TRUE(client.Put(pk, value).ok());
+    model[pk] = value;
+  }
+  for (uint64_t lo = 0; lo < 40; lo += 7) {
+    ExpectMatchesOracle(&client, model, lo, lo + 6, "drain-starved range");
+  }
+  const auto& index = client.index();
+  EXPECT_EQ(index->stats().drains.load(), 0u);
+  EXPECT_EQ(index->SortedRegions().value(), 0u) << "an aborted drain leaked a region";
+  EXPECT_GT(injector.trips(FaultPoint::kIndexSplit), 0u);
+}
+
+}  // namespace
+}  // namespace minicrypt
