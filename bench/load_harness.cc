@@ -7,24 +7,31 @@
 //
 //   load_harness [--revision=REV] [--out=PATH] [--clients=N]
 //                [--duration-s=S] [--seed=N] [--nodes=N]
-//                [--bootstrap-mid-load] [--smoke]
+//                [--bootstrap-mid-load] [--rotate-mid-load] [--smoke]
 //
 // --smoke shrinks the run (fewer clients, shorter window, smaller keyspace)
 // for the CI perf job; the full default sustains 1000 open-loop clients.
 // --nodes overrides the paper's 3-node ring (e.g. 32 for the scale smoke);
 // --bootstrap-mid-load adds one node halfway through the measured window, so
 // the latency gate covers streaming + the dual-apply ownership flip under
-// open-loop traffic (docs/LOAD_TESTING.md).
+// open-loop traffic (docs/LOAD_TESTING.md). --rotate-mid-load preloads a
+// MiniCrypt pack table on the same ring and runs an epoch key rotation
+// (announce -> repack -> verify -> retire, docs/KEY_ROTATION.md) halfway
+// through the window, so the gate also covers the rotator's re-seal sweep
+// competing with open-loop traffic for the same nodes and media.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
 
 #include "bench/bench_util.h"
+#include "src/core/generic_client.h"
+#include "src/crypto/keyring.h"
 #include "src/kvstore/cluster.h"
 #include "src/workload/loadgen.h"
 
@@ -69,6 +76,7 @@ int LoadHarnessMain(int argc, char** argv) {
   bool smoke = false;
   int nodes = 0;  // 0 = the paper's 3-node ring
   bool bootstrap_mid_load = false;
+  bool rotate_mid_load = false;
   LoadGenOptions lopts;
   lopts.clients = 1000;
   lopts.per_client_ops_s = 8.0;
@@ -92,12 +100,15 @@ int LoadHarnessMain(int argc, char** argv) {
       nodes = std::atoi(std::string(arg.substr(strlen("--nodes="))).c_str());
     } else if (arg == "--bootstrap-mid-load") {
       bootstrap_mid_load = true;
+    } else if (arg == "--rotate-mid-load") {
+      rotate_mid_load = true;
     } else if (arg == "--smoke") {
       smoke = true;
     } else {
       std::fprintf(stderr,
                    "usage: load_harness [--revision=REV] [--out=PATH] [--clients=N] "
-                   "[--duration-s=S] [--seed=N] [--nodes=N] [--bootstrap-mid-load] [--smoke]\n");
+                   "[--duration-s=S] [--seed=N] [--nodes=N] [--bootstrap-mid-load] "
+                   "[--rotate-mid-load] [--smoke]\n");
       return 2;
     }
   }
@@ -141,6 +152,31 @@ int LoadHarnessMain(int argc, char** argv) {
       return 1;
     }
   }
+  // A MiniCrypt pack table on the same ring for the mid-load rotation: the
+  // rotator's re-seal sweep then competes with the open-loop traffic for the
+  // same nodes, media queues, and async pool.
+  auto ring = Keyring::FromMaster(SymmetricKey::FromSeed("load-rotate"));
+  MiniCryptOptions mc_options;
+  mc_options.pack_rows = 32;
+  mc_options.hash_partitions = 4;
+  constexpr uint64_t kPackKeyspace = 512;
+  std::unique_ptr<GenericClient> rotator;
+  if (rotate_mid_load) {
+    rotator = std::make_unique<GenericClient>(&cluster, mc_options, ring);
+    s = rotator->CreateTable();
+    if (!s.ok()) {
+      std::fprintf(stderr, "create pack table failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (uint64_t k = 0; k < kPackKeyspace; ++k) {
+      s = rotator->Put(k, "pack-value-" + std::to_string(k));
+      if (!s.ok()) {
+        std::fprintf(stderr, "pack preload failed at key %llu: %s\n",
+                     static_cast<unsigned long long>(k), s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
   s = cluster.FlushAll();
   if (!s.ok()) {
     std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
@@ -175,9 +211,46 @@ int LoadHarnessMain(int argc, char** argv) {
       bootstrap_ok.store(bs.ok() && !cluster.Topology().inflight ? 1 : 0);
     });
   }
+  // Mid-load rotation: the full announce -> repack -> verify -> retire
+  // protocol against live cluster contention. Unavailable pauses (foreground
+  // wins the LWT gate; the rotation record is durable) are resumed in place.
+  std::thread rotate_thread;
+  std::atomic<int> rotate_ok{-1};  // -1 = not requested
+  if (rotate_mid_load) {
+    rotate_thread = std::thread([&] {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(lopts.warmup_micros + lopts.duration_micros / 2));
+      Status rs = rotator->RotateKeys();
+      for (int attempt = 0; attempt < 16 && !rs.ok(); ++attempt) {
+        rs = rotator->RotateKeys();
+      }
+      rotate_ok.store(rs.ok() ? 1 : 0);
+    });
+  }
   const LoadGenResult result = RunOpenLoop(cluster, lopts);
   if (bootstrapper.joinable()) {
     bootstrapper.join();
+  }
+  if (rotate_thread.joinable()) {
+    rotate_thread.join();
+  }
+  if (rotate_mid_load) {
+    std::fprintf(stderr, "[load] rotation mid-load: ok=%d epoch=%llu retired_below=%llu\n",
+                 rotate_ok.load(), static_cast<unsigned long long>(ring->current_epoch()),
+                 static_cast<unsigned long long>(ring->retired_below()));
+    if (rotate_ok.load() != 1) {
+      std::fprintf(stderr, "[load] FAIL: mid-load key rotation did not complete\n");
+      return 1;
+    }
+    // Spot-check that rotated packs still serve their preloaded rows.
+    for (uint64_t k = 0; k < kPackKeyspace; k += kPackKeyspace / 8) {
+      auto got = rotator->Get(k);
+      if (!got.ok() || *got != "pack-value-" + std::to_string(k)) {
+        std::fprintf(stderr, "[load] FAIL: key %llu unreadable after rotation: %s\n",
+                     static_cast<unsigned long long>(k), got.status().ToString().c_str());
+        return 1;
+      }
+    }
   }
   if (bootstrap_mid_load) {
     std::fprintf(stderr, "[load] bootstrap mid-load: ok=%d serving=%zu\n", bootstrap_ok.load(),
@@ -227,6 +300,7 @@ int LoadHarnessMain(int argc, char** argv) {
   json += "  \"dispatch_level\": \"load\",\n";
   json += "  \"nodes\": " + std::to_string(static_cast<int>(cluster.NodeCount())) + ",\n";
   json += "  \"bootstrap_ok\": " + std::to_string(bootstrap_ok.load()) + ",\n";
+  json += "  \"rotate_ok\": " + std::to_string(rotate_ok.load()) + ",\n";
   json += "  \"clients\": " + std::to_string(lopts.clients) + ",\n";
   json += "  \"offered_ops\": " + std::to_string(result.offered) + ",\n";
   json += "  \"errors\": " + std::to_string(result.errors) + ",\n";

@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kOutOfRange:
       return "OutOfRange";
+    case StatusCode::kKeyUnavailable:
+      return "KeyUnavailable";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kUnavailable = 7,     // node down / timeout
   kInternal = 8,
   kOutOfRange = 9,
+  kKeyUnavailable = 10,  // envelope names a key epoch this client cannot serve
 };
 
 // Human-readable name of a status code ("NotFound", ...).
@@ -61,6 +62,9 @@ class Status {
   static Status OutOfRange(std::string m = "out of range") {
     return Status(StatusCode::kOutOfRange, std::move(m));
   }
+  static Status KeyUnavailable(std::string m = "key unavailable") {
+    return Status(StatusCode::kKeyUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -69,6 +73,7 @@ class Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsKeyUnavailable() const { return code_ == StatusCode::kKeyUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <vector>
 
 #include "src/common/coding.h"
+#include "src/kvstore/fault_injector.h"
 #include "src/obs/metrics.h"
 
 namespace minicrypt {
@@ -50,29 +52,90 @@ std::string FormatPackId(std::string_view id) {
 
 constexpr uint64_t kDefaultJitterSeed = 0x6D696E6963727970ULL;  // "minicryp"
 
+// Rotation metadata lives beside the data it describes, in a reserved
+// partition: PartitionLabel() only ever produces "p<N>", so "rotation" is
+// invisible to range queries, pack-integrity sweeps, and the repack walk.
+constexpr std::string_view kRotationPartition = "rotation";
+constexpr std::string_view kRotationStateKey = "state";
+constexpr std::string_view kRotationStateColumn = "s";
+
+std::string EncodeRotationState(const KeyRotationState& rs) {
+  return "v1|" + std::to_string(rs.target) + "|" + std::to_string(rs.stage) + "|" +
+         std::to_string(rs.cursor) + "|" + std::to_string(rs.retired_below);
+}
+
+Result<KeyRotationState> ParseRotationState(std::string_view s) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t bar = s.find('|', start);
+    fields.push_back(s.substr(start, bar == std::string_view::npos ? bar : bar - start));
+    if (bar == std::string_view::npos) {
+      break;
+    }
+    start = bar + 1;
+  }
+  if (fields.size() != 5 || fields[0] != "v1") {
+    return Status::Corruption("unparseable rotation state record");
+  }
+  auto parse_u64 = [](std::string_view f, uint64_t* out) {
+    *out = 0;
+    if (f.empty()) {
+      return false;
+    }
+    for (const char c : f) {
+      if (c < '0' || c > '9') {
+        return false;
+      }
+      *out = *out * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return true;
+  };
+  KeyRotationState rs;
+  uint64_t stage = 0;
+  uint64_t cursor = 0;
+  if (!parse_u64(fields[1], &rs.target) || !parse_u64(fields[2], &stage) ||
+      !parse_u64(fields[3], &cursor) || !parse_u64(fields[4], &rs.retired_below) ||
+      stage > KeyRotationState::kStageVerify) {
+    return Status::Corruption("unparseable rotation state record");
+  }
+  rs.stage = static_cast<int>(stage);
+  rs.cursor = static_cast<int>(cursor);
+  return rs;
+}
+
 }  // namespace
 
 GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
                              const SymmetricKey& key)
-    : GenericClient(cluster, options, key,
+    : GenericClient(cluster, options, Keyring::FromMaster(key)) {}
+
+GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
+                             const SymmetricKey& key, std::shared_ptr<PackCache> cache)
+    : GenericClient(cluster, options, Keyring::FromMaster(key), std::move(cache)) {}
+
+GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
+                             std::shared_ptr<Keyring> keyring)
+    : GenericClient(cluster, options, std::move(keyring),
                     PackCache::FromOptions(options.cache_capacity_bytes, options.cache_ttl_micros,
                                            cluster->options().clock)) {}
 
 GenericClient::GenericClient(Cluster* cluster, const MiniCryptOptions& options,
-                             const SymmetricKey& key, std::shared_ptr<PackCache> cache)
+                             std::shared_ptr<Keyring> keyring, std::shared_ptr<PackCache> cache)
     : cluster_(cluster),
       options_(options),
-      key_(key),
-      crypter_(options, key),
+      keyring_(std::move(keyring)),
+      key_(keyring_->master()),
+      crypter_(options, keyring_),
       cache_(std::move(cache)),
       clock_(cluster->options().clock),
       backoff_(options.retry_backoff_base_micros, options.retry_backoff_max_micros,
                options.retry_jitter_seed != 0 ? options.retry_jitter_seed : kDefaultJitterSeed) {
   if (options_.encrypt_pack_ids) {
-    packid_cipher_.emplace(options_, key);
+    packid_cipher_.emplace(options_, key_);
   }
   if (options_.ope_pack_ids) {
-    ope_.emplace(key.Derive("packid-ope:" + options_.table));
+    ope_.emplace(key_.Derive("packid-ope:" + options_.table));
   }
 }
 
@@ -148,7 +211,7 @@ Result<GenericClient::FetchedPack> GenericClient::FetchPackFor(std::string_view 
     row = std::move(found.second);
   }
   MC_ASSIGN_OR_RETURN(auto cells, ExtractPackCells(row));
-  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells.first));
+  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells.first, stored_id));
   FetchedPack out;
   out.pack_id = std::move(stored_id);
   out.pack = std::make_shared<const Pack>(std::move(pack));
@@ -218,7 +281,7 @@ Result<GenericClient::FetchedPack> GenericClient::FetchPackCached(std::string_vi
     return fetched;
   }
   MC_ASSIGN_OR_RETURN(auto cells, ExtractPackCells(*row));
-  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells.first));
+  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells.first, probe->first));
   FetchedPack out;
   out.pack_id = std::move(probe->first);
   out.pack = std::make_shared<const Pack>(std::move(pack));
@@ -254,7 +317,7 @@ Result<std::shared_ptr<const Pack>> GenericClient::OpenPackCached(std::string_vi
       return pack;  // identical bytes by hash: skip the decrypt + decompress
     }
   }
-  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(envelope));
+  MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(envelope, pack_id));
   auto shared = std::make_shared<const Pack>(std::move(pack));
   if (use_cache) {
     cache_->Put(options_.table, partition, pack_id, shared, std::string(hash));
@@ -514,7 +577,7 @@ Result<std::vector<std::pair<uint64_t, std::string>>> GenericClient::GetRange(ui
 
 Status GenericClient::InsertNewPack(std::string_view partition, std::string_view pack_id,
                                     const Pack& pack) {
-  MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(pack));
+  MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(pack, pack_id));
   const Status s = cluster_->WriteIf(options_.table, partition, pack_id, PackRow(sealed),
                                      LwtCondition::NotExists());
   if (s.ok()) {
@@ -588,7 +651,7 @@ Status GenericClient::SplitPack(std::string_view partition, const FetchedPack& f
   // ambiguous outcomes — an abandoned truncation leaves the right half
   // duplicated in this pack, where range queries could surface the stale
   // copies.
-  MC_ASSIGN_OR_RETURN(SealedPack sealed_left, crypter_.Seal(left));
+  MC_ASSIGN_OR_RETURN(SealedPack sealed_left, crypter_.Seal(left, fetched.pack_id));
   for (int attempt = 0; attempt < kSplitStepAttempts; ++attempt) {
     if (attempt > 0) {
       BackoffBeforeRetry(attempt - 1);
@@ -687,7 +750,7 @@ Status GenericClient::TryMutate(uint64_t key, const std::function<void(Pack*)>& 
 
   Pack updated = *fetched->pack;
   mutate(&updated);
-  MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(updated));
+  MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(updated, fetched->pack_id));
   if (options_.blind_pack_writes) {
     // Figure 10 ablation: read-modify-blind-write (no update-if, no safety).
     const Status s =
@@ -849,13 +912,210 @@ Status GenericClient::BulkLoad(const std::vector<std::pair<uint64_t, std::string
         }
       }
       MC_ASSIGN_OR_RETURN(Pack pack, Pack::FromSorted(std::move(chunk)));
-      MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(pack));
       const std::string stored_id = StoredPackId(partition, pack, pack.entries().front().key);
+      MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(pack, stored_id));
       MC_RETURN_IF_ERROR(
           cluster_->Write(options_.table, partition, stored_id, PackRow(sealed)));
     }
   }
   return Status::Ok();
 }
+
+// --- Key rotation (docs/KEY_ROTATION.md) --------------------------------------
+//
+// RotateKeys is a persisted, crash-resumable state machine:
+//
+//   idle -> announced -> repack (cursor walks partitions) -> verify -> idle
+//
+// Every stage transition is durably recorded in the reserved "rotation"
+// partition before it takes effect, so a crashed or paused rotator resumes
+// exactly where it stopped. Re-sealing rides the same LWT envelope-hash gate
+// as foreground mutations: a concurrent writer always wins the race and the
+// rotator re-reads.
+
+Result<KeyRotationState> GenericClient::LoadRotationState() {
+  auto row = cluster_->Read(options_.table, kRotationPartition, kRotationStateKey);
+  if (!row.ok()) {
+    if (row.status().IsNotFound()) {
+      return KeyRotationState{};  // no rotation has ever run against this table
+    }
+    return row.status();
+  }
+  auto cell = row->cells.find(kRotationStateColumn);
+  if (cell == row->cells.end()) {
+    return Status::Corruption("rotation state row missing its cell");
+  }
+  return ParseRotationState(cell->second.value);
+}
+
+Status GenericClient::PersistRotationState(const KeyRotationState& state) {
+  if (FaultInjector* injector = cluster_->options().fault_injector;
+      injector != nullptr && injector->Fire(FaultPoint::kRotatePersist, options_.table)) {
+    OBS_COUNTER_INC("rotation.persist_failures");
+    return Status::Unavailable("injected rotation persist failure");
+  }
+  Row row;
+  row.cells[std::string(kRotationStateColumn)] = Cell{EncodeRotationState(state), 0, false};
+  return cluster_->Write(options_.table, kRotationPartition, kRotationStateKey, row);
+}
+
+Status GenericClient::ResealPack(std::string_view partition, std::string_view pack_id,
+                                 uint64_t target) {
+  for (int attempt = 0; attempt < options_.rotation_reseal_attempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+    }
+    auto row = cluster_->Read(options_.table, partition, pack_id);
+    if (!row.ok()) {
+      if (row.status().IsNotFound()) {
+        return Status::Ok();  // deleted since the scan; nothing left to re-seal
+      }
+      if (row.status().IsUnavailable()) {
+        continue;
+      }
+      return row.status();
+    }
+    MC_ASSIGN_OR_RETURN(auto cells, ExtractPackCells(*row));
+    if (PackCrypter::EnvelopeEpoch(cells.first) >= target) {
+      return Status::Ok();  // a foreground writer already carried it forward
+    }
+    MC_ASSIGN_OR_RETURN(Pack pack, crypter_.Open(cells.first, pack_id));
+    if (FaultInjector* injector = cluster_->options().fault_injector;
+        injector != nullptr && injector->Fire(FaultPoint::kRotateReseal, pack_id)) {
+      return Status::Aborted("injected rotation crash (reseal)");
+    }
+    MC_ASSIGN_OR_RETURN(SealedPack sealed, crypter_.Seal(pack, pack_id));
+    const Status s = cluster_->WriteIf(
+        options_.table, partition, pack_id, PackRow(sealed),
+        LwtCondition::CellEquals(std::string(kHashColumn), std::string(cells.second)));
+    if (s.ok()) {
+      OBS_COUNTER_INC("rotation.packs_resealed");
+      CacheAfterWrite(partition, pack_id, pack, sealed.hash);
+      return Status::Ok();
+    }
+    if (s.IsConditionFailed()) {
+      // Foreground traffic moved the pack under us — it wins; re-read and
+      // decide again (the winner may even have sealed at the target already).
+      OBS_COUNTER_INC("rotation.reseal_races");
+      CacheInvalidate(partition, pack_id);
+      continue;
+    }
+    if (s.IsUnavailable()) {
+      OBS_COUNTER_INC("client.lwt.ambiguous");
+      CacheInvalidate(partition, pack_id);
+      continue;
+    }
+    return s;
+  }
+  return Status::Unavailable("rotation reseal ran out of attempts (pack=" +
+                             FormatPackId(pack_id) + ")");
+}
+
+Status GenericClient::RepackPartition(std::string_view partition, uint64_t target,
+                                      size_t* resealed) {
+  OBS_SPAN("rotation.repack_partition");
+  Result<std::vector<std::pair<std::string, Row>>> rows =
+      Status::Unavailable("repack scan never attempted");
+  // Inclusive scan of the whole stored-packID space; stored ids (encoded
+  // keys, OPE images, PRF output) are all far shorter than 64 bytes.
+  const std::string hi(64, '\xff');
+  for (int attempt = 0; attempt < options_.max_put_retries; ++attempt) {
+    if (attempt > 0) {
+      BackoffBeforeRetry(attempt - 1);
+    }
+    rows = cluster_->ReadRange(options_.table, partition, "", hi);
+    if (rows.ok() || !rows.status().IsUnavailable()) {
+      break;
+    }
+  }
+  if (!rows.ok()) {
+    return rows.status();
+  }
+  for (const auto& [id, row] : *rows) {
+    auto cells = ExtractPackCells(row);
+    if (!cells.ok()) {
+      return cells.status();
+    }
+    if (PackCrypter::EnvelopeEpoch(cells->first) >= target) {
+      continue;
+    }
+    MC_RETURN_IF_ERROR(ResealPack(partition, id, target));
+    if (resealed != nullptr) {
+      ++*resealed;
+    }
+  }
+  return Status::Ok();
+}
+
+Status GenericClient::RotateKeys() {
+  OBS_SPAN("rotation.run");
+  MC_ASSIGN_OR_RETURN(KeyRotationState rs, LoadRotationState());
+  // Crash resume: re-apply whatever the durable record says to the in-memory
+  // keyring before continuing — a fresh client, or one that crashed between a
+  // persist and the matching keyring update, converges from the record.
+  if (rs.target > 0) {
+    keyring_->AnnounceEpoch(rs.target);
+  }
+  if (rs.retired_below > 0) {
+    MC_RETURN_IF_ERROR(keyring_->RetireBelow(rs.retired_below));
+  }
+  if (rs.stage == KeyRotationState::kStageIdle) {
+    // Begin a fresh rotation to the next epoch. The target is durable before
+    // any writer can seal under it: the announcement follows the persist.
+    rs.target = keyring_->current_epoch() + 1;
+    rs.stage = KeyRotationState::kStageAnnounced;
+    rs.cursor = 0;
+    MC_RETURN_IF_ERROR(PersistRotationState(rs));
+    keyring_->AnnounceEpoch(rs.target);
+  }
+  if (rs.stage == KeyRotationState::kStageAnnounced) {
+    rs.stage = KeyRotationState::kStageRepack;
+    rs.cursor = 0;
+    MC_RETURN_IF_ERROR(PersistRotationState(rs));
+  }
+  if (rs.stage == KeyRotationState::kStageRepack) {
+    while (rs.cursor < options_.hash_partitions) {
+      MC_RETURN_IF_ERROR(
+          RepackPartition(PartitionLabel(rs.cursor), rs.target, /*resealed=*/nullptr));
+      rs.cursor += 1;
+      MC_RETURN_IF_ERROR(PersistRotationState(rs));  // durable cursor: resume here
+    }
+    rs.stage = KeyRotationState::kStageVerify;
+    MC_RETURN_IF_ERROR(PersistRotationState(rs));
+  }
+  // Verify: wait for in-flight old-epoch seals to drain (a writer that read
+  // the old epoch before the announcement may still be mid-write), then sweep
+  // until one full pass finds nothing below the target.
+  if (!keyring_->WaitForDrainBelow(rs.target, options_.rotation_drain_timeout_millis)) {
+    OBS_COUNTER_INC("rotation.drain_timeouts");
+    return Status::Unavailable("rotation paused: old-epoch seals did not drain in time");
+  }
+  bool clean = false;
+  for (int pass = 0; pass < options_.rotation_verify_passes && !clean; ++pass) {
+    size_t resealed = 0;
+    for (int p = 0; p < options_.hash_partitions; ++p) {
+      MC_RETURN_IF_ERROR(RepackPartition(PartitionLabel(p), rs.target, &resealed));
+    }
+    if (resealed == 0) {
+      clean = true;
+    } else {
+      OBS_COUNTER_INC("rotation.verify_stale");
+    }
+  }
+  if (!clean) {
+    return Status::Unavailable("rotation paused: verify kept finding stale-epoch packs");
+  }
+  // Retirement point: persist first, retire after. A crash in between is
+  // healed by the resume path above (RetireBelow re-applied from the record).
+  rs.stage = KeyRotationState::kStageIdle;
+  rs.cursor = 0;
+  rs.retired_below = rs.target;
+  MC_RETURN_IF_ERROR(PersistRotationState(rs));
+  MC_RETURN_IF_ERROR(keyring_->RetireBelow(rs.target));
+  OBS_COUNTER_INC("rotation.completed");
+  return Status::Ok();
+}
+
+Result<KeyRotationState> GenericClient::RotationState() { return LoadRotationState(); }
 
 }  // namespace minicrypt

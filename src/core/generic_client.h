@@ -26,6 +26,7 @@
 #include "src/core/pack_cache.h"
 #include "src/core/pack_crypter.h"
 #include "src/crypto/crypto.h"
+#include "src/crypto/keyring.h"
 #include "src/crypto/ope.h"
 #include "src/kvstore/cluster.h"
 
@@ -65,15 +66,39 @@ struct GenericClientStats {
   }
 };
 
+// Durable record of an in-flight key rotation (docs/KEY_ROTATION.md). The
+// rotator persists it in a reserved partition of the data table, so a crashed
+// rotation resumes from its last durable stage on the next RotateKeys call.
+struct KeyRotationState {
+  static constexpr int kStageIdle = 0;       // no rotation in flight
+  static constexpr int kStageAnnounced = 1;  // target epoch durable, not yet swept
+  static constexpr int kStageRepack = 2;     // walking partitions at `cursor`
+  static constexpr int kStageVerify = 3;     // drain + clean-sweep before retire
+
+  uint64_t target = 0;         // epoch being rotated to (0 = never rotated)
+  int stage = kStageIdle;
+  int cursor = 0;              // next partition index of the repack walk
+  uint64_t retired_below = 0;  // durable retirement floor
+};
+
 class GenericClient {
  public:
   // `cluster` outlives the client. All clients of one customer must share the
-  // same key and options. When options.cache_capacity_bytes > 0 the client
-  // builds a private decrypted-pack cache.
-  GenericClient(Cluster* cluster, const MiniCryptOptions& options, const SymmetricKey& key);
+  // same keyring (and options) — that is what keeps their sealing epochs and
+  // retirement floors in lockstep during rotation. When
+  // options.cache_capacity_bytes > 0 the client builds a private
+  // decrypted-pack cache.
+  GenericClient(Cluster* cluster, const MiniCryptOptions& options,
+                std::shared_ptr<Keyring> keyring);
 
   // Same, but sharing a pack cache with other clients of the same customer
   // (pass nullptr to force caching off regardless of the options).
+  GenericClient(Cluster* cluster, const MiniCryptOptions& options,
+                std::shared_ptr<Keyring> keyring, std::shared_ptr<PackCache> cache);
+
+  // Legacy single-key conveniences: wrap the key in a fresh epoch-0 keyring
+  // private to this client. Fine for anything that never rotates.
+  GenericClient(Cluster* cluster, const MiniCryptOptions& options, const SymmetricKey& key);
   GenericClient(Cluster* cluster, const MiniCryptOptions& options, const SymmetricKey& key,
                 std::shared_ptr<PackCache> cache);
 
@@ -133,6 +158,27 @@ class GenericClient {
   // Falls back to plain BulkLoad when no index is attached. Implemented in
   // src/index/indexed_ops.cc.
   Status BulkLoadIndexed(const std::vector<std::pair<uint64_t, std::string>>& rows);
+
+  // --- Online key rotation (docs/KEY_ROTATION.md) --------------------------------
+
+  // Runs (or resumes) one epoch rotation to completion:
+  //   announce-epoch -> re-pack every partition -> verify (drain + clean
+  //   sweep) -> retire the old epochs.
+  // Crash-resumable: every stage edge is persisted (a durable cursor walks
+  // the partitions), so calling RotateKeys again after any failure resumes
+  // idempotently from the last durable stage — including a rotation started
+  // by a different (crashed) client of the same keyring. Re-seals go through
+  // the LWT envelope-hash gate, so concurrent foreground writers are never
+  // clobbered; contention and Unavailable replicas consume bounded retries
+  // and then *pause* the rotation with Unavailable (foreground traffic wins).
+  // A fresh call with nothing in flight rotates to current_epoch() + 1.
+  Status RotateKeys();
+
+  // The persisted rotation record (all-defaults when none exists yet).
+  Result<KeyRotationState> RotationState();
+
+  // The keyring this client seals with (shared across the customer's clients).
+  const std::shared_ptr<Keyring>& keyring() const { return keyring_; }
 
   // --- Introspection ---------------------------------------------------------------
 
@@ -205,6 +251,24 @@ class GenericClient {
   // Runs the split protocol of Figure 6 on a fetched pack.
   Status SplitPack(std::string_view partition, const FetchedPack& fetched);
 
+  // --- Rotation internals (see RotateKeys) -----------------------------------
+
+  // Reads / writes the durable rotation record. Persist consults the
+  // kRotatePersist fault point first (an injected failure pauses the
+  // rotation before the stage transition becomes durable).
+  Result<KeyRotationState> LoadRotationState();
+  Status PersistRotationState(const KeyRotationState& state);
+
+  // Scans one partition and re-seals every pack whose envelope epoch is
+  // below `target`; adds the number of stale packs found to *resealed.
+  // Used by both the repack walk and the verify sweeps.
+  Status RepackPartition(std::string_view partition, uint64_t target, size_t* resealed);
+
+  // Re-seals one pack under the current (>= target) epoch via the LWT
+  // envelope-hash gate, bounded retries. Ok when the pack vanished or is
+  // already at/above target.
+  Status ResealPack(std::string_view partition, std::string_view pack_id, uint64_t target);
+
   // Seals and writes a brand-new pack under its own ID (INSERT IF NOT EXISTS).
   Status InsertNewPack(std::string_view partition, std::string_view pack_id, const Pack& pack);
 
@@ -223,8 +287,13 @@ class GenericClient {
 
   Cluster* cluster_;
   MiniCryptOptions options_;
-  // Retained for lazily constructed companions (the secondary index derives
-  // its own subkeys from it); the crypter/ciphers above hold derived keys.
+  // Epoch-versioned key material, shared across the customer's clients. The
+  // companions below (packID PRF, OPE, secondary-index subkeys) derive from
+  // its master key — they encrypt identifiers, not data at rest, and do not
+  // rotate with packs (docs/KEY_ROTATION.md discusses the trade-off).
+  std::shared_ptr<Keyring> keyring_;
+  // The master key, retained for lazily constructed companions (the
+  // secondary index derives its own subkeys from it).
   SymmetricKey key_;
   PackCrypter crypter_;
   std::optional<PackIdCipher> packid_cipher_;

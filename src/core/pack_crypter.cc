@@ -1,5 +1,7 @@
 #include "src/core/pack_crypter.h"
 
+#include <cstring>
+
 #include "src/obs/metrics.h"
 
 namespace minicrypt {
@@ -40,15 +42,77 @@ struct RatioMetrics {
   }
 };
 
+// Envelope v2 header: magic || 8-byte big-endian key epoch. A v1 envelope
+// starts with a random IV, so the 4-byte magic misclassifies a legacy
+// envelope with probability 2^-32 — and even then the epoch bytes come from
+// IV randomness, so the open fails closed (wrong key or KeyUnavailable),
+// never silently succeeds (docs/KEY_ROTATION.md).
+constexpr char kEnvelopeMagic[4] = {'M', 'C', 'E', '2'};
+constexpr size_t kEnvelopeHeaderBytes = sizeof(kEnvelopeMagic) + 8;
+
+bool HasV2Header(std::string_view envelope) {
+  return envelope.size() >= kEnvelopeHeaderBytes &&
+         std::memcmp(envelope.data(), kEnvelopeMagic, sizeof(kEnvelopeMagic)) == 0;
+}
+
+std::string EncodeHeader(uint64_t epoch) {
+  std::string header(kEnvelopeMagic, sizeof(kEnvelopeMagic));
+  for (int b = 7; b >= 0; --b) {
+    header.push_back(static_cast<char>(epoch >> (8 * b)));
+  }
+  return header;
+}
+
+uint64_t DecodeHeaderEpoch(std::string_view envelope) {
+  uint64_t epoch = 0;
+  for (size_t b = 0; b < 8; ++b) {
+    epoch = (epoch << 8) |
+            static_cast<uint8_t>(envelope[sizeof(kEnvelopeMagic) + b]);
+  }
+  return epoch;
+}
+
 }  // namespace
 
-PackCrypter::PackCrypter(const MiniCryptOptions& options, const SymmetricKey& key)
+PackCrypter::PackCrypter(const MiniCryptOptions& options, std::shared_ptr<Keyring> keyring)
     : codec_(FindCompressor(options.codec)),
       padding_(options.padding),
-      pack_key_(key.Derive("pack:" + options.table)) {}
+      table_(options.table),
+      keyring_(std::move(keyring)) {}
 
-Result<SealedPack> PackCrypter::Seal(const Pack& pack) const {
+PackCrypter::PackCrypter(const MiniCryptOptions& options, const SymmetricKey& key)
+    : PackCrypter(options, Keyring::FromMaster(key)) {}
+
+uint64_t PackCrypter::EnvelopeEpoch(std::string_view envelope) {
+  return HasV2Header(envelope) ? DecodeHeaderEpoch(envelope) : 0;
+}
+
+Result<SymmetricKey> PackCrypter::PackKeyFor(uint64_t epoch) const {
+  return keyring_->KeyFor(epoch, "pack:" + table_);
+}
+
+std::string PackCrypter::AadFor(uint64_t epoch, std::string_view context) const {
+  // Domain prefix, then NUL-delimited table and context (stored packIDs and
+  // table names never contain NUL), then the epoch — unambiguous, so no two
+  // distinct (table, context, epoch) triples share an AAD encoding.
+  std::string aad = "mc-aad-v1\x01";
+  aad += table_;
+  aad += '\0';
+  aad.append(context.data(), context.size());
+  aad += '\0';
+  for (int b = 7; b >= 0; --b) {
+    aad.push_back(static_cast<char>(epoch >> (8 * b)));
+  }
+  return aad;
+}
+
+Result<SealedPack> PackCrypter::Seal(const Pack& pack, std::string_view context) const {
   OBS_SPAN("pack.seal");
+  // The pin is taken before reading the epoch so retirement can never win a
+  // race against this seal: the drain barrier sees the pin first.
+  Keyring::Pin pin = keyring_->PinCurrent();
+  const uint64_t epoch = pin.epoch();
+  MC_ASSIGN_OR_RETURN(const SymmetricKey pack_key, PackKeyFor(epoch));
   const std::string raw = pack.Serialize();
   std::string compressed;
   {
@@ -56,10 +120,12 @@ Result<SealedPack> PackCrypter::Seal(const Pack& pack) const {
     MC_ASSIGN_OR_RETURN(compressed, codec_->Compress(raw));
   }
   const std::string padded = padding_.Pad(compressed);
-  std::string envelope;
+  std::string envelope = EncodeHeader(epoch);
   {
     OBS_SPAN("pack.encrypt");
-    MC_ASSIGN_OR_RETURN(envelope, AesGcmEncrypt(pack_key_, padded));
+    MC_ASSIGN_OR_RETURN(std::string body,
+                        AesGcmEncrypt(pack_key, padded, AadFor(epoch, context)));
+    envelope += body;
   }
   static const RatioMetrics seal_ratio =
       RatioMetrics::Intern("pack.seal.bytes_raw", "pack.seal.bytes_wire", "pack.seal.ratio");
@@ -67,15 +133,27 @@ Result<SealedPack> PackCrypter::Seal(const Pack& pack) const {
   SealedPack out;
   out.hash = Sha256(envelope);
   out.envelope = std::move(envelope);
+  out.epoch = epoch;
+  out.pin = std::move(pin);
   return out;
 }
 
-Result<Pack> PackCrypter::Open(std::string_view envelope) const {
+Result<Pack> PackCrypter::Open(std::string_view envelope, std::string_view context) const {
   OBS_SPAN("pack.open");
   std::string padded;
   {
     OBS_SPAN("pack.decrypt");
-    MC_ASSIGN_OR_RETURN(padded, AesGcmDecrypt(pack_key_, envelope));
+    if (HasV2Header(envelope)) {
+      const uint64_t epoch = DecodeHeaderEpoch(envelope);
+      MC_ASSIGN_OR_RETURN(const SymmetricKey pack_key, PackKeyFor(epoch));
+      MC_ASSIGN_OR_RETURN(padded, AesGcmDecrypt(pack_key,
+                                                envelope.substr(kEnvelopeHeaderBytes),
+                                                AadFor(epoch, context)));
+    } else {
+      // Legacy v1 envelope: epoch 0, sealed before AAD binding existed.
+      MC_ASSIGN_OR_RETURN(const SymmetricKey pack_key, PackKeyFor(0));
+      MC_ASSIGN_OR_RETURN(padded, AesGcmDecrypt(pack_key, envelope));
+    }
   }
   MC_ASSIGN_OR_RETURN(std::string compressed, PaddingTiers::Unpad(padded));
   std::string raw;
@@ -92,20 +170,36 @@ Result<Pack> PackCrypter::Open(std::string_view envelope) const {
 }
 
 Result<std::string> PackCrypter::SealValue(std::string_view value) const {
+  const Keyring::Pin pin = keyring_->PinCurrent();
+  const uint64_t epoch = pin.epoch();
+  MC_ASSIGN_OR_RETURN(const SymmetricKey pack_key, PackKeyFor(epoch));
   std::string compressed;
   {
     OBS_SPAN("pack.compress");
     MC_ASSIGN_OR_RETURN(compressed, codec_->Compress(value));
   }
   OBS_SPAN("pack.encrypt");
-  return AesGcmEncrypt(pack_key_, compressed);
+  std::string envelope = EncodeHeader(epoch);
+  MC_ASSIGN_OR_RETURN(std::string body,
+                      AesGcmEncrypt(pack_key, compressed, AadFor(epoch, {})));
+  envelope += body;
+  return envelope;
 }
 
 Result<std::string> PackCrypter::OpenValue(std::string_view envelope) const {
   std::string compressed;
   {
     OBS_SPAN("pack.decrypt");
-    MC_ASSIGN_OR_RETURN(compressed, AesGcmDecrypt(pack_key_, envelope));
+    if (HasV2Header(envelope)) {
+      const uint64_t epoch = DecodeHeaderEpoch(envelope);
+      MC_ASSIGN_OR_RETURN(const SymmetricKey pack_key, PackKeyFor(epoch));
+      MC_ASSIGN_OR_RETURN(compressed, AesGcmDecrypt(pack_key,
+                                                    envelope.substr(kEnvelopeHeaderBytes),
+                                                    AadFor(epoch, {})));
+    } else {
+      MC_ASSIGN_OR_RETURN(const SymmetricKey pack_key, PackKeyFor(0));
+      MC_ASSIGN_OR_RETURN(compressed, AesGcmDecrypt(pack_key, envelope));
+    }
   }
   OBS_SPAN("pack.decompress");
   return codec_->Decompress(compressed);

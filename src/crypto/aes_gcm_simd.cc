@@ -203,13 +203,37 @@ inline __m128i CounterBlock(const GcmContext& ctx, uint32_t counter) {
                           static_cast<int>(__builtin_bswap32(counter)), 3);
 }
 
+// GHASH over the AAD, zero-padded to a block boundary (SP 800-38D step 5's
+// leading A blocks). Runs before the ciphertext pass and seeds its
+// accumulator.
+__m128i GhashAad(const GcmContext& ctx, const uint8_t* aad, size_t n) {
+  __m128i acc = _mm_setzero_si128();
+  size_t i = 0;
+  while (i + 64 <= n) {
+    __m128i blocks[4];
+    for (int j = 0; j < 4; ++j) {
+      blocks[j] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(aad + i + 16 * j));
+    }
+    acc = Ghash4(acc, blocks, ctx.h);
+    i += 64;
+  }
+  while (i < n) {
+    const size_t chunk = n - i < 16 ? n - i : 16;
+    uint8_t block[16] = {0};
+    std::memcpy(block, aad + i, chunk);
+    acc = GhashBlock(acc, _mm_loadu_si128(reinterpret_cast<const __m128i*>(block)),
+                     ctx.h[0]);
+    i += chunk;
+  }
+  return acc;
+}
+
 // One fused pass: CTR-encrypt/decrypt and GHASH the ciphertext. For
 // encryption the ciphertext is the output (ghash_output=true); for
-// decryption it is the input. Returns the GHASH accumulator over the full
-// ciphertext plus the length block.
-__m128i CtrAndGhash(const GcmContext& ctx, const uint8_t* in, size_t n,
-                    uint8_t* out, bool ghash_output) {
-  __m128i acc = _mm_setzero_si128();
+// decryption it is the input. `acc` arrives holding the GHASH over the AAD
+// blocks; returns the accumulator over AAD + ciphertext + length block.
+__m128i CtrAndGhash(const GcmContext& ctx, __m128i acc, uint64_t aad_bits,
+                    const uint8_t* in, size_t n, uint8_t* out, bool ghash_output) {
   uint32_t counter = 2;
   size_t i = 0;
   while (i + 128 <= n) {
@@ -264,10 +288,11 @@ __m128i CtrAndGhash(const GcmContext& ctx, const uint8_t* in, size_t n,
         ctx.h[0]);
     i += chunk;
   }
-  // len(A)=0 || len(C), both 64-bit big-endian bit counts.
+  // len(A) || len(C), both 64-bit big-endian bit counts.
   uint8_t len_block[16] = {0};
   const uint64_t ct_bits = static_cast<uint64_t>(n) * 8;
   for (int b = 0; b < 8; ++b) {
+    len_block[7 - b] = static_cast<uint8_t>(aad_bits >> (8 * b));
     len_block[15 - b] = static_cast<uint8_t>(ct_bits >> (8 * b));
   }
   return GhashBlock(
@@ -285,22 +310,28 @@ inline void StoreTag(const GcmContext& ctx, __m128i ghash, uint8_t tag[16]) {
 bool AesGcmSimdCompiled() { return true; }
 
 void AesGcmSimdEncrypt(const uint8_t key[32], const uint8_t iv[12],
+                       const uint8_t* aad, size_t aad_len,
                        const uint8_t* pt, size_t n, uint8_t* ct, uint8_t tag[16]) {
   GcmContext ctx;
   InitContext(&ctx, key, iv);
-  const __m128i ghash = CtrAndGhash(ctx, pt, n, ct, /*ghash_output=*/true);
+  const __m128i aad_acc = aad_len != 0 ? GhashAad(ctx, aad, aad_len) : _mm_setzero_si128();
+  const __m128i ghash = CtrAndGhash(ctx, aad_acc, static_cast<uint64_t>(aad_len) * 8,
+                                    pt, n, ct, /*ghash_output=*/true);
   StoreTag(ctx, ghash, tag);
   OPENSSL_cleanse(&ctx, sizeof(ctx));
 }
 
 bool AesGcmSimdDecrypt(const uint8_t key[32], const uint8_t iv[12],
+                       const uint8_t* aad, size_t aad_len,
                        const uint8_t* ct, size_t n, const uint8_t tag[16],
                        uint8_t* pt) {
   GcmContext ctx;
   InitContext(&ctx, key, iv);
   // Decrypt and authenticate in one pass; on tag mismatch the output buffer
   // is wiped before returning (callers discard it anyway).
-  const __m128i ghash = CtrAndGhash(ctx, ct, n, pt, /*ghash_output=*/false);
+  const __m128i aad_acc = aad_len != 0 ? GhashAad(ctx, aad, aad_len) : _mm_setzero_si128();
+  const __m128i ghash = CtrAndGhash(ctx, aad_acc, static_cast<uint64_t>(aad_len) * 8,
+                                    ct, n, pt, /*ghash_output=*/false);
   uint8_t expected[16];
   StoreTag(ctx, ghash, expected);
   unsigned char diff = 0;
@@ -327,11 +358,11 @@ namespace internal {
 
 bool AesGcmSimdCompiled() { return false; }
 
-void AesGcmSimdEncrypt(const uint8_t[32], const uint8_t[12], const uint8_t*,
-                       size_t, uint8_t*, uint8_t[16]) {}
+void AesGcmSimdEncrypt(const uint8_t[32], const uint8_t[12], const uint8_t*, size_t,
+                       const uint8_t*, size_t, uint8_t*, uint8_t[16]) {}
 
-bool AesGcmSimdDecrypt(const uint8_t[32], const uint8_t[12], const uint8_t*,
-                       size_t, const uint8_t[16], uint8_t*) {
+bool AesGcmSimdDecrypt(const uint8_t[32], const uint8_t[12], const uint8_t*, size_t,
+                       const uint8_t*, size_t, const uint8_t[16], uint8_t*) {
   return false;
 }
 

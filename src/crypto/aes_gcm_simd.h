@@ -17,13 +17,17 @@ namespace internal {
 // check AesGcmHardwareEnabled() for the runtime cpuid + override gate.
 bool AesGcmSimdCompiled();
 
-// ct must have room for n bytes, tag for 16. iv is exactly 12 bytes.
+// ct must have room for n bytes, tag for 16. iv is exactly 12 bytes. `aad`
+// (aad_len bytes, may be null when aad_len == 0) is authenticated but not
+// encrypted, exactly as in the EVP oracle.
 void AesGcmSimdEncrypt(const uint8_t key[32], const uint8_t iv[12],
+                       const uint8_t* aad, size_t aad_len,
                        const uint8_t* pt, size_t n, uint8_t* ct, uint8_t tag[16]);
 
-// Computes the expected tag for (iv, ct) and writes the decryption to pt
+// Computes the expected tag for (iv, aad, ct) and writes the decryption to pt
 // (n bytes). Returns false on tag mismatch; pt contents are then unspecified.
 bool AesGcmSimdDecrypt(const uint8_t key[32], const uint8_t iv[12],
+                       const uint8_t* aad, size_t aad_len,
                        const uint8_t* ct, size_t n, const uint8_t tag[16],
                        uint8_t* pt);
 

@@ -27,13 +27,20 @@ bool UseGcmKernel() {
 
 // Portable AES-256-GCM via OpenSSL EVP; the oracle for the AES-NI kernel.
 Result<std::string> GcmEncryptPortable(const SymmetricKey& key, const uint8_t* iv,
-                                       std::string_view plaintext) {
+                                       std::string_view plaintext, std::string_view aad) {
   CipherCtx ctx(EVP_CIPHER_CTX_new());
   if (!ctx) {
     return Status::Internal("EVP_CIPHER_CTX_new failed");
   }
   if (EVP_EncryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr, key.data(), iv) != 1) {
     return Status::Internal("EVP_EncryptInit_ex failed");
+  }
+  int aad_len = 0;
+  if (!aad.empty() &&
+      EVP_EncryptUpdate(ctx.get(), nullptr, &aad_len,
+                        reinterpret_cast<const unsigned char*>(aad.data()),
+                        static_cast<int>(aad.size())) != 1) {
+    return Status::Internal("EVP_EncryptUpdate (AAD) failed");
   }
   std::string out(reinterpret_cast<const char*>(iv), kAesGcmIvBytes);
   const size_t header = out.size();
@@ -64,13 +71,21 @@ Result<std::string> GcmEncryptPortable(const SymmetricKey& key, const uint8_t* i
 }
 
 Result<std::string> GcmDecryptPortable(const SymmetricKey& key, const uint8_t* iv,
-                                       std::string_view ct, std::string_view tag) {
+                                       std::string_view ct, std::string_view tag,
+                                       std::string_view aad) {
   CipherCtx ctx(EVP_CIPHER_CTX_new());
   if (!ctx) {
     return Status::Internal("EVP_CIPHER_CTX_new failed");
   }
   if (EVP_DecryptInit_ex(ctx.get(), EVP_aes_256_gcm(), nullptr, key.data(), iv) != 1) {
     return Status::Internal("EVP_DecryptInit_ex failed");
+  }
+  int aad_len = 0;
+  if (!aad.empty() &&
+      EVP_DecryptUpdate(ctx.get(), nullptr, &aad_len,
+                        reinterpret_cast<const unsigned char*>(aad.data()),
+                        static_cast<int>(aad.size())) != 1) {
+    return Status::Internal("EVP_DecryptUpdate (AAD) failed");
   }
   std::string out(ct.size(), '\0');
   int len1 = 0;
@@ -223,7 +238,7 @@ Result<std::string> AesCbcDecrypt(const SymmetricKey& key, std::string_view enve
 }
 
 Result<std::string> AesGcmEncryptWithIv(const SymmetricKey& key, std::string_view iv,
-                                        std::string_view plaintext) {
+                                        std::string_view plaintext, std::string_view aad) {
   if (iv.size() != kAesGcmIvBytes) {
     return Status::InvalidArgument("GCM IV must be 12 bytes");
   }
@@ -234,22 +249,25 @@ Result<std::string> AesGcmEncryptWithIv(const SymmetricKey& key, std::string_vie
     out.resize(kAesGcmIvBytes + plaintext.size() + kAesGcmTagBytes);
     auto* ct = reinterpret_cast<uint8_t*>(out.data() + kAesGcmIvBytes);
     internal::AesGcmSimdEncrypt(key.data(), iv_bytes,
+                                reinterpret_cast<const uint8_t*>(aad.data()), aad.size(),
                                 reinterpret_cast<const uint8_t*>(plaintext.data()),
                                 plaintext.size(), ct, ct + plaintext.size());
     return out;
   }
   OBS_COUNTER_INC("crypto.gcm.dispatch.portable");
-  return GcmEncryptPortable(key, iv_bytes, plaintext);
+  return GcmEncryptPortable(key, iv_bytes, plaintext, aad);
 }
 
-Result<std::string> AesGcmEncrypt(const SymmetricKey& key, std::string_view plaintext) {
+Result<std::string> AesGcmEncrypt(const SymmetricKey& key, std::string_view plaintext,
+                                  std::string_view aad) {
   uint8_t iv[kAesGcmIvBytes];
   MC_RETURN_IF_ERROR(RandomBytes(iv, sizeof(iv)));
   return AesGcmEncryptWithIv(
-      key, std::string_view(reinterpret_cast<const char*>(iv), sizeof(iv)), plaintext);
+      key, std::string_view(reinterpret_cast<const char*>(iv), sizeof(iv)), plaintext, aad);
 }
 
-Result<std::string> AesGcmDecrypt(const SymmetricKey& key, std::string_view envelope) {
+Result<std::string> AesGcmDecrypt(const SymmetricKey& key, std::string_view envelope,
+                                  std::string_view aad) {
   if (envelope.size() < kAesGcmIvBytes + kAesGcmTagBytes) {
     return Status::Corruption("GCM envelope has invalid length");
   }
@@ -262,6 +280,7 @@ Result<std::string> AesGcmDecrypt(const SymmetricKey& key, std::string_view enve
     OBS_COUNTER_INC("crypto.gcm.dispatch.aesni");
     std::string out(ct.size(), '\0');
     if (!internal::AesGcmSimdDecrypt(key.data(), iv,
+                                     reinterpret_cast<const uint8_t*>(aad.data()), aad.size(),
                                      reinterpret_cast<const uint8_t*>(ct.data()),
                                      ct.size(),
                                      reinterpret_cast<const uint8_t*>(tag.data()),
@@ -271,7 +290,7 @@ Result<std::string> AesGcmDecrypt(const SymmetricKey& key, std::string_view enve
     return out;
   }
   OBS_COUNTER_INC("crypto.gcm.dispatch.portable");
-  return GcmDecryptPortable(key, iv, ct, tag);
+  return GcmDecryptPortable(key, iv, ct, tag, aad);
 }
 
 }  // namespace minicrypt

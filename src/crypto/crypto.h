@@ -77,19 +77,28 @@ Result<std::string> AesCbcDecrypt(const SymmetricKey& key, std::string_view enve
 // Authenticated: tampering with any envelope byte fails decryption, so packs
 // no longer rely solely on the external SHA-256 hash for integrity.
 //
+// `aad` is additional authenticated data: covered by the tag but not
+// encrypted or stored in the envelope. Decryption must present the same
+// bytes, which is how envelopes are bound to their table / packID / key
+// epoch (an envelope spliced into another context fails the tag check).
+//
 // Dispatches at runtime between the AES-NI + PCLMUL kernel
 // (src/crypto/aes_gcm_simd.cc) and the portable OpenSSL EVP path; both
 // produce identical envelopes for identical IVs.
-Result<std::string> AesGcmEncrypt(const SymmetricKey& key, std::string_view plaintext);
+Result<std::string> AesGcmEncrypt(const SymmetricKey& key, std::string_view plaintext,
+                                  std::string_view aad = {});
 
 // Deterministic variant with a caller-supplied 12-byte IV. Exists for the
 // SIMD/portable differential tests; production callers must use AesGcmEncrypt
 // (IV reuse under the same key breaks GCM).
 Result<std::string> AesGcmEncryptWithIv(const SymmetricKey& key, std::string_view iv,
-                                        std::string_view plaintext);
+                                        std::string_view plaintext,
+                                        std::string_view aad = {});
 
-// Inverse of AesGcmEncrypt. Corruption on malformed envelopes or tag mismatch.
-Result<std::string> AesGcmDecrypt(const SymmetricKey& key, std::string_view envelope);
+// Inverse of AesGcmEncrypt. Corruption on malformed envelopes, tag mismatch,
+// or an `aad` that differs from the one sealed over.
+Result<std::string> AesGcmDecrypt(const SymmetricKey& key, std::string_view envelope,
+                                  std::string_view aad = {});
 
 // Fills `out` with CSPRNG bytes.
 Status RandomBytes(uint8_t* out, size_t n);

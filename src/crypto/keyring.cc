@@ -1,0 +1,111 @@
+#include "src/crypto/keyring.h"
+
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace minicrypt {
+
+void Keyring::Pin::Release() {
+  if (ring_ != nullptr) {
+    ring_->ReleasePin(epoch_);
+    ring_ = nullptr;
+  }
+}
+
+Keyring::Keyring(const SymmetricKey& master) : master_(master) {}
+
+std::shared_ptr<Keyring> Keyring::FromMaster(const SymmetricKey& master) {
+  return std::make_shared<Keyring>(master);
+}
+
+uint64_t Keyring::current_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_epoch_;
+}
+
+uint64_t Keyring::retired_below() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_below_;
+}
+
+void Keyring::AnnounceEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch > current_epoch_) {
+    current_epoch_ = epoch;
+  }
+}
+
+Status Keyring::RetireBelow(uint64_t floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (floor > current_epoch_) {
+    return Status::InvalidArgument("cannot retire the current sealing epoch");
+  }
+  if (floor <= retired_below_) {
+    return Status::Ok();  // replayed resume
+  }
+  retired_below_ = floor;
+  // Wipe the memoized subkeys of retired epochs: the whole point of
+  // retirement is that this key material stops being reachable.
+  for (auto it = derived_.begin(); it != derived_.end();) {
+    it = it->first.first < floor ? derived_.erase(it) : std::next(it);
+  }
+  return Status::Ok();
+}
+
+Result<SymmetricKey> Keyring::KeyFor(uint64_t epoch, std::string_view purpose) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch < retired_below_) {
+    OBS_COUNTER_INC("crypto.key_unavailable");
+    return Status::KeyUnavailable("key epoch " + std::to_string(epoch) +
+                                  " retired (floor " + std::to_string(retired_below_) + ")");
+  }
+  if (epoch > current_epoch_) {
+    OBS_COUNTER_INC("crypto.key_unavailable");
+    return Status::KeyUnavailable("key epoch " + std::to_string(epoch) +
+                                  " not announced (current " +
+                                  std::to_string(current_epoch_) + ")");
+  }
+  const auto key = std::make_pair(epoch, std::string(purpose));
+  auto it = derived_.find(key);
+  if (it != derived_.end()) {
+    return it->second;
+  }
+  // Epoch 0 must reproduce the legacy derivation exactly so envelopes sealed
+  // before keyrings existed keep opening; later epochs interpose one stage.
+  const SymmetricKey derived =
+      epoch == 0
+          ? master_.Derive(purpose)
+          : master_.Derive("epoch:" + std::to_string(epoch)).Derive(purpose);
+  derived_.emplace(key, derived);
+  return derived;
+}
+
+Keyring::Pin Keyring::PinCurrent() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pin_counts_[current_epoch_];
+  return Pin(this, current_epoch_);
+}
+
+void Keyring::ReleasePin(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pin_counts_.find(epoch);
+  if (it != pin_counts_.end() && --it->second == 0) {
+    pin_counts_.erase(it);
+  }
+  drained_.notify_all();
+}
+
+bool Keyring::WaitForDrainBelow(uint64_t epoch, uint64_t timeout_millis) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto drained = [&] {
+    auto it = pin_counts_.begin();
+    return it == pin_counts_.end() || it->first >= epoch;
+  };
+  // Wall-clock wait (not the simulated clock): pins are released by real OS
+  // threads finishing real writes, which the simulated clock cannot see.
+  // With no pins outstanding this returns without waiting at all.
+  return drained_.wait_for(lock, std::chrono::milliseconds(timeout_millis), drained);
+}
+
+}  // namespace minicrypt

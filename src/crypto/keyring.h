@@ -1,0 +1,132 @@
+// Versioned key material for online rotation (docs/KEY_ROTATION.md).
+//
+// A Keyring wraps the customer's master key with a window of *key epochs*
+// [retired_below, current]. Every epoch derives its own independent subkeys
+// (epoch 0 reproduces the legacy single-key derivation byte-for-byte, so
+// pre-rotation envelopes keep opening). Rotation announces a new current
+// epoch, re-seals data under it, and finally retires everything below it —
+// after which the old epochs' key material is unreachable through this
+// keyring and opens of stragglers fail with a typed KeyUnavailable.
+//
+// Epoch *pins* are the drain barrier that makes retirement sound under
+// concurrency: every seal captures a Pin on the epoch it seals with, released
+// only once the resulting envelope has been durably written (or abandoned).
+// Rotation waits for all pins below the target epoch to drain before its
+// final verify pass, so no in-flight old-epoch envelope can land after the
+// sweep that was supposed to re-seal it. This models the key-lease handshake
+// a production KMS would run; in-process it is a refcount + condvar.
+//
+// All methods are thread-safe; share one Keyring across every client of a
+// customer (std::shared_ptr), exactly as they already share the master key.
+
+#ifndef MINICRYPT_SRC_CRYPTO_KEYRING_H_
+#define MINICRYPT_SRC_CRYPTO_KEYRING_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/crypto/crypto.h"
+
+namespace minicrypt {
+
+class Keyring {
+ public:
+  // RAII lease on a key epoch: while any Pin on epoch e is alive,
+  // WaitForDrainBelow(t) blocks for every t > e. Movable, not copyable.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept : ring_(other.ring_), epoch_(other.epoch_) {
+      other.ring_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        ring_ = other.ring_;
+        epoch_ = other.epoch_;
+        other.ring_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    uint64_t epoch() const { return epoch_; }
+    explicit operator bool() const { return ring_ != nullptr; }
+
+   private:
+    friend class Keyring;
+    Pin(Keyring* ring, uint64_t epoch) : ring_(ring), epoch_(epoch) {}
+    void Release();
+
+    Keyring* ring_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  explicit Keyring(const SymmetricKey& master);
+
+  // Convenience for the legacy single-key constructors: a fresh ring at
+  // epoch 0, nothing retired — derivations match the pre-keyring code.
+  static std::shared_ptr<Keyring> FromMaster(const SymmetricKey& master);
+
+  // The raw customer key, for companions that derive their own subkeys
+  // outside the epoch scheme (packID PRF, OPE, secondary-index keys — those
+  // encrypt identifiers, not data at rest, and do not rotate with packs).
+  const SymmetricKey& master() const { return master_; }
+
+  uint64_t current_epoch() const;
+  uint64_t retired_below() const;
+
+  // Makes `epoch` the sealing epoch. Forward-only and idempotent: announcing
+  // an epoch at or below the current one is a no-op, so replayed rotation
+  // resumes are harmless.
+  void AnnounceEpoch(uint64_t epoch);
+
+  // Drops key material for every epoch < floor. After this, KeyFor on a
+  // retired epoch fails with KeyUnavailable. InvalidArgument when floor
+  // exceeds the current epoch (the sealing key must always stay available);
+  // lowering the floor is a silent no-op (replayed resumes).
+  Status RetireBelow(uint64_t floor);
+
+  // The subkey for `purpose` under `epoch`. Epoch 0 derives exactly like the
+  // legacy single key (master.Derive(purpose)); later epochs interpose a
+  // per-epoch stage. KeyUnavailable outside [retired_below, current]:
+  // a retired epoch is gone by design, a future epoch has not been announced
+  // to this client yet.
+  Result<SymmetricKey> KeyFor(uint64_t epoch, std::string_view purpose) const;
+
+  // Leases the current epoch for an in-flight seal (see Pin).
+  Pin PinCurrent();
+
+  // Blocks until no Pin on any epoch < `epoch` remains, or the wall-clock
+  // timeout expires; returns whether the drain completed. Single-threaded
+  // callers hold no pins of their own at this point, so it returns
+  // immediately (which keeps seed-replay deterministic).
+  bool WaitForDrainBelow(uint64_t epoch, uint64_t timeout_millis);
+
+ private:
+  void ReleasePin(uint64_t epoch);
+
+  const SymmetricKey master_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  uint64_t current_epoch_ = 0;
+  uint64_t retired_below_ = 0;
+  std::map<uint64_t, uint64_t> pin_counts_;  // epoch -> live pins
+  // Derived-subkey memo: sealing hits KeyFor on every pack, and the HMAC
+  // chain per derivation is measurable. Entries below the retirement floor
+  // are erased (and their keys wiped by ~SymmetricKey) on RetireBelow.
+  mutable std::map<std::pair<uint64_t, std::string>, SymmetricKey, std::less<>> derived_;
+};
+
+}  // namespace minicrypt
+
+#endif  // MINICRYPT_SRC_CRYPTO_KEYRING_H_

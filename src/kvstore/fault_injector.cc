@@ -14,6 +14,7 @@ constexpr std::string_view kPointNames[kFaultPointCount] = {
     "replica_delay",    "node_flap",         "clock_skew",
     "crash",            "media_corruption",  "topology_persist",
     "stream_interrupt", "index_split",       "index_persist",
+    "rotate_persist",   "rotate_reseal",
 };
 
 // SplitMix64 finalizer: a cheap bijective mix with full avalanche, so the

@@ -43,9 +43,11 @@ enum class FaultPoint : int {
   kStreamInterrupt,      // range-streaming session aborts mid-transfer
   kIndexSplit,           // secondary-index lazy-sort/split aborts before the commit point
   kIndexPersist,         // secondary-index buffer truncation/seal persist skipped
+  kRotatePersist,        // rotation state-machine persist fails (no stage transition)
+  kRotateReseal,         // rotator crashes mid-range, before re-sealing a pack
 };
 
-inline constexpr int kFaultPointCount = 15;
+inline constexpr int kFaultPointCount = 17;
 
 std::string_view FaultPointName(FaultPoint point);
 

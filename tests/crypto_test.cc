@@ -77,6 +77,39 @@ TEST(Aes, TamperedCiphertextRejectedOrGarbled) {
   EXPECT_FALSE(out.ok() && *out == plaintext);
 }
 
+TEST(Aes, GcmAadRoundTripAndMismatchRejected) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  Rng rng(9);
+  // AAD with an embedded NUL, like the pack AAD's table/context delimiters.
+  const std::string aad = std::string("table") + '\0' + "pack-17";
+  for (size_t n : {size_t{0}, size_t{1}, size_t{100}, size_t{5000}}) {
+    const std::string pt = rng.Bytes(n);
+    auto env = AesGcmEncrypt(key, pt, aad);
+    ASSERT_TRUE(env.ok());
+    auto out = AesGcmDecrypt(key, *env, aad);
+    ASSERT_TRUE(out.ok()) << "size " << n;
+    EXPECT_EQ(*out, pt);
+    // Truncating the AAD by one byte (NUL shifts the field boundary) fails.
+    EXPECT_FALSE(AesGcmDecrypt(key, *env, aad.substr(0, aad.size() - 1)).ok());
+  }
+}
+
+TEST(Aes, GcmAadBindsTheContext) {
+  const SymmetricKey key = SymmetricKey::FromSeed("k");
+  auto env = AesGcmEncrypt(key, "payload", "context-A");
+  ASSERT_TRUE(env.ok());
+  auto ok = AesGcmDecrypt(key, *env, "context-A");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "payload");
+  // Different AAD, AAD dropped, or AAD invented: all fail the tag check.
+  EXPECT_TRUE(AesGcmDecrypt(key, *env, "context-B").status().IsCorruption());
+  EXPECT_TRUE(AesGcmDecrypt(key, *env).status().IsCorruption());
+  auto bare = AesGcmEncrypt(key, "payload");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(AesGcmDecrypt(key, *bare, "context-A").status().IsCorruption());
+  EXPECT_TRUE(AesGcmDecrypt(key, *bare).ok());
+}
+
 TEST(Aes, MalformedEnvelopeLengthsRejected) {
   const SymmetricKey key = SymmetricKey::FromSeed("k");
   EXPECT_TRUE(AesCbcDecrypt(key, "").status().IsCorruption());

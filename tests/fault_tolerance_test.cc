@@ -30,6 +30,7 @@ TEST(FaultTolerance, ReadsServedWhileReplicaDown) {
   Cluster cluster(ThreeNodes());
   ASSERT_TRUE(cluster.CreateTable("t").ok());
   ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("x")).ok());
+  cluster.Quiesce();  // land the background replica legs before downing a node
   cluster.SetNodeDown(1, true);
   EXPECT_TRUE(cluster.IsNodeDown(1));
   for (int i = 0; i < 9; ++i) {  // round-robin must skip the down node
@@ -149,6 +150,7 @@ TEST(FaultTolerance, HintDrainPreservesLwwOrder) {
   ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("v1")).ok());
   ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("v2")).ok());
   ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("v3")).ok());
+  cluster.Quiesce();  // writes ack at quorum; the hint legs finish in background
   EXPECT_EQ(cluster.PendingHints(2), 3u);
   cluster.SetNodeDown(2, false);
   cluster.SetNodeDown(0, true);
@@ -160,6 +162,7 @@ TEST(FaultTolerance, HintDrainPreservesLwwOrder) {
   cluster.SetNodeDown(1, false);
   // A post-recovery write must not be shadowed by anything replayed earlier.
   ASSERT_TRUE(cluster.Write("t", "p", EncodeKey64(1), ValueRow("v4")).ok());
+  cluster.Quiesce();  // node 2's leg may still be in flight after the quorum ack
   cluster.SetNodeDown(0, true);
   cluster.SetNodeDown(1, true);
   row = cluster.Read("t", "p", EncodeKey64(1));
@@ -232,6 +235,8 @@ TEST(FaultTolerance, AmbiguousLwtPutAndDeleteAreIdempotent) {
   injector.Script(FaultPoint::kLwtAmbiguous, 1);
   ASSERT_TRUE(client.Put(1, "second").ok());
   EXPECT_EQ(injector.trips(FaultPoint::kLwtAmbiguous), 2u);
+  cluster.Quiesce();  // converge stragglers so the one-replica probes below
+                      // can't observe the pre-update pack
   auto v = client.Get(1);
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, "second");
@@ -247,6 +252,7 @@ TEST(FaultTolerance, AmbiguousLwtPutAndDeleteAreIdempotent) {
   injector.Script(FaultPoint::kLwtAmbiguous, 1);
   ASSERT_TRUE(client.Delete(1).ok());
   EXPECT_EQ(injector.trips(FaultPoint::kLwtAmbiguous), 3u);
+  cluster.Quiesce();
   EXPECT_TRUE(client.Get(1).status().IsNotFound());
 }
 

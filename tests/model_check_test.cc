@@ -314,9 +314,12 @@ void CheckPackIntegrity(Cluster* cluster, const PackCrypter& crypter,
             << "pack row missing cells (node " << node << ", partition " << partition << ")";
         EXPECT_EQ(Sha256(v->second.value), h->second.value)
             << "stored hash does not match envelope (node " << node << ")";
-        auto pack = crypter.Open(v->second.value);
+        auto pack = crypter.Open(v->second.value, id);
         ASSERT_TRUE(pack.ok()) << "pack fails decryption on node " << node << ": "
-                               << pack.status().ToString();
+                               << pack.status().ToString() << " (epoch "
+                               << PackCrypter::EnvelopeEpoch(v->second.value) << ", sha_ok "
+                               << (Sha256(v->second.value) == h->second.value) << ", id "
+                               << id << ")";
         const auto& entries = pack->entries();
         EXPECT_LE(entries.size(), options.EffectiveMaxKeys())
             << "pack " << i << " still oversized after the anti-entropy sweep (node " << node
@@ -761,6 +764,261 @@ TEST(ModelCheckChaos, SecondaryIndexInvariantsUnderFire) {
       << "index_split never fired; " << injector.Summary();
   EXPECT_GT(injector.trips(FaultPoint::kIndexPersist), 0u)
       << "index_persist never fired; " << injector.Summary();
+}
+
+// --- Key-rotation chaos -------------------------------------------------------
+//
+// A rotator loops RotateKeys against the full fault mix plus the two rotation
+// protocol points (kRotatePersist fails stage-edge persists, kRotateReseal
+// crashes the rotator between opening and re-sealing a pack) while four
+// ring-sharing writers hammer the same table. Every injected failure pauses
+// the rotation mid-protocol; the next call must resume from the durable
+// record. The audit re-verifies the standard five invariants — in particular
+// (a): no write the rotator raced with may be lost to a re-seal — and two
+// rotation-specific ones: after the healed rotation completes, every stored
+// pack on every replica carries an epoch at or above the retirement floor,
+// and every one still opens through the shared keyring.
+TEST(ModelCheckChaos, KeyRotationScheduleHoldsInvariants) {
+  const uint64_t seed = ChaosSeed();
+  const int iters = ChaosIters();
+  std::fprintf(stderr, "[chaos] rotation seed=0x%llx iters=%d (set MC_CHAOS_SEED to replay)\n",
+               static_cast<unsigned long long>(seed), iters);
+
+  SimulatedClock clock;
+  FaultInjector injector(seed);
+
+  Cluster cluster(ChaosClusterOptions(&clock, &injector));
+  const SymmetricKey key = SymmetricKey::FromSeed("chaos-rotate");
+  auto ring = Keyring::FromMaster(key);
+  const MiniCryptOptions base_options = ChaosClientOptions(seed);
+
+  constexpr int kThreads = 4;
+  constexpr uint64_t kKeyspace = 96;
+
+  // Clients (and the table) are built before any fault rate is armed: setup
+  // is plumbing, not the protocol under test. All of them — workers, rotator,
+  // audit reader — share one keyring, exactly like one customer's clients.
+  std::vector<std::unique_ptr<GenericClient>> workers;
+  {
+    GenericClient setup(&cluster, base_options, ring);
+    ASSERT_TRUE(setup.CreateTable().ok());
+    for (uint64_t k = 0; k < kKeyspace; k += 3) {  // rotation must find real packs
+      ASSERT_TRUE(setup.Put(k, "seed#" + std::to_string(k)).ok());
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    MiniCryptOptions options = base_options;
+    options.retry_jitter_seed = seed ^ (0x407A7Eu + static_cast<uint64_t>(t));
+    workers.push_back(std::make_unique<GenericClient>(&cluster, options, ring));
+  }
+  GenericClient rotator(&cluster, base_options, ring);
+
+  ArmAllFaultPoints(&injector);
+  injector.SetRate(FaultPoint::kRotatePersist, 0.08);
+  injector.SetRate(FaultPoint::kRotateReseal, 0.08);
+  // At least one of each must land whatever the seed draws, so the resume
+  // path below is never vacuously exercised.
+  injector.Script(FaultPoint::kRotatePersist, 1);
+  injector.Script(FaultPoint::kRotateReseal, 1);
+
+  std::vector<ThreadTrack> tracks(kThreads);
+  std::atomic<bool> workers_done{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      GenericClient& worker = *workers[static_cast<size_t>(t)];
+      ThreadTrack& track = tracks[static_cast<size_t>(t)];
+      std::map<uint64_t, int> own_acked_op;
+      const std::string own_tag = "t" + std::to_string(t) + "#";
+      Rng rng(seed + 500 + static_cast<uint64_t>(t));
+      for (int op = 0; op < iters; ++op) {
+        if (op % 4 == 0) {
+          cluster.ChaosTick();
+        }
+        const uint64_t k = rng.Uniform(kKeyspace);
+        const int kind = static_cast<int>(rng.Uniform(100));
+        // A read can fetch an envelope, lose the CPU while the rotator
+        // re-seals that pack and retires the old epoch, then open the stale
+        // bytes: a typed KeyUnavailable, not data loss. The op did not apply,
+        // so the tracker files it with the other did-not-apply outcomes.
+        const auto retriable = [](const Status& s) {
+          return s.IsKeyUnavailable() ? Status::Unavailable("stale epoch in hand") : s;
+        };
+        if (kind < 50) {  // put
+          const std::string value = "t" + std::to_string(t) + "#" + std::to_string(op);
+          const Status s = worker.Put(k, value);
+          RecordOp(&track, k, /*is_delete=*/false, value, retriable(s));
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
+        } else if (kind < 65) {  // delete
+          const Status s = worker.Delete(k);
+          RecordOp(&track, k, /*is_delete=*/true, "", retriable(s));
+          if (s.ok()) {
+            own_acked_op[k] = op;
+          }
+        } else if (kind < 90) {  // get: admissible status + own-write staleness
+          auto got = worker.Get(k);
+          const Status s = got.status();
+          EXPECT_TRUE(s.ok() || s.IsNotFound() || s.IsUnavailable() || s.IsAborted() ||
+                      s.IsKeyUnavailable())
+              << s.ToString();
+          if (got.ok() && got->rfind(own_tag, 0) == 0) {
+            const int read_op = std::atoi(got->c_str() + own_tag.size());
+            auto acked = own_acked_op.find(k);
+            if (acked != own_acked_op.end()) {
+              EXPECT_GE(read_op, acked->second)
+                  << "stale read during rotation: key " << k << " returned own value '"
+                  << *got << "' older than this thread's acked op " << acked->second;
+            }
+          }
+        } else {  // narrow range
+          const Status s = worker.GetRange(k, k + 8).status();
+          EXPECT_TRUE(s.ok() || s.IsUnavailable() || s.IsAborted() || s.IsKeyUnavailable())
+              << s.ToString();
+        }
+      }
+    });
+  }
+
+  // The rotator: keep rotating (and resuming paused rotations) until the
+  // writers quiesce. Injected persist failures and reseal crashes surface as
+  // Unavailable / Aborted; anything else is a protocol bug.
+  std::atomic<int> rotations_completed{0};
+  std::thread rotator_thread([&] {
+    while (!workers_done.load()) {
+      const Status s = rotator.RotateKeys();
+      if (s.ok()) {
+        rotations_completed.fetch_add(1);
+      } else {
+        EXPECT_TRUE(s.IsUnavailable() || s.IsAborted()) << s.ToString();
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& th : threads) {
+    th.join();
+  }
+  workers_done.store(true);
+  rotator_thread.join();
+
+  injector.Heal();
+  cluster.HealAllNodes();
+  cluster.ReplayAllHints();
+  SCOPED_TRACE("chaos seed 0x" + std::to_string(seed) + " — rerun with MC_CHAOS_SEED");
+
+  // Drive any paused rotation to completion on the healed cluster, so the
+  // audit below sees a quiesced window [retired_below, current].
+  {
+    Status s = rotator.RotateKeys();
+    for (int attempt = 0; attempt < 64 && !s.ok(); ++attempt) {
+      s = rotator.RotateKeys();
+    }
+    ASSERT_TRUE(s.ok()) << "rotation did not converge on a healed cluster: " << s.ToString();
+    rotations_completed.fetch_add(1);
+  }
+  auto final_record = rotator.RotationState();
+  ASSERT_TRUE(final_record.ok()) << final_record.status().ToString();
+  EXPECT_EQ(final_record->stage, KeyRotationState::kStageIdle);
+  EXPECT_GE(ring->retired_below(), 1u) << "no epoch was ever retired";
+  EXPECT_GE(rotations_completed.load(), 1);
+
+  // Invariants (a) + (c): every acked write durable, every value admissible.
+  GenericClient reader(&cluster, base_options, ring);
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    ASSERT_TRUE(got.ok() || got.status().IsNotFound())
+        << "key " << k << ": " << got.status().ToString();
+    bool acked_put_candidate = false;
+    bool delete_candidate = false;
+    bool value_matches_candidate = false;
+    bool touched = false;
+    const bool preloaded = (k % 3 == 0);
+    if (preloaded && got.ok() && *got == "seed#" + std::to_string(k)) {
+      value_matches_candidate = true;  // nobody overwrote the seed value
+    }
+    for (const ThreadTrack& track : tracks) {
+      auto it = track.find(k);
+      if (it == track.end()) {
+        continue;
+      }
+      touched = true;
+      const KeyTrack& kt = it->second;
+      if (kt.last_acked.has_value() && !kt.last_acked->is_delete) {
+        acked_put_candidate = true;
+      }
+      std::vector<const ChaosOp*> candidates;
+      if (kt.last_acked.has_value()) {
+        candidates.push_back(&*kt.last_acked);
+      }
+      for (const ChaosOp& op : kt.unacked) {
+        candidates.push_back(&op);
+      }
+      for (const ChaosOp* op : candidates) {
+        if (op->is_delete) {
+          delete_candidate = true;
+        } else if (got.ok() && *got == op->value) {
+          value_matches_candidate = true;
+        }
+      }
+    }
+    if (!touched && !preloaded) {
+      EXPECT_TRUE(got.status().IsNotFound()) << "untouched key " << k << " has a value";
+    } else if (got.ok()) {
+      EXPECT_TRUE(value_matches_candidate)
+          << "key " << k << " holds '" << *got
+          << "', which no writer (nor the preload) could have written last";
+    } else {
+      EXPECT_TRUE(delete_candidate || (!acked_put_candidate && !preloaded))
+          << "key " << k << " lost an acknowledged put across the rotation";
+    }
+  }
+
+  // Anti-entropy re-touch (see RunInvariantsUnderFire) before the strict
+  // integrity check.
+  for (uint64_t k = 0; k < kKeyspace; ++k) {
+    auto got = reader.Get(k);
+    if (got.ok()) {
+      ASSERT_TRUE(reader.Put(k, *got).ok());
+    } else {
+      ASSERT_TRUE(got.status().IsNotFound()) << got.status().ToString();
+      const Status s = reader.Delete(k);
+      ASSERT_TRUE(s.ok() || s.IsNotFound()) << s.ToString();
+    }
+  }
+
+  // Invariant (b) plus the rotation-specific pair: the ring-sharing crypter
+  // must open every stored pack (so nothing is readable only through a
+  // retired epoch), and every envelope's stamped epoch must sit at or above
+  // the retirement floor.
+  const PackCrypter crypter(base_options, ring);
+  CheckPackIntegrity(&cluster, crypter, base_options);
+  const uint64_t floor = ring->retired_below();
+  for (int p = 0; p < base_options.hash_partitions; ++p) {
+    const std::string partition = PartitionLabel(p);
+    for (int node : cluster.ReplicaNodesFor(partition)) {
+      auto rows = cluster.DebugPartitionRows(node, base_options.table, partition);
+      ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+      for (const auto& [id, row] : *rows) {
+        auto v = row.cells.find("v");
+        ASSERT_TRUE(v != row.cells.end());
+        EXPECT_GE(PackCrypter::EnvelopeEpoch(v->second.value), floor)
+            << "pack " << id << " on node " << node << " still sealed below the retirement"
+            << " floor after rotation completed";
+      }
+    }
+    // Invariant (d), including the reserved partition holding the record.
+    CheckReplicaConvergence(&cluster, base_options.table, partition);
+  }
+  CheckReplicaConvergence(&cluster, base_options.table, "rotation");
+
+  // The run must actually have exercised the rotation protocol fault points.
+  EXPECT_GT(injector.trips(FaultPoint::kRotatePersist), 0u)
+      << "rotate_persist never fired; " << injector.Summary();
+  EXPECT_GT(injector.trips(FaultPoint::kRotateReseal), 0u)
+      << "rotate_reseal never fired; " << injector.Summary();
 }
 
 // --- Crash & corruption schedule ---------------------------------------------
@@ -1526,9 +1784,14 @@ TEST(ModelCheckChaos, ThirtyTwoNodeDecommissionUnderLoadHoldsInvariants) {
 // indexed values, by-value range queries join the op mix, and the
 // kIndexSplit / kIndexPersist draws of the index's drain/split/seal protocols
 // join the recorded schedule; the final state includes the by-value answers.
+// With `with_rotation`, a key rotation runs mid-sequence: its kRotatePersist /
+// kRotateReseal draws join the schedule, its bounded resume loop must replay
+// identically, and the final keyring window + durable rotation record join
+// the state fingerprint.
 std::pair<std::string, std::string> RunSingleThreadedChaos(uint64_t seed, int ops,
                                                            bool with_topology = false,
-                                                           bool with_index = false) {
+                                                           bool with_index = false,
+                                                           bool with_rotation = false) {
   SimulatedClock clock;
   FaultInjector injector(seed);
   injector.set_record_schedule(true);
@@ -1546,6 +1809,12 @@ std::pair<std::string, std::string> RunSingleThreadedChaos(uint64_t seed, int op
     injector.SetRate(FaultPoint::kIndexPersist, 0.2);
     injector.Script(FaultPoint::kIndexSplit, 1);
     injector.Script(FaultPoint::kIndexPersist, 1);
+  }
+  if (with_rotation) {
+    injector.SetRate(FaultPoint::kRotatePersist, 0.2);
+    injector.SetRate(FaultPoint::kRotateReseal, 0.2);
+    injector.Script(FaultPoint::kRotatePersist, 1);
+    injector.Script(FaultPoint::kRotateReseal, 1);
   }
 
   ClusterOptions copts = ChaosClusterOptions(&clock, &injector);
@@ -1586,6 +1855,18 @@ std::pair<std::string, std::string> RunSingleThreadedChaos(uint64_t seed, int op
         }
       }
       EXPECT_FALSE(cluster.Topology().inflight) << "seeded bootstrap did not converge";
+    }
+    if (with_rotation && op == ops / 2) {
+      // One epoch rotation mid-sequence. Every injected pause (failed stage
+      // persist, reseal crash) is resumed by the next call; progress is
+      // durable, so the loop converges, and each attempt draws its fault
+      // ordinals deterministically — the whole rotation replays exactly.
+      Status rs = client.RotateKeys();
+      for (int attempt = 0; attempt < 64 && !rs.ok(); ++attempt) {
+        EXPECT_TRUE(rs.IsUnavailable() || rs.IsAborted()) << rs.ToString();
+        rs = client.RotateKeys();
+      }
+      EXPECT_TRUE(rs.ok()) << "seeded rotation did not converge: " << rs.ToString();
     }
     const uint64_t k = rng.Uniform(kKeyspace);
     const int kind = static_cast<int>(rng.Uniform(10));
@@ -1631,6 +1912,18 @@ std::pair<std::string, std::string> RunSingleThreadedChaos(uint64_t seed, int op
       state += ';';
     }
   }
+  if (with_rotation) {
+    // Replayed runs must agree on the keyring window and the durable record,
+    // not just the row values the rotated packs decrypt to.
+    auto record = client.RotationState();
+    EXPECT_TRUE(record.ok()) << record.status().ToString();
+    state += "K" + std::to_string(client.keyring()->current_epoch()) + "/" +
+             std::to_string(client.keyring()->retired_below()) + "/" +
+             (record.ok() ? std::to_string(record->stage) + "." +
+                                std::to_string(record->retired_below)
+                          : "!") +
+             ";";
+  }
   return {injector.ScheduleString(), state};
 }
 
@@ -1667,6 +1960,23 @@ TEST(ModelCheckChaos, SameSeedReplaysIndexScheduleAndState) {
   // schedule with at least one draw, mirroring the topology check above.
   EXPECT_EQ(first.first.find("index_split:;"), std::string::npos);
   EXPECT_EQ(first.first.find("index_persist:;"), std::string::npos);
+}
+
+TEST(ModelCheckChaos, SameSeedReplaysRotationScheduleAndState) {
+  const auto first = RunSingleThreadedChaos(0x407A7E5EEDULL, 160, /*with_topology=*/false,
+                                            /*with_index=*/false, /*with_rotation=*/true);
+  const auto second = RunSingleThreadedChaos(0x407A7E5EEDULL, 160, /*with_topology=*/false,
+                                             /*with_index=*/false, /*with_rotation=*/true);
+  EXPECT_EQ(first.first, second.first) << "rotation fault schedule not reproducible";
+  EXPECT_EQ(first.second, second.second)
+      << "final state (incl. keyring window + rotation record) not reproducible";
+  // Non-vacuity: both rotation protocol points must appear in the recorded
+  // schedule with at least one draw, and the fingerprint must show the
+  // rotation actually advanced the epoch window.
+  EXPECT_EQ(first.first.find("rotate_persist:;"), std::string::npos);
+  EXPECT_EQ(first.first.find("rotate_reseal:;"), std::string::npos);
+  EXPECT_NE(first.second.find("K1/1/0.1;"), std::string::npos)
+      << "fingerprint does not show a completed rotation to epoch 1: " << first.second;
 }
 
 }  // namespace

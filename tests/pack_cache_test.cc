@@ -13,6 +13,8 @@
 #include "src/common/coding.h"
 #include "src/core/generic_client.h"
 #include "src/core/key_codec.h"
+#include "src/core/pack_crypter.h"
+#include "src/crypto/keyring.h"
 #include "src/kvstore/cluster.h"
 #include "src/kvstore/fault_injector.h"
 
@@ -265,6 +267,75 @@ TEST(PackCacheClient, TtlServesWithoutTouchingTheServer) {
   auto v = client.Get(2);
   ASSERT_TRUE(v.ok());
   EXPECT_EQ(*v, "new");
+}
+
+// --- Cache coherence across key rotation -------------------------------------
+
+TEST(PackCacheClient, RotationResealIsAMissAndRefetchNeverStalePlaintext) {
+  Cluster cluster(ClusterOptions::ForTest());
+  auto ring = Keyring::FromMaster(SymmetricKey::FromSeed("tenant"));
+  GenericClient cached(&cluster, CachedOptions(), ring);
+  ASSERT_TRUE(cached.CreateTable().ok());
+  for (uint64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(cached.Put(k, "v" + std::to_string(k)).ok());
+  }
+  ASSERT_TRUE(cached.Get(1).ok());  // warm + validated
+
+  // The stored pack before rotation: capture its envelope hash.
+  auto rows = cluster.ReadRange(CachedOptions().table, PartitionLabel(0), "",
+                                std::string(64, '\xff'));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows->empty());
+  const std::string pack_id = (*rows)[0].first;
+  const std::string old_hash = (*rows)[0].second.cells.at("h").value;
+  EXPECT_EQ(PackCrypter::EnvelopeEpoch((*rows)[0].second.cells.at("v").value), 0u);
+
+  // Rotate through a cacheless peer sharing the keyring (the usual shape:
+  // the rotator is an operator job, not the serving client).
+  MiniCryptOptions plain = CachedOptions();
+  plain.cache_capacity_bytes = 0;
+  GenericClient rotator(&cluster, plain, ring);
+  ASSERT_TRUE(rotator.RotateKeys().ok());
+
+  // The re-seal moved the envelope hash and the epoch.
+  auto after = cluster.Read(CachedOptions().table, PartitionLabel(0), pack_id);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->cells.at("h").value, old_hash);
+  EXPECT_EQ(PackCrypter::EnvelopeEpoch(after->cells.at("v").value), 1u);
+
+  // The cached client's next read probes, sees the hash mismatch, and
+  // refetches — it can never serve the retired-epoch entry as current.
+  const PackCacheStats before = cached.pack_cache()->Stats();
+  auto v = cached.Get(1);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, "v1");
+  const PackCacheStats stats = cached.pack_cache()->Stats();
+  EXPECT_GT(stats.invalidations, before.invalidations);
+  // The refreshed (epoch-1) entry revalidates cleanly from here on.
+  const uint64_t hits_before = stats.hits;
+  ASSERT_TRUE(cached.Get(1).ok());
+  EXPECT_GT(cached.pack_cache()->Stats().hits, hits_before);
+}
+
+TEST(PackCacheClient, RotatorsOwnCacheStaysCoherentWhileResealing) {
+  // The rotator itself may run with a cache: CacheAfterWrite on every
+  // re-seal keeps its entries in lockstep with the stored hash, so reads
+  // right after rotation revalidate instead of refetching envelopes.
+  Cluster cluster(ClusterOptions::ForTest());
+  auto ring = Keyring::FromMaster(SymmetricKey::FromSeed("tenant"));
+  GenericClient client(&cluster, CachedOptions(), ring);
+  ASSERT_TRUE(client.CreateTable().ok());
+  for (uint64_t k = 0; k < 12; ++k) {
+    ASSERT_TRUE(client.Put(k, "v" + std::to_string(k)).ok());
+  }
+  ASSERT_TRUE(client.RotateKeys().ok());
+  const uint64_t misses_before = client.pack_cache()->Stats().misses;
+  for (uint64_t k = 0; k < 12; ++k) {
+    auto v = client.Get(k);
+    ASSERT_TRUE(v.ok()) << k << ": " << v.status().ToString();
+    EXPECT_EQ(*v, "v" + std::to_string(k));
+  }
+  EXPECT_EQ(client.pack_cache()->Stats().misses, misses_before);
 }
 
 }  // namespace

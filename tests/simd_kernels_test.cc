@@ -306,6 +306,42 @@ TEST(SimdKernels, AesGcmRoundTripsAtEveryLevel) {
   }
 }
 
+TEST(SimdKernels, AesGcmAadByteIdenticalAcrossLevels) {
+  const SymmetricKey key = SymmetricKey::FromSeed("gcm-aad-differential");
+  const std::string iv(kAesGcmIvBytes, '\x17');
+  Rng rng(4321);
+  // AAD lengths straddle the GHASH block and 4-block-batch boundaries.
+  for (size_t aad_len : {1u, 15u, 16u, 17u, 63u, 64u, 65u, 300u}) {
+    const std::string aad = rng.Bytes(aad_len);
+    for (size_t n : {0u, 1u, 31u, 64u, 1000u}) {
+      const std::string pt = rng.Bytes(n);
+      std::string reference;
+      bool have_reference = false;
+      for (SimdLevel level : SupportedSimdLevels()) {
+        ScopedSimdLevel scoped(level);
+        auto env = AesGcmEncryptWithIv(key, iv, pt, aad);
+        ASSERT_TRUE(env.ok()) << SimdLevelName(level);
+        if (!have_reference) {
+          reference = env.value();
+          have_reference = true;
+        } else {
+          EXPECT_EQ(env.value(), reference)
+              << SimdLevelName(level) << " diverges at aad " << aad_len << " pt " << n;
+        }
+        // Every level opens the reference envelope under the same AAD...
+        auto d = AesGcmDecrypt(key, reference, aad);
+        ASSERT_TRUE(d.ok()) << SimdLevelName(level);
+        EXPECT_EQ(d.value(), pt);
+        // ...and rejects a perturbed or missing AAD.
+        std::string wrong = aad;
+        wrong[aad_len / 2] ^= 1;
+        EXPECT_FALSE(AesGcmDecrypt(key, reference, wrong).ok()) << SimdLevelName(level);
+        EXPECT_FALSE(AesGcmDecrypt(key, reference).ok()) << SimdLevelName(level);
+      }
+    }
+  }
+}
+
 TEST(SimdKernels, OverrideClampsToHost) {
   const SimdLevel ambient = CurrentSimdLevel();
   const SimdLevel max = HostCpuFeatures().max_level;
